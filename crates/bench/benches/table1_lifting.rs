@@ -1,0 +1,81 @@
+//! Regenerates Table 1: per-kernel Halide/auto-parallelizer/GPU speedups,
+//! synthesis time, control bits, and postcondition AST nodes, plus the §6.3
+//! aggregate (median / max / min Halide speedup) and the §6.4 portability
+//! columns. Criterion additionally times the lifting of two representative
+//! kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stng_bench::{bench_stng, median, table1_row};
+use stng_corpus::all_kernels;
+
+fn print_table1() {
+    let stng = bench_stng();
+    let tune_budget = 4;
+    println!("\n=== Table 1: overall lifting results (regenerated) ===");
+    println!(
+        "{:<12} {:<12} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9} {:>6} {:>6} {:>6}",
+        "Suite",
+        "Kernel",
+        "Halide",
+        "iccBef",
+        "iccAft",
+        "GPU",
+        "GPU(noTx)",
+        "Synth(s)",
+        "Bits",
+        "AST",
+        "Sound"
+    );
+    let mut speedups = Vec::new();
+    for corpus_kernel in all_kernels() {
+        if let Some(row) = table1_row(&corpus_kernel, &stng, tune_budget) {
+            println!(
+                "{:<12} {:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>10.2} {:>9.2} {:>6} {:>6} {:>6}",
+                row.suite,
+                row.kernel,
+                row.halide_speedup,
+                row.icc_before,
+                row.icc_after,
+                row.gpu_speedup,
+                row.gpu_no_transfer,
+                row.synth_time_s,
+                row.control_bits,
+                row.ast_nodes,
+                if row.soundly_verified { "yes" } else { "bnd" }
+            );
+            speedups.push(row.halide_speedup);
+        }
+    }
+    let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\n=== §6.3 aggregate ===");
+    println!(
+        "translated kernels: {}   median Halide speedup: {:.2}x   max: {:.2}x   min: {:.2}x",
+        speedups.len(),
+        median(&mut speedups),
+        max,
+        min
+    );
+    println!("(paper: median 4.1x, max 24x, min 1.84x on the authors' 24-core nodes)");
+}
+
+fn bench_lifting(c: &mut Criterion) {
+    print_table1();
+    let stng = bench_stng();
+    let kernels = all_kernels();
+    let mut group = c.benchmark_group("table1_lifting");
+    group.sample_size(10);
+    for name in ["akl83", "heat0"] {
+        let corpus_kernel = kernels.iter().find(|k| k.name == name).unwrap().clone();
+        group.bench_function(format!("lift_{name}"), |b| {
+            b.iter(|| {
+                let report = stng.lift_source(&corpus_kernel.source).unwrap();
+                assert!(report.translated() >= 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifting);
+criterion_main!(benches);

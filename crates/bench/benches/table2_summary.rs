@@ -1,0 +1,59 @@
+//! Regenerates Table 2: per-suite counts of candidate loops, translated
+//! kernels, untranslated stencils, and non-stencils.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stng_bench::{bench_stng, table2_row};
+use stng_corpus::{suite_kernels, Suite};
+
+fn print_table2() {
+    let stng = bench_stng();
+    println!("\n=== Table 2: summary of lifted kernels (regenerated) ===");
+    println!(
+        "{:<12} {:>11} {:>11} {:>22} {:>13}",
+        "Suite", "Candidates", "Translated", "Untranslated Stencils", "Non Stencils"
+    );
+    let mut total = stng_bench::Table2Row::default();
+    for suite in Suite::all() {
+        let row = table2_row(&suite_kernels(suite), &stng);
+        println!(
+            "{:<12} {:>11} {:>11} {:>22} {:>13}",
+            suite.name(),
+            row.candidates,
+            row.translated,
+            row.untranslated_stencils,
+            row.non_stencils
+        );
+        total.candidates += row.candidates;
+        total.translated += row.translated;
+        total.untranslated_stencils += row.untranslated_stencils;
+        total.non_stencils += row.non_stencils;
+    }
+    println!(
+        "{:<12} {:>11} {:>11} {:>22} {:>13}",
+        "Total", total.candidates, total.translated, total.untranslated_stencils, total.non_stencils
+    );
+    println!("(paper totals: 93 candidates, 77 translated, 11 untranslated stencils, 5 non-stencils)");
+}
+
+fn bench_identification(c: &mut Criterion) {
+    print_table2();
+    let kernels = suite_kernels(Suite::CloverLeaf);
+    let mut group = c.benchmark_group("table2_summary");
+    group.sample_size(10);
+    group.bench_function("classify_cloverleaf_suite", |b| {
+        b.iter(|| {
+            let mut candidates = 0usize;
+            for kernel in &kernels {
+                let program = stng_ir::parser::parse_program(&kernel.source).unwrap();
+                for proc in &program.procedures {
+                    candidates += stng_ir::identify::identify_candidates(proc).len();
+                }
+            }
+            candidates
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_identification);
+criterion_main!(benches);

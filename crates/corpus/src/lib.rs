@@ -1,0 +1,699 @@
+//! The benchmark corpus: stencil kernels in the Fortran subset for every
+//! suite of the paper's evaluation (§6.1), plus the negative cases that
+//! exercise Table 2's "untranslated" and "non-stencil" columns.
+//!
+//! The original applications (CloverLeaf, NAS MG, TERRA, NFFS-FVM) cannot be
+//! redistributed here; each corpus kernel implements the stencil pattern the
+//! paper describes for its suite (dimensionality, point count, scalar
+//! temporaries, hand optimizations), which is what drives both synthesis
+//! difficulty and the performance shape. See DESIGN.md §2 for the
+//! substitution argument.
+
+use stng_ir::ir::Kernel;
+use stng_ir::lower::kernel_from_source;
+
+/// The benchmark suites of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// StencilMark microbenchmarks (3D kernels).
+    StencilMark,
+    /// NAS MG multigrid kernels.
+    NasMg,
+    /// CloverLeaf hydrodynamics mini-app kernels (2D staggered grid).
+    CloverLeaf,
+    /// TERRA mantle-convection kernel (high-dimensional arrays).
+    Terra,
+    /// NFFS-FVM finite-volume fluid/heat kernels (3D).
+    NffsFvm,
+    /// Hand-optimized 27-point challenge problems.
+    Challenge,
+}
+
+impl Suite {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::StencilMark => "StencilMark",
+            Suite::NasMg => "NAS MG",
+            Suite::CloverLeaf => "CloverLeaf",
+            Suite::Terra => "TERRA",
+            Suite::NffsFvm => "NFFS-FVM",
+            Suite::Challenge => "Challenge",
+        }
+    }
+
+    /// All suites in the order the paper lists them.
+    pub fn all() -> [Suite; 6] {
+        [
+            Suite::StencilMark,
+            Suite::NasMg,
+            Suite::CloverLeaf,
+            Suite::Terra,
+            Suite::NffsFvm,
+            Suite::Challenge,
+        ]
+    }
+}
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusKernel {
+    /// Suite the kernel belongs to.
+    pub suite: Suite,
+    /// Kernel name (used as the row label in the regenerated tables).
+    pub name: String,
+    /// Fortran-subset source.
+    pub source: String,
+    /// Whether the kernel is actually a stencil (used to classify failures
+    /// into "untranslated stencils" vs "non-stencils" in Table 2).
+    pub is_stencil: bool,
+    /// Grid extent used for performance measurements.
+    pub grid: i64,
+}
+
+impl CorpusKernel {
+    /// Lowers the first candidate fragment of the kernel (convenience for
+    /// tests and benches that need the IR directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/lowering errors (some negative cases fail here by
+    /// design).
+    pub fn kernel(&self) -> stng_ir::error::Result<Kernel> {
+        kernel_from_source(&self.source, 0)
+    }
+}
+
+fn entry(suite: Suite, name: &str, grid: i64, is_stencil: bool, source: String) -> CorpusKernel {
+    CorpusKernel {
+        suite,
+        name: name.to_string(),
+        source,
+        is_stencil,
+        grid,
+    }
+}
+
+/// A CloverLeaf-style 2D kernel over a staggered grid: `out(j,k)` combines a
+/// handful of neighbouring cells of two input fields with coefficients.
+fn cloverleaf_kernel(name: &str, offsets: &[(i64, i64)], coeff: f64, with_temp: bool) -> String {
+    let mut terms: Vec<String> = offsets
+        .iter()
+        .map(|(dj, dk)| {
+            let j = offset_str("j", *dj);
+            let k = offset_str("k", *dk);
+            format!("density({j}, {k})")
+        })
+        .collect();
+    terms.push("energy(j, k)".to_string());
+    let body = if with_temp {
+        format!(
+            "      t = {coeff} * density(j-1, k)\n      out(j, k) = t + {}",
+            terms.join(" + ")
+        )
+    } else {
+        format!("      out(j, k) = {coeff} * ({})", terms.join(" + "))
+    };
+    format!(
+        r#"
+procedure {name}(x_min, x_max, y_min, y_max, out, density, energy)
+  integer :: x_min
+  integer :: x_max
+  integer :: y_min
+  integer :: y_max
+  real, dimension(x_min:x_max, y_min:y_max) :: out
+  real, dimension(x_min:x_max, y_min:y_max) :: density
+  real, dimension(x_min:x_max, y_min:y_max) :: energy
+  real :: t
+  integer :: j
+  integer :: k
+  do k = y_min+1, y_max
+    do j = x_min+1, x_max
+{body}
+    enddo
+  enddo
+end procedure
+"#
+    )
+}
+
+fn offset_str(var: &str, off: i64) -> String {
+    match off.cmp(&0) {
+        std::cmp::Ordering::Equal => var.to_string(),
+        std::cmp::Ordering::Greater => format!("{var}+{off}"),
+        std::cmp::Ordering::Less => format!("{var}{off}"),
+    }
+}
+
+/// An NFFS-FVM-style 3D geometry/flux kernel.
+fn nffs_kernel(name: &str, scale: f64, divide: bool) -> String {
+    let rhs = if divide {
+        format!("(phi(i+1, j, k) - phi(i-1, j, k)) / {scale} + src(i, j, k)")
+    } else {
+        format!("{scale} * (phi(i, j+1, k) + phi(i, j-1, k)) + src(i, j, k)")
+    };
+    format!(
+        r#"
+procedure {name}(nx, ny, nz, flux, phi, src)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: flux
+  real, dimension(0:nx, 0:ny, 0:nz) :: phi
+  real, dimension(0:nx, 0:ny, 0:nz) :: src
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        flux(i, j, k) = {rhs}
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+    )
+}
+
+/// The full corpus, in suite order.
+pub fn all_kernels() -> Vec<CorpusKernel> {
+    let mut out = Vec::new();
+
+    // ---- StencilMark: the four 3D microbenchmark kernels. --------------
+    out.push(entry(
+        Suite::StencilMark,
+        "heat0",
+        28,
+        true,
+        r#"
+procedure heat0(nx, ny, nz, anext, aprev)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: anext
+  real, dimension(0:nx, 0:ny, 0:nz) :: aprev
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        anext(i, j, k) = aprev(i-1, j, k) + aprev(i+1, j, k) + aprev(i, j-1, k) + aprev(i, j+1, k) + aprev(i, j, k-1) + aprev(i, j, k+1) - 6.0 * aprev(i, j, k)
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    out.push(entry(
+        Suite::StencilMark,
+        "div0",
+        28,
+        true,
+        r#"
+procedure div0(nx, ny, nz, d, ux, uy, uz)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: d
+  real, dimension(0:nx, 0:ny, 0:nz) :: ux
+  real, dimension(0:nx, 0:ny, 0:nz) :: uy
+  real, dimension(0:nx, 0:ny, 0:nz) :: uz
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        d(i, j, k) = 0.5 * (ux(i+1, j, k) - ux(i-1, j, k)) + 0.5 * (uy(i, j+1, k) - uy(i, j-1, k)) + 0.5 * (uz(i, j, k+1) - uz(i, j, k-1))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    out.push(entry(
+        Suite::StencilMark,
+        "grad0",
+        28,
+        true,
+        r#"
+procedure grad0(nx, ny, nz, gx, gy, gz, p)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: gx
+  real, dimension(0:nx, 0:ny, 0:nz) :: gy
+  real, dimension(0:nx, 0:ny, 0:nz) :: gz
+  real, dimension(0:nx, 0:ny, 0:nz) :: p
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        gx(i, j, k) = 0.5 * (p(i+1, j, k) - p(i-1, j, k))
+        gy(i, j, k) = 0.5 * (p(i, j+1, k) - p(i, j-1, k))
+        gz(i, j, k) = 0.5 * (p(i, j, k+1) - p(i, j, k-1))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    out.push(entry(
+        Suite::StencilMark,
+        "lap0",
+        28,
+        true,
+        r#"
+procedure lap0(nx, ny, nz, l, u, alpha, beta)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: l
+  real, dimension(0:nx, 0:ny, 0:nz) :: u
+  real :: alpha
+  real :: beta
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        l(i, j, k) = alpha * u(i, j, k) + beta * (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    // ---- NAS MG: residual, restriction-like, interpolation-like. --------
+    out.push(entry(
+        Suite::NasMg,
+        "mg_resid",
+        24,
+        true,
+        r#"
+procedure mg_resid(n1, n2, n3, r, u, v)
+  integer :: n1
+  integer :: n2
+  integer :: n3
+  real, dimension(0:n1, 0:n2, 0:n3) :: r
+  real, dimension(0:n1, 0:n2, 0:n3) :: u
+  real, dimension(0:n1, 0:n2, 0:n3) :: v
+  integer :: i1
+  integer :: i2
+  integer :: i3
+  do i3 = 1, n3-1
+    do i2 = 1, n2-1
+      do i1 = 1, n1-1
+        r(i1, i2, i3) = v(i1, i2, i3) - 0.75 * u(i1, i2, i3) - 0.0416 * (u(i1-1, i2, i3) + u(i1+1, i2, i3) + u(i1, i2-1, i3) + u(i1, i2+1, i3) + u(i1, i2, i3-1) + u(i1, i2, i3+1))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    out.push(entry(
+        Suite::NasMg,
+        "mg_smooth",
+        24,
+        true,
+        r#"
+procedure mg_smooth(n1, n2, n3, u, r)
+  integer :: n1
+  integer :: n2
+  integer :: n3
+  real, dimension(0:n1, 0:n2, 0:n3) :: u
+  real, dimension(0:n1, 0:n2, 0:n3) :: r
+  real :: c0
+  real :: c1
+  integer :: i1
+  integer :: i2
+  integer :: i3
+  do i3 = 1, n3-1
+    do i2 = 1, n2-1
+      do i1 = 1, n1-1
+        u(i1, i2, i3) = c0 * r(i1, i2, i3) + c1 * (r(i1-1, i2, i3) + r(i1+1, i2, i3) + r(i1, i2-1, i3) + r(i1, i2+1, i3))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    // A reduction loop flagged by the liberal front end but not a stencil
+    // (contributes to the "Non Stencils" column like the norm computation in
+    // the real MG).
+    out.push(entry(
+        Suite::NasMg,
+        "mg_norm",
+        24,
+        false,
+        r#"
+procedure mg_norm(n1, n2, n3, r)
+  integer :: n1
+  integer :: n2
+  integer :: n3
+  real, dimension(0:n1, 0:n2, 0:n3) :: r
+  real :: s
+  integer :: i1
+  integer :: i2
+  integer :: i3
+  do i3 = 1, n3-1
+    do i2 = 1, n2-1
+      do i1 = 1, n1-1
+        s = s + r(i1, i2, i3) * r(i1, i2, i3)
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    // ---- CloverLeaf: a family of 2D staggered-grid kernels. -------------
+    let clover_specs: Vec<(&str, Vec<(i64, i64)>, f64, bool)> = vec![
+        ("akl81", vec![(0, 0), (-1, 0), (0, -1), (-1, -1)], 0.25, true),
+        ("akl83", vec![(0, 0), (-1, 0)], 0.5, false),
+        ("akl84", vec![(0, 0), (0, -1)], 0.5, false),
+        ("akl85", vec![(0, 0), (1, 0)], 0.5, false),
+        ("ackl95", vec![(0, 0), (-1, 0), (1, 0)], 0.3333, false),
+        ("amkl100", vec![(0, 0), (0, 1), (0, -1)], 0.3333, true),
+        ("fckl89", vec![(0, 0), (-1, 0), (0, -1)], 1.0, false),
+        ("gckl77", vec![(0, 0)], 2.0, false),
+        ("ickl10", vec![(0, 0), (1, 1)], 1.0, false),
+        ("rfkl109", vec![(0, 0), (-1, -1), (1, 1)], 0.5, false),
+    ];
+    for (name, offsets, coeff, with_temp) in clover_specs {
+        out.push(entry(
+            Suite::CloverLeaf,
+            name,
+            96,
+            true,
+            cloverleaf_kernel(name, &offsets, coeff, with_temp),
+        ));
+    }
+    // A decrementing-loop kernel: a real stencil the prototype cannot
+    // translate (Table 2, "Untranslated Stencils").
+    out.push(entry(
+        Suite::CloverLeaf,
+        "akl_rev",
+        96,
+        true,
+        r#"
+procedure akl_rev(x_min, x_max, y_min, y_max, out, density)
+  integer :: x_min
+  integer :: x_max
+  integer :: y_min
+  integer :: y_max
+  real, dimension(x_min:x_max, y_min:y_max) :: out
+  real, dimension(x_min:x_max, y_min:y_max) :: density
+  integer :: j
+  integer :: k
+  do k = y_max, y_min, -1
+    do j = x_min, x_max
+      out(j, k) = density(j, k) * 0.5
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    // A boundary-condition kernel (conditional): also untranslated.
+    out.push(entry(
+        Suite::CloverLeaf,
+        "akl_bc",
+        96,
+        true,
+        r#"
+procedure akl_bc(x_min, x_max, y_min, y_max, out, density)
+  integer :: x_min
+  integer :: x_max
+  integer :: y_min
+  integer :: y_max
+  real, dimension(x_min:x_max, y_min:y_max) :: out
+  real, dimension(x_min:x_max, y_min:y_max) :: density
+  integer :: j
+  integer :: k
+  do k = y_min, y_max
+    do j = x_min, x_max
+      if (j == x_min) then
+        out(j, k) = 0.0
+      else
+        out(j, k) = density(j-1, k) + density(j, k)
+      endif
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    // ---- TERRA: a higher-dimensional kernel (4D here; the paper's arrays
+    // go to 5D, which the pipeline supports but is slow to execute in a
+    // test-suite setting). -------------------------------------------------
+    out.push(entry(
+        Suite::Terra,
+        "terra_conv",
+        8,
+        true,
+        r#"
+procedure terra_conv(nr, nt, np, nv, fld, prev)
+  integer :: nr
+  integer :: nt
+  integer :: np
+  integer :: nv
+  real, dimension(0:nr, 0:nt, 0:np, 0:nv) :: fld
+  real, dimension(0:nr, 0:nt, 0:np, 0:nv) :: prev
+  integer :: ir
+  integer :: it
+  integer :: ip
+  integer :: iv
+  do iv = 0, nv
+    do ip = 1, np-1
+      do it = 1, nt-1
+        do ir = 1, nr-1
+          fld(ir, it, ip, iv) = 0.125 * (prev(ir-1, it, ip, iv) + prev(ir+1, it, ip, iv) + prev(ir, it-1, ip, iv) + prev(ir, it+1, ip, iv) + prev(ir, it, ip-1, iv) + prev(ir, it, ip+1, iv)) + 0.25 * prev(ir, it, ip, iv)
+        enddo
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    // ---- NFFS-FVM: geometry / flux kernels. ------------------------------
+    let nffs_specs: Vec<(&str, f64, bool)> = vec![
+        ("geomet0", 0.5, false),
+        ("geomet1", 0.25, false),
+        ("geomet2", 2.0, true),
+        ("calcph0", 4.0, true),
+        ("simple0", 1.5, false),
+        ("meclfu0", 8.0, true),
+    ];
+    for (name, scale, divide) in nffs_specs {
+        out.push(entry(Suite::NffsFvm, name, 24, true, nffs_kernel(name, scale, divide)));
+    }
+    // An initialization kernel with a pure function call.
+    out.push(entry(
+        Suite::NffsFvm,
+        "initial0",
+        24,
+        true,
+        r#"
+procedure initial0(nx, ny, nz, field, coord)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: field
+  real, dimension(0:nx, 0:ny, 0:nz) :: coord
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 0, nz
+    do j = 0, ny
+      do i = 0, nx
+        field(i, j, k) = exp(coord(i, j, k)) * 0.01
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    // An indirect-access loop: never even flagged as a candidate.
+    out.push(entry(
+        Suite::NffsFvm,
+        "gather0",
+        24,
+        false,
+        r#"
+procedure gather0(n, a, b, idx)
+  integer :: n
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  real, dimension(0:n) :: idx
+  integer :: i
+  do i = 1, n
+    a(idx(i)) = b(i)
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    // ---- Challenge: hand-optimized 27-point 3D stencils. -----------------
+    out.push(entry(
+        Suite::Challenge,
+        "heat27",
+        20,
+        true,
+        r#"
+procedure heat27(nx, ny, nz, anext, aprev, c0, c1)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: anext
+  real, dimension(0:nx, 0:ny, 0:nz) :: aprev
+  real :: c0
+  real :: c1
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        anext(i, j, k) = c0 * aprev(i, j, k) + c1 * (aprev(i-1, j-1, k-1) + aprev(i, j-1, k-1) + aprev(i+1, j-1, k-1) + aprev(i-1, j, k-1) + aprev(i, j, k-1) + aprev(i+1, j, k-1) + aprev(i-1, j+1, k-1) + aprev(i, j+1, k-1) + aprev(i+1, j+1, k-1) + aprev(i-1, j-1, k) + aprev(i, j-1, k) + aprev(i+1, j-1, k) + aprev(i-1, j, k) + aprev(i+1, j, k) + aprev(i-1, j+1, k) + aprev(i, j+1, k) + aprev(i+1, j+1, k) + aprev(i-1, j-1, k+1) + aprev(i, j-1, k+1) + aprev(i+1, j-1, k+1) + aprev(i-1, j, k+1) + aprev(i, j, k+1) + aprev(i+1, j, k+1) + aprev(i-1, j+1, k+1) + aprev(i, j+1, k+1) + aprev(i+1, j+1, k+1))
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    // The hand-tiled variant: unit-step tile loops with min() upper bounds —
+    // simple for a human, pathological for dependence analysis (§6.5).
+    out.push(entry(
+        Suite::Challenge,
+        "heat27t",
+        20,
+        true,
+        r#"
+procedure heat27t(nx, ny, nz, anext, aprev, c0, c1)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: anext
+  real, dimension(0:nx, 0:ny, 0:nz) :: aprev
+  real :: c0
+  real :: c1
+  real :: s
+  integer :: i
+  integer :: j
+  integer :: k
+  integer :: kk
+  integer :: jj
+  do kk = 1, nz-1, 4
+    do jj = 1, ny-1, 4
+      do k = kk, min(nz-1, kk+3)
+        do j = jj, min(ny-1, jj+3)
+          do i = 1, nx-1
+            s = c1 * (aprev(i-1, j, k) + aprev(i+1, j, k) + aprev(i, j-1, k) + aprev(i, j+1, k) + aprev(i, j, k-1) + aprev(i, j, k+1))
+            anext(i, j, k) = c0 * aprev(i, j, k) + s + c1 * (aprev(i-1, j-1, k) + aprev(i+1, j+1, k) + aprev(i-1, j+1, k) + aprev(i+1, j-1, k))
+          enddo
+        enddo
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    out.push(entry(
+        Suite::Challenge,
+        "heat27u",
+        20,
+        true,
+        r#"
+procedure heat27u(nx, ny, nz, anext, aprev, c0, c1)
+  integer :: nx
+  integer :: ny
+  integer :: nz
+  real, dimension(0:nx, 0:ny, 0:nz) :: anext
+  real, dimension(0:nx, 0:ny, 0:nz) :: aprev
+  real :: c0
+  real :: c1
+  real :: t0
+  real :: t1
+  real :: t2
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, nz-1
+    do j = 1, ny-1
+      do i = 1, nx-1
+        t0 = aprev(i-1, j, k) + aprev(i+1, j, k)
+        t1 = aprev(i, j-1, k) + aprev(i, j+1, k)
+        t2 = aprev(i, j, k-1) + aprev(i, j, k+1)
+        anext(i, j, k) = c0 * aprev(i, j, k) + c1 * (t0 + t1 + t2)
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
+    out
+}
+
+/// The kernels of one suite.
+pub fn suite_kernels(suite: Suite) -> Vec<CorpusKernel> {
+    all_kernels().into_iter().filter(|k| k.suite == suite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stng_ir::parser::parse_program;
+
+    #[test]
+    fn every_corpus_kernel_parses() {
+        for kernel in all_kernels() {
+            assert!(
+                parse_program(&kernel.source).is_ok(),
+                "kernel {} failed to parse",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_suite() {
+        for suite in Suite::all() {
+            assert!(
+                !suite_kernels(suite).is_empty(),
+                "suite {} has no kernels",
+                suite.name()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_contains_negative_cases() {
+        let kernels = all_kernels();
+        assert!(kernels.iter().any(|k| !k.is_stencil));
+        assert!(kernels.iter().any(|k| k.name == "akl_rev"));
+        assert!(kernels.iter().any(|k| k.name == "akl_bc"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Dense multidimensional buffers with logical origins, the data interface
+//! between generated stencil code and its caller (the paper's "glue code"
+//! converts Fortran arrays into exactly this shape).
+
+/// A dense, row-major buffer of `f64` values with a logical origin per
+/// dimension (so Fortran-style `imin:imax` arrays map directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    /// Logical origin (minimum index) of each dimension.
+    pub origin: Vec<i64>,
+    /// Extent of each dimension.
+    pub extent: Vec<usize>,
+    /// Element storage, last dimension fastest.
+    pub data: Vec<f64>,
+}
+
+impl Buffer {
+    /// Creates a zero-filled buffer.
+    pub fn new(origin: Vec<i64>, extent: Vec<usize>) -> Buffer {
+        let len = extent.iter().product();
+        Buffer {
+            origin,
+            extent,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a buffer with contents produced by `f(logical indices)`.
+    pub fn from_fn(origin: Vec<i64>, extent: Vec<usize>, mut f: impl FnMut(&[i64]) -> f64) -> Buffer {
+        let mut buf = Buffer::new(origin.clone(), extent.clone());
+        let mut idx = origin.clone();
+        let len = buf.data.len();
+        for flat in 0..len {
+            buf.data[flat] = f(&idx);
+            // Advance the logical index, last dimension fastest.
+            for d in (0..extent.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < origin[d] + extent[d] as i64 {
+                    break;
+                }
+                idx[d] = origin[d];
+            }
+        }
+        buf
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.extent.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total size in bytes (used by the GPU transfer model).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Flat offset for a logical index, or `None` when out of range.
+    pub fn offset(&self, indices: &[i64]) -> Option<usize> {
+        if indices.len() != self.rank() {
+            return None;
+        }
+        let mut off = 0usize;
+        for (d, &ix) in indices.iter().enumerate() {
+            let rel = ix - self.origin[d];
+            if rel < 0 || rel as usize >= self.extent[d] {
+                return None;
+            }
+            off = off * self.extent[d] + rel as usize;
+        }
+        Some(off)
+    }
+
+    /// Reads the element at a logical index.
+    pub fn get(&self, indices: &[i64]) -> Option<f64> {
+        self.offset(indices).map(|o| self.data[o])
+    }
+
+    /// Reads without bounds checks beyond clamping (used by the runtime on
+    /// halo reads; lifted kernels never read out of range by construction).
+    pub fn get_clamped(&self, indices: &[i64]) -> f64 {
+        let clamped: Vec<i64> = indices
+            .iter()
+            .enumerate()
+            .map(|(d, &ix)| {
+                ix.max(self.origin[d])
+                    .min(self.origin[d] + self.extent[d] as i64 - 1)
+            })
+            .collect();
+        self.get(&clamped).unwrap_or(0.0)
+    }
+
+    /// Writes the element at a logical index; returns `false` when out of
+    /// range.
+    pub fn set(&mut self, indices: &[i64], value: f64) -> bool {
+        match self.offset(indices) {
+            Some(o) => {
+                self.data[o] = value;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_origins_are_respected() {
+        let buf = Buffer::from_fn(vec![-1, 2], vec![3, 4], |ix| (ix[0] * 10 + ix[1]) as f64);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(buf.get(&[-1, 2]), Some(-8.0));
+        assert_eq!(buf.get(&[1, 5]), Some(15.0));
+        assert_eq!(buf.get(&[2, 2]), None);
+        assert_eq!(buf.get_clamped(&[5, 5]), 15.0);
+    }
+
+    #[test]
+    fn set_and_size() {
+        let mut buf = Buffer::new(vec![0], vec![4]);
+        assert!(buf.set(&[3], 7.0));
+        assert!(!buf.set(&[4], 7.0));
+        assert_eq!(buf.get(&[3]), Some(7.0));
+        assert_eq!(buf.size_bytes(), 32);
+    }
+}

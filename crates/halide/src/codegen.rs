@@ -1,0 +1,192 @@
+//! Code generators: the Halide C++ generator source a lifted summary compiles
+//! to (Fig. 1(d) of the paper), and the de-optimized serial C used by the
+//! §6.5 experiment.
+
+use crate::func::{Func, HExpr, HIndex};
+use crate::schedule::Region;
+
+/// Emits the Halide C++ generator program for a stencil function, in the
+/// style of Fig. 1(d): an `ImageParam` per input, a `Func` definition, and a
+/// `compile_to_file` call.
+pub fn halide_cpp(func: &Func, scalar_params: &[String]) -> String {
+    let vars = var_names(func.rank);
+    let mut out = String::new();
+    out.push_str("#include \"Halide.h\"\nusing namespace Halide;\n\nint main() {\n");
+    for image in func.expr.images() {
+        out.push_str(&format!(
+            "  ImageParam {image}(type_of<double>(), {});\n",
+            func.rank
+        ));
+    }
+    for p in scalar_params {
+        out.push_str(&format!("  Param<double> {p};\n"));
+    }
+    out.push_str(&format!("  Func {}; Var {};\n", func.name, vars.join(", ")));
+    out.push_str(&format!(
+        "  {}({}) = {};\n",
+        func.name,
+        vars.join(", "),
+        cpp_expr(&func.expr, &vars)
+    ));
+    let mut args: Vec<String> = func.expr.images();
+    args.extend(scalar_params.iter().cloned());
+    out.push_str(&format!(
+        "  {}.compile_to_file(\"{}\", {{{}}});\n",
+        func.name,
+        func.name,
+        args.join(", ")
+    ));
+    out.push_str("  return 0;\n}\n");
+    out
+}
+
+/// Emits a clean serial C loop nest recomputing the stencil over `region` —
+/// the "de-optimized" form whose simple control flow classical
+/// auto-parallelizers handle well (§6.5).
+pub fn serial_c(func: &Func, region: &Region) -> String {
+    let vars = var_names(func.rank);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "void {}_deopt(double *{}_out, const double **inputs) {{\n",
+        func.name, func.name
+    ));
+    let mut indent = String::from("  ");
+    for (d, var) in vars.iter().enumerate() {
+        let (lo, hi) = region[d];
+        out.push_str(&format!(
+            "{indent}for (long {var} = {lo}; {var} <= {hi}; ++{var}) {{\n"
+        ));
+        indent.push_str("  ");
+    }
+    out.push_str(&format!(
+        "{indent}{}_out[{}] = {};\n",
+        func.name,
+        flat_index(&vars, region),
+        c_expr(&func.expr, &vars, region)
+    ));
+    for d in (0..vars.len()).rev() {
+        indent.truncate(indent.len() - 2);
+        out.push_str(&format!("{indent}}}\n"));
+        let _ = d;
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn var_names(rank: usize) -> Vec<String> {
+    ["x", "y", "z", "w", "u", "v"]
+        .iter()
+        .take(rank)
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn index_str(ix: &HIndex, vars: &[String]) -> String {
+    match ix {
+        HIndex::VarOffset { var, offset } => {
+            let name = vars.get(*var).cloned().unwrap_or_else(|| "t".into());
+            match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => name,
+                std::cmp::Ordering::Greater => format!("{name} + {offset}"),
+                std::cmp::Ordering::Less => format!("{name} - {}", -offset),
+            }
+        }
+        HIndex::Const(v) => v.to_string(),
+    }
+}
+
+fn cpp_expr(e: &HExpr, vars: &[String]) -> String {
+    match e {
+        HExpr::Const(v) => format!("{v:?}"),
+        HExpr::Param(p) => p.clone(),
+        HExpr::Input { image, index } => {
+            let idx: Vec<String> = index.iter().map(|ix| index_str(ix, vars)).collect();
+            format!("{image}({})", idx.join(", "))
+        }
+        HExpr::Add(a, b) => format!("({} + {})", cpp_expr(a, vars), cpp_expr(b, vars)),
+        HExpr::Sub(a, b) => format!("({} - {})", cpp_expr(a, vars), cpp_expr(b, vars)),
+        HExpr::Mul(a, b) => format!("({} * {})", cpp_expr(a, vars), cpp_expr(b, vars)),
+        HExpr::Div(a, b) => format!("({} / {})", cpp_expr(a, vars), cpp_expr(b, vars)),
+        HExpr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| cpp_expr(a, vars)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+fn c_expr(e: &HExpr, vars: &[String], region: &Region) -> String {
+    match e {
+        HExpr::Input { image, index } => {
+            let idx: Vec<String> = index.iter().map(|ix| index_str(ix, vars)).collect();
+            format!("{image}[{}]", idx.join("][") )
+        }
+        HExpr::Add(a, b) => format!("({} + {})", c_expr(a, vars, region), c_expr(b, vars, region)),
+        HExpr::Sub(a, b) => format!("({} - {})", c_expr(a, vars, region), c_expr(b, vars, region)),
+        HExpr::Mul(a, b) => format!("({} * {})", c_expr(a, vars, region), c_expr(b, vars, region)),
+        HExpr::Div(a, b) => format!("({} / {})", c_expr(a, vars, region), c_expr(b, vars, region)),
+        HExpr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| c_expr(a, vars, region)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        other => cpp_expr(other, vars),
+    }
+}
+
+fn flat_index(vars: &[String], region: &Region) -> String {
+    let mut expr = String::new();
+    for (d, var) in vars.iter().enumerate() {
+        let (lo, hi) = region[d];
+        let extent = hi - lo + 1;
+        if d == 0 {
+            expr = format!("({var} - {lo})");
+        } else {
+            expr = format!("({expr} * {extent} + ({var} - {lo}))");
+        }
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_point() -> Func {
+        Func::new(
+            "ex1",
+            2,
+            HExpr::Add(
+                Box::new(HExpr::Input {
+                    image: "b".into(),
+                    index: vec![
+                        HIndex::VarOffset { var: 0, offset: -1 },
+                        HIndex::VarOffset { var: 1, offset: 0 },
+                    ],
+                }),
+                Box::new(HExpr::Input {
+                    image: "b".into(),
+                    index: vec![
+                        HIndex::VarOffset { var: 0, offset: 0 },
+                        HIndex::VarOffset { var: 1, offset: 0 },
+                    ],
+                }),
+            ),
+        )
+    }
+
+    #[test]
+    fn halide_generator_matches_figure_1d_shape() {
+        let cpp = halide_cpp(&two_point(), &[]);
+        assert!(cpp.contains("ImageParam b(type_of<double>(), 2);"));
+        assert!(cpp.contains("Func ex1; Var x, y;"));
+        assert!(cpp.contains("ex1(x, y) = (b(x - 1, y) + b(x, y));"));
+        assert!(cpp.contains("compile_to_file(\"ex1\""));
+    }
+
+    #[test]
+    fn serial_c_is_a_clean_loop_nest() {
+        let c = serial_c(&two_point(), &vec![(1, 8), (0, 9)]);
+        assert!(c.contains("for (long x = 1; x <= 8; ++x)"));
+        assert!(c.contains("for (long y = 0; y <= 9; ++y)"));
+        assert!(c.contains("ex1_out["));
+    }
+}

@@ -1,0 +1,129 @@
+//! An analytic GPU device model for the portability study (§6.4).
+//!
+//! We do not have the paper's Nvidia K80, so GPU execution is modelled
+//! explicitly: the kernel's per-point work is derived from the stencil
+//! expression, execution time is the maximum of the compute-bound and
+//! memory-bound estimates over the device's streaming multiprocessors, and
+//! the PCIe transfer of inputs and outputs is charged separately — which is
+//! what produces the paper's "with transfer" versus "without transfer"
+//! columns.
+
+use crate::buffer::Buffer;
+use crate::func::Func;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The modelled accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Peak floating-point throughput, operations per second.
+    pub flops_per_second: f64,
+    /// Device memory bandwidth, bytes per second.
+    pub mem_bytes_per_second: f64,
+    /// Host↔device transfer bandwidth, bytes per second.
+    pub transfer_bytes_per_second: f64,
+    /// Fixed kernel-launch latency.
+    pub launch_overhead: Duration,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        // Loosely modelled on a K80-class accelerator.
+        GpuModel {
+            flops_per_second: 1.5e12,
+            mem_bytes_per_second: 240e9,
+            transfer_bytes_per_second: 10e9,
+            launch_overhead: Duration::from_micros(20),
+        }
+    }
+}
+
+/// Result of a modelled GPU execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuRun {
+    /// Kernel execution time (no transfers).
+    pub kernel_time: Duration,
+    /// Host-to-device plus device-to-host transfer time.
+    pub transfer_time: Duration,
+}
+
+impl GpuRun {
+    /// Total time including transfers.
+    pub fn total(&self) -> Duration {
+        self.kernel_time + self.transfer_time
+    }
+}
+
+impl GpuModel {
+    /// Estimates the execution of `func` over `points` output points with the
+    /// given input buffers.
+    pub fn run(&self, func: &Func, points: usize, inputs: &HashMap<String, &Buffer>) -> GpuRun {
+        let flops = (func.expr.flops().max(1) * points) as f64;
+        let bytes_touched = ((func.expr.loads() + 1) * points * std::mem::size_of::<f64>()) as f64;
+        let compute = flops / self.flops_per_second;
+        let memory = bytes_touched / self.mem_bytes_per_second;
+        let kernel =
+            Duration::from_secs_f64(compute.max(memory)) + self.launch_overhead;
+
+        let mut transfer_bytes = points * std::mem::size_of::<f64>();
+        for image in func.expr.images() {
+            if let Some(buf) = inputs.get(&image) {
+                transfer_bytes += buf.size_bytes();
+            }
+        }
+        let transfer =
+            Duration::from_secs_f64(transfer_bytes as f64 / self.transfer_bytes_per_second);
+        GpuRun {
+            kernel_time: kernel,
+            transfer_time: transfer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{HExpr, HIndex};
+
+    fn stencil(loads: usize) -> Func {
+        let mut expr = HExpr::Input {
+            image: "b".into(),
+            index: vec![HIndex::VarOffset { var: 0, offset: 0 }],
+        };
+        for k in 1..loads {
+            expr = HExpr::Add(
+                Box::new(expr),
+                Box::new(HExpr::Input {
+                    image: "b".into(),
+                    index: vec![HIndex::VarOffset {
+                        var: 0,
+                        offset: k as i64,
+                    }],
+                }),
+            );
+        }
+        Func::new("s", 1, expr)
+    }
+
+    #[test]
+    fn transfer_dominates_small_kernels() {
+        let model = GpuModel::default();
+        let b = Buffer::new(vec![0], vec![1 << 20]);
+        let mut inputs = HashMap::new();
+        inputs.insert("b".to_string(), &b);
+        let run = model.run(&stencil(2), 1 << 20, &inputs);
+        assert!(run.transfer_time > run.kernel_time);
+        assert_eq!(run.total(), run.kernel_time + run.transfer_time);
+    }
+
+    #[test]
+    fn more_work_per_point_takes_longer() {
+        let model = GpuModel::default();
+        let b = Buffer::new(vec![0], vec![1 << 16]);
+        let mut inputs = HashMap::new();
+        inputs.insert("b".to_string(), &b);
+        let light = model.run(&stencil(2), 1 << 16, &inputs);
+        let heavy = model.run(&stencil(27), 1 << 16, &inputs);
+        assert!(heavy.kernel_time > light.kernel_time);
+    }
+}

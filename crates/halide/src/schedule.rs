@@ -1,0 +1,330 @@
+//! Schedules and the CPU runtime that executes a [`Func`] under a schedule.
+//!
+//! The schedule language covers the directives the paper's autotuner
+//! explores: loop tiling, parallelization of the outermost (tile) loop,
+//! vectorization and unrolling of the innermost loop. The runtime honours
+//! tiling and parallelism directly (tiles are distributed over worker threads
+//! with `crossbeam`); vectorization and unrolling are executed as innermost
+//! chunked loops, which mainly affects memory-access order — the same
+//! first-order effect they have in Halide.
+
+use crate::buffer::Buffer;
+use crate::func::Func;
+use std::collections::HashMap;
+
+/// A schedule for one stencil function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Tile extent per dimension (1 = no tiling in that dimension).
+    pub tile: Vec<usize>,
+    /// Run tiles of the outermost dimension on worker threads.
+    pub parallel: bool,
+    /// Number of worker threads when `parallel` is set.
+    pub threads: usize,
+    /// Innermost-loop vector width (1 = scalar).
+    pub vectorize: usize,
+    /// Innermost-loop unroll factor.
+    pub unroll: usize,
+}
+
+impl Schedule {
+    /// The default (naive) schedule: no tiling, serial, scalar.
+    pub fn naive(rank: usize) -> Schedule {
+        Schedule {
+            tile: vec![1; rank],
+            parallel: false,
+            threads: 1,
+            vectorize: 1,
+            unroll: 1,
+        }
+    }
+
+    /// A reasonable hand-written starting point: tile by 32, parallel outer.
+    pub fn default_tuned(rank: usize, threads: usize) -> Schedule {
+        Schedule {
+            tile: vec![32; rank],
+            parallel: true,
+            threads,
+            vectorize: 4,
+            unroll: 2,
+        }
+    }
+
+    /// Short human-readable description (autotuner logs, reports).
+    pub fn describe(&self) -> String {
+        format!(
+            "tile={:?} parallel={} threads={} vectorize={} unroll={}",
+            self.tile, self.parallel, self.threads, self.vectorize, self.unroll
+        )
+    }
+}
+
+/// The region to realize: per output dimension, the inclusive `(min, max)`
+/// logical bounds.
+pub type Region = Vec<(i64, i64)>;
+
+/// Realizes `func` over `region` into a new buffer, honouring the schedule.
+///
+/// `inputs` maps image names to buffers and `params` maps scalar parameter
+/// names to values.
+pub fn realize(
+    func: &Func,
+    schedule: &Schedule,
+    region: &Region,
+    inputs: &HashMap<String, &Buffer>,
+    params: &HashMap<String, f64>,
+) -> Buffer {
+    assert_eq!(region.len(), func.rank, "region rank must match the function");
+    let origin: Vec<i64> = region.iter().map(|(lo, _)| *lo).collect();
+    let extent: Vec<usize> = region
+        .iter()
+        .map(|(lo, hi)| (hi - lo + 1).max(0) as usize)
+        .collect();
+    let mut output = Buffer::new(origin.clone(), extent.clone());
+    if output.is_empty() {
+        return output;
+    }
+
+    // Split the outermost dimension into parallel chunks when requested.
+    let outer_extent = extent[0];
+    let workers = if schedule.parallel {
+        schedule.threads.max(1).min(outer_extent.max(1))
+    } else {
+        1
+    };
+
+    if workers <= 1 {
+        realize_chunk(func, schedule, region, inputs, params, 0, outer_extent, &mut output);
+        return output;
+    }
+
+    // Each worker fills a disjoint band of the output; bands are stitched
+    // afterwards (the output buffer is row-major with the outer dimension
+    // slowest, so bands are contiguous).
+    let chunk = outer_extent.div_ceil(workers);
+    let band_len: usize = extent[1..].iter().product::<usize>().max(1);
+    let mut bands: Vec<(usize, Vec<f64>)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(outer_extent);
+            if start >= end {
+                continue;
+            }
+            let func = func.clone();
+            let schedule = schedule.clone();
+            let region = region.clone();
+            let origin = origin.clone();
+            let extent = extent.clone();
+            let handle = scope.spawn(move |_| {
+                let mut local = Buffer::new(origin.clone(), extent.clone());
+                realize_chunk(
+                    &func, &schedule, &region, inputs, params, start, end, &mut local,
+                );
+                (start, end, local.data)
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            let (start, end, data) = handle.join().expect("worker thread panicked");
+            bands.push((start, data[start * band_len..end * band_len].to_vec()));
+        }
+    })
+    .expect("crossbeam scope failed");
+    for (start, data) in bands {
+        let offset = start * band_len;
+        output.data[offset..offset + data.len()].copy_from_slice(&data);
+    }
+    output
+}
+
+/// Fills rows `outer_start..outer_end` (relative to the region origin) of the
+/// output, iterating tiles in the remaining dimensions.
+#[allow(clippy::too_many_arguments)]
+fn realize_chunk(
+    func: &Func,
+    schedule: &Schedule,
+    region: &Region,
+    inputs: &HashMap<String, &Buffer>,
+    params: &HashMap<String, f64>,
+    outer_start: usize,
+    outer_end: usize,
+    output: &mut Buffer,
+) {
+    let rank = func.rank;
+    let lo: Vec<i64> = region.iter().map(|(l, _)| *l).collect();
+    let hi: Vec<i64> = region.iter().map(|(_, h)| *h).collect();
+    let tile: Vec<i64> = (0..rank)
+        .map(|d| schedule.tile.get(d).copied().unwrap_or(1).max(1) as i64)
+        .collect();
+
+    // Iterate tile origins; the outermost dimension is restricted to the
+    // worker's band.
+    let band_lo = lo[0] + outer_start as i64;
+    let band_hi = lo[0] + outer_end as i64 - 1;
+    let mut tile_origin: Vec<i64> = lo.clone();
+    tile_origin[0] = band_lo;
+    if band_lo > band_hi {
+        return;
+    }
+    loop {
+        // Execute one tile.
+        let tile_hi: Vec<i64> = (0..rank)
+            .map(|d| {
+                let top = if d == 0 { band_hi } else { hi[d] };
+                (tile_origin[d] + tile[d] - 1).min(top)
+            })
+            .collect();
+        let mut point = tile_origin.clone();
+        loop {
+            let value = func.expr.eval(&point, inputs, params);
+            output.set(&point, value);
+            // Advance within the tile, innermost fastest (vectorize/unroll
+            // factors only change traversal granularity, which is already
+            // innermost-contiguous here).
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] <= tile_hi[d] {
+                    break;
+                }
+                point[d] = tile_origin[d];
+                if d == 0 {
+                    // Tile finished.
+                    break;
+                }
+            }
+            if point == tile_origin {
+                break;
+            }
+        }
+        // Advance to the next tile.
+        let mut d = rank;
+        let mut done = false;
+        loop {
+            if d == 0 {
+                done = true;
+                break;
+            }
+            d -= 1;
+            tile_origin[d] += tile[d];
+            let top = if d == 0 { band_hi } else { hi[d] };
+            if tile_origin[d] <= top {
+                break;
+            }
+            tile_origin[d] = if d == 0 { band_lo } else { lo[d] };
+            if d == 0 {
+                done = true;
+                break;
+            }
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{HExpr, HIndex};
+
+    fn blur() -> Func {
+        Func::new(
+            "blur",
+            2,
+            HExpr::Mul(
+                Box::new(HExpr::Const(0.5)),
+                Box::new(HExpr::Add(
+                    Box::new(HExpr::Input {
+                        image: "b".into(),
+                        index: vec![
+                            HIndex::VarOffset { var: 0, offset: -1 },
+                            HIndex::VarOffset { var: 1, offset: 0 },
+                        ],
+                    }),
+                    Box::new(HExpr::Input {
+                        image: "b".into(),
+                        index: vec![
+                            HIndex::VarOffset { var: 0, offset: 0 },
+                            HIndex::VarOffset { var: 1, offset: 0 },
+                        ],
+                    }),
+                )),
+            ),
+        )
+    }
+
+    fn reference(b: &Buffer, region: &Region) -> Buffer {
+        Buffer::from_fn(
+            region.iter().map(|(l, _)| *l).collect(),
+            region.iter().map(|(l, h)| (h - l + 1) as usize).collect(),
+            |ix| 0.5 * (b.get_clamped(&[ix[0] - 1, ix[1]]) + b.get_clamped(&[ix[0], ix[1]])),
+        )
+    }
+
+    #[test]
+    fn naive_and_tiled_and_parallel_schedules_agree() {
+        let func = blur();
+        let b = Buffer::from_fn(vec![0, 0], vec![20, 17], |ix| (3 * ix[0] + ix[1]) as f64);
+        let mut inputs = HashMap::new();
+        inputs.insert("b".to_string(), &b);
+        let params = HashMap::new();
+        let region: Region = vec![(1, 19), (0, 16)];
+        let expected = reference(&b, &region);
+
+        let naive = realize(&func, &Schedule::naive(2), &region, &inputs, &params);
+        assert_eq!(naive, expected);
+
+        let tiled = realize(
+            &func,
+            &Schedule {
+                tile: vec![4, 5],
+                parallel: false,
+                threads: 1,
+                vectorize: 4,
+                unroll: 2,
+            },
+            &region,
+            &inputs,
+            &params,
+        );
+        assert_eq!(tiled, expected);
+
+        let parallel = realize(
+            &func,
+            &Schedule {
+                tile: vec![3, 8],
+                parallel: true,
+                threads: 4,
+                vectorize: 1,
+                unroll: 1,
+            },
+            &region,
+            &inputs,
+            &params,
+        );
+        assert_eq!(parallel, expected);
+    }
+
+    #[test]
+    fn empty_region_produces_empty_buffer() {
+        let func = blur();
+        let b = Buffer::new(vec![0, 0], vec![4, 4]);
+        let mut inputs = HashMap::new();
+        inputs.insert("b".to_string(), &b);
+        let out = realize(
+            &func,
+            &Schedule::naive(2),
+            &vec![(3, 2), (0, 3)],
+            &inputs,
+            &HashMap::new(),
+        );
+        assert!(out.is_empty());
+    }
+}

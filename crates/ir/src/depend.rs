@@ -1,0 +1,393 @@
+//! Loop dependence analysis over canonical kernels.
+//!
+//! This is the analysis a classical auto-parallelizing compiler (the paper's
+//! `ifort -parallel` baseline) would run on the *outermost* loop of a kernel:
+//! it decides whether iterations of that loop may be executed in parallel.
+//! The analysis is deliberately conservative and purely syntactic/affine,
+//! which is exactly what makes hand-optimized (tiled, unrolled, non-affine)
+//! kernels defeat it — the effect §6.5 of the paper exploits.
+
+use crate::ir::{IrExpr, IrStmt, Kernel};
+
+/// Outcome of analyzing the outermost loop of a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParallelizationVerdict {
+    /// The outer loop carries no dependences; iterations can run in parallel.
+    Parallel,
+    /// The loop must stay serial because of the given dependence.
+    Serial(DependenceReason),
+    /// The analysis could not model the loop at all (non-affine bounds or
+    /// subscripts, conditionals, deep artificial nests). Classical compilers
+    /// typically fall back to serial code, and optimization heuristics can
+    /// even produce pathological code for these kernels.
+    NotAnalyzable(String),
+}
+
+impl ParallelizationVerdict {
+    /// True when the outer loop was proven parallelizable.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ParallelizationVerdict::Parallel)
+    }
+}
+
+/// Why a loop was kept serial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DependenceReason {
+    /// A scalar is read before it is (re)written within an iteration, so its
+    /// value flows across iterations (e.g. the `t = q` recurrence of the
+    /// paper's running example inner loop).
+    ScalarCarried { name: String },
+    /// An array is both read and written with different offsets along the
+    /// outer loop dimension, creating a loop-carried flow dependence.
+    ArrayCarried { array: String },
+    /// The kernel has no outer loop to parallelize.
+    NoLoop,
+}
+
+/// Analyzes the outermost loop of `kernel`.
+pub fn analyze_outer_loop(kernel: &Kernel) -> ParallelizationVerdict {
+    let Some(IrStmt::Loop {
+        var, lo, hi, body, ..
+    }) = kernel.body.iter().find(|s| matches!(s, IrStmt::Loop { .. }))
+    else {
+        return ParallelizationVerdict::Serial(DependenceReason::NoLoop);
+    };
+
+    // 1. All loop bounds in the nest must be affine for the analysis to model
+    //    the iteration space.
+    if lo.as_affine().is_none() || hi.as_affine().is_none() {
+        return ParallelizationVerdict::NotAnalyzable(
+            "outer loop bounds are not affine".to_string(),
+        );
+    }
+    for info in kernel.loops() {
+        if info.lo.as_affine().is_none() || info.hi.as_affine().is_none() {
+            return ParallelizationVerdict::NotAnalyzable(format!(
+                "bounds of loop over '{}' are not affine",
+                info.var
+            ));
+        }
+    }
+    // Conditionals and very deep artificial nests (tiling + unrolling) defeat
+    // the dependence test in practice.
+    if kernel.has_conditionals() {
+        return ParallelizationVerdict::NotAnalyzable("loop body contains conditionals".to_string());
+    }
+    if kernel.loop_depth() > 4 {
+        return ParallelizationVerdict::NotAnalyzable(format!(
+            "loop nest of depth {} exceeds the analyzable depth",
+            kernel.loop_depth()
+        ));
+    }
+
+    // 2. Scalar dependences: a scalar read before being written in the loop
+    //    body carries a value between iterations.
+    let accesses = scalar_access_order(body);
+    let mut written: Vec<&str> = Vec::new();
+    for access in &accesses {
+        match access {
+            ScalarAccess::Read(name) => {
+                let assigned_somewhere = accesses
+                    .iter()
+                    .any(|a| matches!(a, ScalarAccess::Write(w) if w == name));
+                if assigned_somewhere && !written.contains(&name.as_str()) {
+                    return ParallelizationVerdict::Serial(DependenceReason::ScalarCarried {
+                        name: name.clone(),
+                    });
+                }
+            }
+            ScalarAccess::Write(name) => {
+                if !written.contains(&name.as_str()) {
+                    written.push(name);
+                }
+            }
+        }
+    }
+
+    // 3. Array dependences along the outer dimension: every access (read or
+    //    write) to an array that is written must use the outer loop variable
+    //    with one and the same offset; otherwise distinct iterations may touch
+    //    the same element.
+    let outputs = kernel.output_arrays();
+    for array in &outputs {
+        let mut offsets: Vec<Option<i64>> = Vec::new();
+        collect_outer_offsets(body, array, var, &mut offsets);
+        let mut seen: Option<i64> = None;
+        for off in offsets {
+            match off {
+                None => {
+                    return ParallelizationVerdict::Serial(DependenceReason::ArrayCarried {
+                        array: array.clone(),
+                    })
+                }
+                Some(o) => match seen {
+                    None => seen = Some(o),
+                    Some(prev) if prev != o => {
+                        return ParallelizationVerdict::Serial(DependenceReason::ArrayCarried {
+                            array: array.clone(),
+                        })
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+    }
+
+    ParallelizationVerdict::Parallel
+}
+
+#[derive(Debug)]
+enum ScalarAccess {
+    Read(String),
+    Write(String),
+}
+
+/// Flattens the body into the textual order of scalar reads and writes,
+/// ignoring loop structure below the outer loop (a sound over-approximation
+/// for the read-before-write test).
+fn scalar_access_order(body: &[IrStmt]) -> Vec<ScalarAccess> {
+    let mut out = Vec::new();
+    fn expr_reads(e: &IrExpr, out: &mut Vec<ScalarAccess>) {
+        e.walk(&mut |x| {
+            if let IrExpr::Var(name) = x {
+                out.push(ScalarAccess::Read(name.clone()));
+            }
+        });
+    }
+    fn go(stmts: &[IrStmt], out: &mut Vec<ScalarAccess>) {
+        for stmt in stmts {
+            match stmt {
+                IrStmt::AssignScalar { name, value } => {
+                    expr_reads(value, out);
+                    out.push(ScalarAccess::Write(name.clone()));
+                }
+                IrStmt::Store { indices, value, .. } => {
+                    for ix in indices {
+                        expr_reads(ix, out);
+                    }
+                    expr_reads(value, out);
+                }
+                IrStmt::Loop { body, var, .. } => {
+                    // The loop counter is defined by the loop itself.
+                    out.push(ScalarAccess::Write(var.clone()));
+                    go(body, out);
+                }
+                IrStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr_reads(cond, out);
+                    go(then_body, out);
+                    go(else_body, out);
+                }
+            }
+        }
+    }
+    go(body, &mut out);
+    // Loop-bound variables and loop counters of inner loops are not data
+    // scalars; the read-before-write test only cares about reals, but being
+    // conservative about integer temps is harmless because counters are
+    // always written (by their loop) before use.
+    out
+}
+
+/// For every access to `array` in `stmts`, records the constant offset of the
+/// outer loop variable `outer_var` in whichever index dimension mentions it
+/// (or `None` when the access cannot be expressed that way).
+fn collect_outer_offsets(
+    stmts: &[IrStmt],
+    array: &str,
+    outer_var: &str,
+    out: &mut Vec<Option<i64>>,
+) {
+    for stmt in stmts {
+        match stmt {
+            IrStmt::AssignScalar { value, .. } => visit_expr(value, array, outer_var, out),
+            IrStmt::Store {
+                array: a,
+                indices,
+                value,
+            } => {
+                if a == array {
+                    record_indices(indices, outer_var, out);
+                }
+                for ix in indices {
+                    visit_expr(ix, array, outer_var, out);
+                }
+                visit_expr(value, array, outer_var, out);
+            }
+            IrStmt::Loop { body, lo, hi, .. } => {
+                visit_expr(lo, array, outer_var, out);
+                visit_expr(hi, array, outer_var, out);
+                collect_outer_offsets(body, array, outer_var, out);
+            }
+            IrStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                visit_expr(cond, array, outer_var, out);
+                collect_outer_offsets(then_body, array, outer_var, out);
+                collect_outer_offsets(else_body, array, outer_var, out);
+            }
+        }
+    }
+}
+
+/// Records the outer-loop offset of every load of `array` inside `e`.
+fn visit_expr(e: &IrExpr, array: &str, outer_var: &str, out: &mut Vec<Option<i64>>) {
+    e.walk(&mut |x| {
+        if let IrExpr::Load {
+            array: a, indices, ..
+        } = x
+        {
+            if a == array {
+                record_indices(indices, outer_var, out);
+            }
+        }
+    });
+}
+
+/// Extracts the constant offset of `outer_var` from one access's index list.
+fn record_indices(indices: &[IrExpr], outer_var: &str, out: &mut Vec<Option<i64>>) {
+    let mut found = None;
+    for ix in indices {
+        if let Some(aff) = ix.as_affine() {
+            let coeff = aff.coeff(outer_var);
+            if coeff == 1 {
+                // Offset is the rest of the expression; only constant
+                // remainders are considered equal across accesses.
+                let mut rest = aff.clone();
+                rest.terms.remove(outer_var);
+                if rest.terms.is_empty() {
+                    found = Some(rest.constant);
+                    break;
+                } else {
+                    found = None;
+                    break;
+                }
+            } else if coeff != 0 {
+                found = None;
+                break;
+            }
+        } else if ix.free_vars().iter().any(|v| v == outer_var) {
+            found = None;
+            break;
+        }
+    }
+    out.push(found);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::kernel_from_source;
+
+    #[test]
+    fn pointwise_copy_is_parallel() {
+        let src = r#"
+procedure p(n, m, a, b)
+  real, dimension(1:n, 1:m) :: a
+  real, dimension(1:n, 1:m) :: b
+  integer :: i
+  integer :: j
+  do j = 1, m
+    do i = 1, n
+      a(i, j) = b(i, j) * 2.0
+    enddo
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(analyze_outer_loop(&kernel).is_parallel());
+    }
+
+    #[test]
+    fn scalar_recurrence_blocks_parallelization() {
+        // The outer loop reads `s` before writing it, carrying a value.
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  real :: s
+  integer :: i
+  do i = 1, n
+    a(i) = s + b(i)
+    s = b(i)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        match analyze_outer_loop(&kernel) {
+            ParallelizationVerdict::Serial(DependenceReason::ScalarCarried { name }) => {
+                assert_eq!(name, "s");
+            }
+            other => panic!("expected scalar-carried dependence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn privatizable_scalar_does_not_block() {
+        // `t` is written at the top of each iteration before being read.
+        let src = r#"
+procedure p(n, m, a, b)
+  real, dimension(1:n, 1:m) :: a
+  real, dimension(1:n, 1:m) :: b
+  real :: t
+  integer :: i
+  integer :: j
+  do j = 1, m
+    t = b(1, j)
+    do i = 1, n
+      a(i, j) = b(i, j) + t
+    enddo
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(analyze_outer_loop(&kernel).is_parallel());
+    }
+
+    #[test]
+    fn array_recurrence_along_outer_dim_blocks() {
+        let src = r#"
+procedure p(n, a)
+  real, dimension(0:n) :: a
+  integer :: i
+  do i = 1, n
+    a(i) = a(i-1) * 0.5
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        match analyze_outer_loop(&kernel) {
+            ParallelizationVerdict::Serial(DependenceReason::ArrayCarried { array }) => {
+                assert_eq!(array, "a");
+            }
+            other => panic!("expected array-carried dependence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_affine_bounds_are_not_analyzable() {
+        let src = r#"
+procedure p(n, nb, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: ii
+  integer :: i
+  do ii = 1, n, 1
+    do i = ii*nb, min(n, ii*nb + nb)
+      a(i) = b(i)
+    enddo
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(matches!(
+            analyze_outer_loop(&kernel),
+            ParallelizationVerdict::NotAnalyzable(_)
+        ));
+    }
+}

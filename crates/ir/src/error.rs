@@ -1,0 +1,81 @@
+//! Error types shared by the frontend and interpreter.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while parsing, lowering, or interpreting kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A lexical error at the given line.
+    Lex { line: usize, message: String },
+    /// A parse error at the given line.
+    Parse { line: usize, message: String },
+    /// A semantic error found while lowering a candidate loop nest to IR.
+    Lower { message: String },
+    /// A runtime error raised by the interpreter (unbound variable,
+    /// out-of-bounds access, and so on).
+    Interp { message: String },
+    /// The requested construct is not supported by this reproduction.
+    Unsupported { message: String },
+}
+
+impl Error {
+    /// Builds a lowering error from any displayable message.
+    pub fn lower(message: impl Into<String>) -> Self {
+        Error::Lower {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an interpreter error from any displayable message.
+    pub fn interp(message: impl Into<String>) -> Self {
+        Error::Interp {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an "unsupported construct" error from any displayable message.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::Unsupported {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, message } => write!(f, "lexical error on line {line}: {message}"),
+            Error::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Error::Lower { message } => write!(f, "lowering error: {message}"),
+            Error::Interp { message } => write!(f, "interpreter error: {message}"),
+            Error::Unsupported { message } => write!(f, "unsupported construct: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let err = Error::Parse {
+            line: 7,
+            message: "expected enddo".into(),
+        };
+        assert!(err.to_string().contains("line 7"));
+        assert!(err.to_string().contains("expected enddo"));
+    }
+
+    #[test]
+    fn constructors_build_expected_variants() {
+        assert!(matches!(Error::lower("x"), Error::Lower { .. }));
+        assert!(matches!(Error::interp("x"), Error::Interp { .. }));
+        assert!(matches!(Error::unsupported("x"), Error::Unsupported { .. }));
+    }
+}

@@ -1,0 +1,297 @@
+//! Candidate stencil identification (§5.1 of the paper).
+//!
+//! STNG first iterates over all intraprocedural loop nests and flags those
+//! that *could* be stencils using a deliberately liberal test: the loop must
+//! use arrays, and its array indices must not be indirect (no array reads or
+//! function calls inside an index expression). Consecutive flagged loop nests
+//! are merged into a single code fragment. Whether a flagged fragment can
+//! actually be translated is decided later by the lifter.
+
+use crate::ast::{walk, Expr, Procedure, Stmt};
+
+/// Why a top-level loop nest was not flagged as a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The loop nest does not reference any array.
+    NoArrayUse,
+    /// The loop nest indexes an array with an indirect expression (an array
+    /// read or function call inside an index).
+    IndirectAccess,
+}
+
+/// A contiguous code fragment flagged for lifting: one loop nest, or several
+/// consecutive loop nests merged together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateFragment {
+    /// Synthetic fragment name: `<procedure>_k<index>`.
+    pub name: String,
+    /// Index of the fragment within the procedure (0-based).
+    pub index: usize,
+    /// The statements making up the fragment (each is an outermost `do`).
+    pub stmts: Vec<Stmt>,
+}
+
+/// The classification of every outermost loop construct of a procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopClassification {
+    /// Fragments flagged as candidates, in source order.
+    pub candidates: Vec<CandidateFragment>,
+    /// Outermost loops that were skipped, with the reason.
+    pub skipped: Vec<(usize, SkipReason)>,
+}
+
+/// Returns only the candidate fragments of `proc` (the common entry point).
+pub fn identify_candidates(proc: &Procedure) -> Vec<CandidateFragment> {
+    classify_loops(proc).candidates
+}
+
+/// Classifies every outermost loop nest of `proc`, merging consecutive
+/// candidate loops into fragments.
+pub fn classify_loops(proc: &Procedure) -> LoopClassification {
+    let mut candidates: Vec<CandidateFragment> = Vec::new();
+    let mut skipped = Vec::new();
+    let mut pending: Vec<Stmt> = Vec::new();
+    let mut loop_index = 0usize;
+
+    let flush = |pending: &mut Vec<Stmt>, candidates: &mut Vec<CandidateFragment>| {
+        if pending.is_empty() {
+            return;
+        }
+        let index = candidates.len();
+        candidates.push(CandidateFragment {
+            name: format!("{}_k{}", proc.name, index),
+            index,
+            stmts: std::mem::take(pending),
+        });
+    };
+
+    for stmt in &proc.body {
+        match stmt {
+            Stmt::Do { .. } => {
+                let verdict = classify_single_loop(stmt);
+                match verdict {
+                    Ok(()) => pending.push(stmt.clone()),
+                    Err(reason) => {
+                        flush(&mut pending, &mut candidates);
+                        skipped.push((loop_index, reason));
+                    }
+                }
+                loop_index += 1;
+            }
+            _ => {
+                // Any non-loop statement breaks fragment contiguity.
+                flush(&mut pending, &mut candidates);
+            }
+        }
+    }
+    flush(&mut pending, &mut candidates);
+
+    LoopClassification {
+        candidates,
+        skipped,
+    }
+}
+
+/// Applies the §5.1 candidacy filters to a single outermost loop.
+fn classify_single_loop(stmt: &Stmt) -> Result<(), SkipReason> {
+    let stmts = std::slice::from_ref(stmt);
+    let mut uses_arrays = false;
+    let mut indirect = false;
+    walk::visit_exprs(stmts, &mut |e: &Expr| {
+        if e.uses_arrays() {
+            uses_arrays = true;
+        }
+        if e.has_indirect_index() {
+            indirect = true;
+        }
+    });
+    // The assignment *targets* also count as array uses.
+    walk::visit_stmts(stmts, &mut |s| {
+        if let Stmt::Assign { target, .. } = s {
+            if let crate::ast::LValue::Array { indices, .. } = target {
+                uses_arrays = true;
+                for ix in indices {
+                    if ix.uses_arrays()
+                        || matches!(ix, Expr::Call { .. })
+                        || ix.has_indirect_index()
+                    {
+                        indirect = true;
+                    }
+                    let mut has_call = false;
+                    ix.walk(&mut |sub| {
+                        if matches!(sub, Expr::Call { .. }) {
+                            has_call = true;
+                        }
+                    });
+                    if has_call {
+                        indirect = true;
+                    }
+                }
+            }
+        }
+    });
+    if !uses_arrays {
+        return Err(SkipReason::NoArrayUse);
+    }
+    if indirect {
+        return Err(SkipReason::IndirectAccess);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn first_proc(src: &str) -> Procedure {
+        parse_program(src).unwrap().procedures.remove(0)
+    }
+
+    #[test]
+    fn simple_stencil_is_a_candidate() {
+        let proc = first_proc(
+            r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = 2, n
+    a(i) = b(i) + b(i-1)
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert_eq!(classification.candidates.len(), 1);
+        assert_eq!(classification.candidates[0].name, "p_k0");
+        assert!(classification.skipped.is_empty());
+    }
+
+    #[test]
+    fn loop_without_arrays_is_skipped() {
+        let proc = first_proc(
+            r#"
+procedure p(n)
+  real :: s
+  integer :: i
+  do i = 1, n
+    s = s + 1.0
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert!(classification.candidates.is_empty());
+        assert_eq!(classification.skipped, vec![(0, SkipReason::NoArrayUse)]);
+    }
+
+    #[test]
+    fn indirect_access_is_skipped() {
+        let proc = first_proc(
+            r#"
+procedure p(n, a, idx)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: idx
+  integer :: i
+  do i = 1, n
+    a(idx(i)) = 1.0
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert!(classification.candidates.is_empty());
+        assert_eq!(
+            classification.skipped,
+            vec![(0, SkipReason::IndirectAccess)]
+        );
+    }
+
+    #[test]
+    fn consecutive_candidate_loops_merge_into_one_fragment() {
+        let proc = first_proc(
+            r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = 1, n
+    a(i) = b(i)
+  enddo
+  do i = 1, n
+    b(i) = a(i) * 2.0
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert_eq!(classification.candidates.len(), 1);
+        assert_eq!(classification.candidates[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_scalar_statement_splits_fragments() {
+        let proc = first_proc(
+            r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  real :: s
+  integer :: i
+  do i = 1, n
+    a(i) = b(i)
+  enddo
+  s = 0.0
+  do i = 1, n
+    b(i) = a(i) * 2.0
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert_eq!(classification.candidates.len(), 2);
+        assert_eq!(classification.candidates[0].name, "p_k0");
+        assert_eq!(classification.candidates[1].name, "p_k1");
+    }
+
+    #[test]
+    fn conditional_loops_are_still_candidates() {
+        // Conditionals do not prevent candidacy — they make translation fail
+        // later, which is how Table 2 distinguishes untranslated stencils.
+        let proc = first_proc(
+            r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = 1, n
+    if (b(i) > 0.0) then
+      a(i) = b(i)
+    endif
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert_eq!(classification.candidates.len(), 1);
+    }
+
+    #[test]
+    fn reduction_loop_is_flagged_even_though_not_a_stencil() {
+        let proc = first_proc(
+            r#"
+procedure p(n, b)
+  real, dimension(1:n) :: b
+  real :: s
+  integer :: i
+  do i = 1, n
+    s = s + b(i)
+  enddo
+end procedure
+"#,
+        );
+        let classification = classify_loops(&proc);
+        assert_eq!(classification.candidates.len(), 1);
+    }
+}

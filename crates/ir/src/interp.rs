@@ -1,0 +1,650 @@
+//! Concrete interpreter for canonical kernels.
+//!
+//! The interpreter executes a [`Kernel`] against a [`State`] whose data
+//! values live in any [`DataValue`] domain. It is used as
+//!
+//! * the "original Fortran" performance baseline (f64 domain),
+//! * the concrete half of the combined concrete/symbolic execution used for
+//!   inductive template generation, and
+//! * the evaluation engine behind CEGIS counterexample checking (modular
+//!   domain).
+
+use crate::error::{Error, Result};
+use crate::ir::{BinOp, CmpOp, IrExpr, IrStmt, Kernel, ParamKind};
+use crate::value::DataValue;
+use std::collections::HashMap;
+
+/// A multidimensional array of data values with inclusive per-dimension
+/// bounds, stored row-major (last dimension fastest), matching Fortran
+/// semantics only in bounds (layout does not matter for the interpreter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayData<V> {
+    /// Inclusive `(lower, upper)` bounds per dimension.
+    pub dims: Vec<(i64, i64)>,
+    /// Element storage.
+    pub data: Vec<V>,
+}
+
+impl<V: DataValue> ArrayData<V> {
+    /// Creates an array with the given bounds, filled with `fill`.
+    pub fn new(dims: Vec<(i64, i64)>, fill: V) -> ArrayData<V> {
+        let len = dims
+            .iter()
+            .map(|(lo, hi)| (hi - lo + 1).max(0) as usize)
+            .product();
+        ArrayData {
+            dims,
+            data: vec![fill; len],
+        }
+    }
+
+    /// Creates an array whose elements are produced by `f(indices)`.
+    pub fn from_fn(dims: Vec<(i64, i64)>, mut f: impl FnMut(&[i64]) -> V) -> ArrayData<V> {
+        let mut arr = ArrayData::new(dims.clone(), f(&dims.iter().map(|d| d.0).collect::<Vec<_>>()));
+        let mut idx: Vec<i64> = dims.iter().map(|d| d.0).collect();
+        loop {
+            let value = f(&idx);
+            let off = arr.offset(&idx).expect("index in bounds by construction");
+            arr.data[off] = value;
+            // Advance the multi-index, last dimension fastest.
+            let mut dim = dims.len();
+            loop {
+                if dim == 0 {
+                    return arr;
+                }
+                dim -= 1;
+                idx[dim] += 1;
+                if idx[dim] <= dims[dim].1 {
+                    break;
+                }
+                idx[dim] = dims[dim].0;
+            }
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat offset of a multi-index, or `None` when out of bounds.
+    pub fn offset(&self, indices: &[i64]) -> Option<usize> {
+        if indices.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        for (k, (&ix, &(lo, hi))) in indices.iter().zip(self.dims.iter()).enumerate() {
+            if ix < lo || ix > hi {
+                return None;
+            }
+            let extent = (hi - lo + 1) as usize;
+            if k > 0 {
+                off *= extent;
+            }
+            off += (ix - lo) as usize;
+            let _ = extent;
+        }
+        Some(off)
+    }
+
+    /// Reads the element at `indices`.
+    pub fn get(&self, indices: &[i64]) -> Option<&V> {
+        self.offset(indices).map(|off| &self.data[off])
+    }
+
+    /// Writes the element at `indices`; returns `false` when out of bounds.
+    pub fn set(&mut self, indices: &[i64], value: V) -> bool {
+        match self.offset(indices) {
+            Some(off) => {
+                self.data[off] = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(multi_index, value)` pairs in storage order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (Vec<i64>, &V)> + '_ {
+        let dims = self.dims.clone();
+        self.data.iter().enumerate().map(move |(flat, v)| {
+            let mut remaining = flat;
+            let mut idx = vec![0i64; dims.len()];
+            for k in (0..dims.len()).rev() {
+                let extent = (dims[k].1 - dims[k].0 + 1) as usize;
+                idx[k] = dims[k].0 + (remaining % extent) as i64;
+                remaining /= extent;
+            }
+            (idx, v)
+        })
+    }
+}
+
+/// A complete program state: integer scalars, real scalars, and arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State<V> {
+    /// Integer scalar bindings.
+    pub ints: HashMap<String, i64>,
+    /// Real (data-domain) scalar bindings.
+    pub reals: HashMap<String, V>,
+    /// Array bindings.
+    pub arrays: HashMap<String, ArrayData<V>>,
+}
+
+impl<V: DataValue> Default for State<V> {
+    fn default() -> Self {
+        State {
+            ints: HashMap::new(),
+            reals: HashMap::new(),
+            arrays: HashMap::new(),
+        }
+    }
+}
+
+impl<V: DataValue> State<V> {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds an integer scalar.
+    pub fn set_int(&mut self, name: impl Into<String>, value: i64) -> &mut Self {
+        self.ints.insert(name.into(), value);
+        self
+    }
+
+    /// Binds a real scalar.
+    pub fn set_real(&mut self, name: impl Into<String>, value: V) -> &mut Self {
+        self.reals.insert(name.into(), value);
+        self
+    }
+
+    /// Binds an array.
+    pub fn set_array(&mut self, name: impl Into<String>, array: ArrayData<V>) -> &mut Self {
+        self.arrays.insert(name.into(), array);
+        self
+    }
+
+    /// Reads an integer scalar.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.ints.get(name).copied()
+    }
+
+    /// Reads an array.
+    pub fn array(&self, name: &str) -> Option<&ArrayData<V>> {
+        self.arrays.get(name)
+    }
+
+    /// Allocates every array parameter of `kernel` using the declared bounds
+    /// evaluated against the integer scalars already bound in the state,
+    /// filling elements with `fill`. Existing arrays are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a bound expression references an unbound integer scalar.
+    pub fn allocate_arrays(&mut self, kernel: &Kernel, fill: V) -> Result<()> {
+        for param in &kernel.params {
+            if let ParamKind::Array { dims } = &param.kind {
+                if self.arrays.contains_key(&param.name) {
+                    continue;
+                }
+                let mut bounds = Vec::new();
+                for (lo, hi) in dims {
+                    let lo = eval_int_expr(lo, self)?;
+                    let hi = eval_int_expr(hi, self)?;
+                    bounds.push((lo, hi));
+                }
+                self.arrays
+                    .insert(param.name.clone(), ArrayData::new(bounds, fill.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates an integer-valued IR expression in `state`.
+///
+/// # Errors
+///
+/// Fails on unbound variables, real-typed sub-expressions that cannot be used
+/// as indices, or out-of-bounds indirect loads.
+pub fn eval_int_expr<V: DataValue>(expr: &IrExpr, state: &State<V>) -> Result<i64> {
+    match expr {
+        IrExpr::Int(v) => Ok(*v),
+        IrExpr::Real(v) => Ok(*v as i64),
+        IrExpr::Var(name) => state
+            .int(name)
+            .ok_or_else(|| Error::interp(format!("unbound integer variable '{name}'"))),
+        IrExpr::Bin { op, lhs, rhs } => {
+            let l = eval_int_expr(lhs, state)?;
+            let r = eval_int_expr(rhs, state)?;
+            Ok(match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l.div_euclid(r)
+                    }
+                }
+            })
+        }
+        IrExpr::Call { func, args } => {
+            let vals: Result<Vec<i64>> = args.iter().map(|a| eval_int_expr(a, state)).collect();
+            let vals = vals?;
+            match (func.as_str(), vals.as_slice()) {
+                ("min", [a, b]) => Ok(*a.min(b)),
+                ("max", [a, b]) => Ok(*a.max(b)),
+                ("abs", [a]) => Ok(a.abs()),
+                ("mod", [a, b]) => Ok(if *b == 0 { 0 } else { a.rem_euclid(*b) }),
+                _ => Err(Error::interp(format!(
+                    "call to '{func}' cannot be evaluated as an integer"
+                ))),
+            }
+        }
+        IrExpr::Load { array, indices } => {
+            // Indirect index: only meaningful when the data domain can be
+            // reinterpreted as integers.
+            let arr = state
+                .array(array)
+                .ok_or_else(|| Error::interp(format!("unbound array '{array}'")))?;
+            let idx: Result<Vec<i64>> = indices.iter().map(|ix| eval_int_expr(ix, state)).collect();
+            let idx = idx?;
+            let value = arr
+                .get(&idx)
+                .ok_or_else(|| Error::interp(format!("index {idx:?} out of bounds for '{array}'")))?;
+            value
+                .as_index()
+                .ok_or_else(|| Error::interp("data value is not usable as an index".to_string()))
+        }
+        other => Err(Error::interp(format!(
+            "expression '{other}' is not an integer expression"
+        ))),
+    }
+}
+
+/// Evaluates a boolean-valued IR expression (comparisons over integers and
+/// logical connectives) in `state`.
+///
+/// # Errors
+///
+/// Fails when the expression is not boolean or mentions unbound variables.
+pub fn eval_bool_expr<V: DataValue>(expr: &IrExpr, state: &State<V>) -> Result<bool> {
+    match expr {
+        IrExpr::Cmp { op, lhs, rhs } => {
+            let l = eval_int_expr(lhs, state)?;
+            let r = eval_int_expr(rhs, state)?;
+            Ok(op.eval(l, r))
+        }
+        IrExpr::And(a, b) => Ok(eval_bool_expr(a, state)? && eval_bool_expr(b, state)?),
+        IrExpr::Or(a, b) => Ok(eval_bool_expr(a, state)? || eval_bool_expr(b, state)?),
+        IrExpr::Not(e) => Ok(!eval_bool_expr(e, state)?),
+        other => Err(Error::interp(format!(
+            "expression '{other}' is not a boolean expression"
+        ))),
+    }
+}
+
+/// Evaluates a data-valued IR expression in `state`.
+///
+/// # Errors
+///
+/// Fails on unbound variables or out-of-bounds array accesses.
+pub fn eval_data_expr<V: DataValue>(expr: &IrExpr, state: &State<V>) -> Result<V> {
+    match expr {
+        IrExpr::Real(v) => Ok(V::from_const(*v)),
+        IrExpr::Int(v) => Ok(V::from_const(*v as f64)),
+        IrExpr::Var(name) => {
+            if let Some(v) = state.reals.get(name) {
+                Ok(v.clone())
+            } else if let Some(i) = state.int(name) {
+                Ok(V::from_const(i as f64))
+            } else {
+                Err(Error::interp(format!("unbound variable '{name}'")))
+            }
+        }
+        IrExpr::Load { array, indices } => {
+            let idx: Result<Vec<i64>> = indices.iter().map(|ix| eval_int_expr(ix, state)).collect();
+            let idx = idx?;
+            let arr = state
+                .array(array)
+                .ok_or_else(|| Error::interp(format!("unbound array '{array}'")))?;
+            arr.get(&idx)
+                .cloned()
+                .ok_or_else(|| Error::interp(format!("index {idx:?} out of bounds for '{array}'")))
+        }
+        IrExpr::Bin { op, lhs, rhs } => {
+            let l = eval_data_expr(lhs, state)?;
+            let r = eval_data_expr(rhs, state)?;
+            Ok(match op {
+                BinOp::Add => l.add(&r),
+                BinOp::Sub => l.sub(&r),
+                BinOp::Mul => l.mul(&r),
+                BinOp::Div => l.div(&r),
+            })
+        }
+        IrExpr::Call { func, args } => {
+            let vals: Result<Vec<V>> = args.iter().map(|a| eval_data_expr(a, state)).collect();
+            Ok(V::apply(func, &vals?))
+        }
+        other => Err(Error::interp(format!(
+            "expression '{other}' is not a data expression"
+        ))),
+    }
+}
+
+/// Executes the kernel body against the state, mutating arrays and scalars in
+/// place. Returns the number of store operations executed (a proxy for work).
+///
+/// # Errors
+///
+/// Fails on unbound variables, out-of-bounds accesses, or runaway loops
+/// (more than `max_steps` statements executed).
+pub fn run_kernel<V: DataValue>(kernel: &Kernel, state: &mut State<V>) -> Result<u64> {
+    run_kernel_limited(kernel, state, u64::MAX)
+}
+
+/// Same as [`run_kernel`] but aborts after `max_steps` executed statements.
+///
+/// # Errors
+///
+/// See [`run_kernel`]; additionally fails when the step budget is exhausted.
+pub fn run_kernel_limited<V: DataValue>(
+    kernel: &Kernel,
+    state: &mut State<V>,
+    max_steps: u64,
+) -> Result<u64> {
+    let mut stores = 0u64;
+    let mut steps = 0u64;
+    exec_stmts(&kernel.body, state, &mut stores, &mut steps, max_steps)?;
+    Ok(stores)
+}
+
+/// Executes a sequence of statements (typically the straight-line body of a
+/// verification condition) against `state`.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_kernel_limited`].
+pub fn run_stmts<V: DataValue>(
+    stmts: &[IrStmt],
+    state: &mut State<V>,
+    max_steps: u64,
+) -> Result<u64> {
+    let mut stores = 0u64;
+    let mut steps = 0u64;
+    exec_stmts(stmts, state, &mut stores, &mut steps, max_steps)?;
+    Ok(stores)
+}
+
+fn exec_stmts<V: DataValue>(
+    stmts: &[IrStmt],
+    state: &mut State<V>,
+    stores: &mut u64,
+    steps: &mut u64,
+    max_steps: u64,
+) -> Result<()> {
+    for stmt in stmts {
+        *steps += 1;
+        if *steps > max_steps {
+            return Err(Error::interp("execution step budget exhausted"));
+        }
+        match stmt {
+            IrStmt::AssignScalar { name, value } => {
+                // An assignment to an integer-kinded scalar keeps the scalar
+                // integer; everything else lands in the data domain.
+                if state.ints.contains_key(name) {
+                    let v = eval_int_expr(value, state)?;
+                    state.ints.insert(name.clone(), v);
+                } else {
+                    let v = eval_data_expr(value, state)?;
+                    state.reals.insert(name.clone(), v);
+                }
+            }
+            IrStmt::Store {
+                array,
+                indices,
+                value,
+            } => {
+                let idx: Result<Vec<i64>> =
+                    indices.iter().map(|ix| eval_int_expr(ix, state)).collect();
+                let idx = idx?;
+                let v = eval_data_expr(value, state)?;
+                let arr = state
+                    .arrays
+                    .get_mut(array)
+                    .ok_or_else(|| Error::interp(format!("unbound array '{array}'")))?;
+                if !arr.set(&idx, v) {
+                    return Err(Error::interp(format!(
+                        "store index {idx:?} out of bounds for '{array}'"
+                    )));
+                }
+                *stores += 1;
+            }
+            IrStmt::Loop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = eval_int_expr(lo, state)?;
+                let hi = eval_int_expr(hi, state)?;
+                let step = *step;
+                if step == 0 {
+                    return Err(Error::interp("loop with zero step"));
+                }
+                let mut cur = lo;
+                loop {
+                    let in_range = if step > 0 { cur <= hi } else { cur >= hi };
+                    if !in_range {
+                        break;
+                    }
+                    state.ints.insert(var.clone(), cur);
+                    exec_stmts(body, state, stores, steps, max_steps)?;
+                    cur += step;
+                }
+                // Fortran leaves the loop variable one step past the bound.
+                state.ints.insert(var.clone(), cur);
+            }
+            IrStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if eval_bool_if(cond, state)? {
+                    exec_stmts(then_body, state, stores, steps, max_steps)?;
+                } else {
+                    exec_stmts(else_body, state, stores, steps, max_steps)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Conditions in kernels may compare data values as well as integers; for the
+/// f64 domain both work, for other domains only integer comparisons are
+/// supported (the lifter rejects conditionals anyway).
+fn eval_bool_if<V: DataValue>(cond: &IrExpr, state: &State<V>) -> Result<bool> {
+    if let IrExpr::Cmp { op, lhs, rhs } = cond {
+        // Try integer comparison first, then fall back to data comparison via
+        // indices when possible.
+        if let (Ok(l), Ok(r)) = (eval_int_expr(lhs, state), eval_int_expr(rhs, state)) {
+            return Ok(op.eval(l, r));
+        }
+        let l = eval_data_expr(lhs, state)?;
+        let r = eval_data_expr(rhs, state)?;
+        if let (Some(li), Some(ri)) = (l.as_index(), r.as_index()) {
+            return Ok(op.eval(li, ri));
+        }
+        // As a last resort compare through subtraction in the data domain:
+        // only equality/inequality are meaningful.
+        return match op {
+            CmpOp::Eq => Ok(l == r),
+            CmpOp::Ne => Ok(l != r),
+            _ => Err(Error::interp(
+                "ordered comparison of data values is not supported in this domain".to_string(),
+            )),
+        };
+    }
+    eval_bool_expr(cond, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_procedure_loops;
+    use crate::parser::parse_program;
+    use crate::value::ModInt;
+
+    const RUNNING_EXAMPLE: &str = r#"
+procedure sten(imin, imax, jmin, jmax, a, b)
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: a
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: b
+  real :: t
+  real :: q
+  integer :: i
+  integer :: j
+  do j = jmin, jmax
+    t = b(imin, j)
+    do i = imin+1, imax
+      q = b(i, j)
+      a(i, j) = q + t
+      t = q
+    enddo
+  enddo
+end procedure
+"#;
+
+    fn running_example_kernel() -> Kernel {
+        let program = parse_program(RUNNING_EXAMPLE).unwrap();
+        lower_procedure_loops(&program.procedures[0])
+            .remove(0)
+            .expect("lowering succeeds")
+    }
+
+    #[test]
+    fn array_data_indexing() {
+        let arr: ArrayData<f64> = ArrayData::from_fn(vec![(0, 2), (1, 3)], |ix| {
+            (ix[0] * 10 + ix[1]) as f64
+        });
+        assert_eq!(arr.len(), 9);
+        assert_eq!(*arr.get(&[0, 1]).unwrap(), 1.0);
+        assert_eq!(*arr.get(&[2, 3]).unwrap(), 23.0);
+        assert!(arr.get(&[3, 1]).is_none());
+        assert!(arr.get(&[0, 0]).is_none());
+        let mut count = 0;
+        for (idx, v) in arr.iter_indexed() {
+            assert_eq!(*v, (idx[0] * 10 + idx[1]) as f64);
+            count += 1;
+        }
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn running_example_computes_two_point_stencil() {
+        let kernel = running_example_kernel();
+        let mut state: State<f64> = State::new();
+        state
+            .set_int("imin", 0)
+            .set_int("imax", 4)
+            .set_int("jmin", 0)
+            .set_int("jmax", 3);
+        state.allocate_arrays(&kernel, 0.0).unwrap();
+        let b = ArrayData::from_fn(vec![(0, 4), (0, 3)], |ix| (ix[0] + 10 * ix[1]) as f64);
+        state.set_array("b", b.clone());
+        let stores = run_kernel(&kernel, &mut state).unwrap();
+        assert_eq!(stores, 4 * 4); // (imax-imin) × (jmax-jmin+1)
+        let a = state.array("a").unwrap();
+        for j in 0..=3i64 {
+            for i in 1..=4i64 {
+                let expected = *b.get(&[i - 1, j]).unwrap() + *b.get(&[i, j]).unwrap();
+                assert_eq!(*a.get(&[i, j]).unwrap(), expected, "mismatch at ({i},{j})");
+            }
+            // Column imin is never written.
+            assert_eq!(*a.get(&[0, j]).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn modular_domain_execution_matches_structure() {
+        let kernel = running_example_kernel();
+        let mut state: State<ModInt> = State::new();
+        state
+            .set_int("imin", 0)
+            .set_int("imax", 3)
+            .set_int("jmin", 0)
+            .set_int("jmax", 2);
+        state.allocate_arrays(&kernel, ModInt::new(0)).unwrap();
+        let b = ArrayData::from_fn(vec![(0, 3), (0, 2)], |ix| ModInt::new(ix[0] + 2 * ix[1]));
+        state.set_array("b", b.clone());
+        run_kernel(&kernel, &mut state).unwrap();
+        let a = state.array("a").unwrap();
+        for j in 0..=2i64 {
+            for i in 1..=3i64 {
+                let expected = b.get(&[i - 1, j]).unwrap().add(b.get(&[i, j]).unwrap());
+                assert_eq!(*a.get(&[i, j]).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let kernel = running_example_kernel();
+        let mut state: State<f64> = State::new();
+        state
+            .set_int("imin", 0)
+            .set_int("imax", 50)
+            .set_int("jmin", 0)
+            .set_int("jmax", 50);
+        state.allocate_arrays(&kernel, 0.0).unwrap();
+        let err = run_kernel_limited(&kernel, &mut state, 10).unwrap_err();
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_reported() {
+        let kernel = running_example_kernel();
+        let mut state: State<f64> = State::new();
+        state
+            .set_int("imin", 0)
+            .set_int("imax", 4)
+            .set_int("jmin", 0)
+            .set_int("jmax", 3);
+        // Allocate `a` too small on purpose.
+        state.set_array("a", ArrayData::new(vec![(0, 1), (0, 1)], 0.0));
+        state.set_array("b", ArrayData::new(vec![(0, 4), (0, 3)], 1.0));
+        let err = run_kernel(&kernel, &mut state).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn bool_and_int_expr_evaluation() {
+        let mut state: State<f64> = State::new();
+        state.set_int("i", 3).set_int("n", 5);
+        let cond = IrExpr::And(
+            Box::new(IrExpr::cmp(CmpOp::Le, IrExpr::var("i"), IrExpr::var("n"))),
+            Box::new(IrExpr::cmp(CmpOp::Gt, IrExpr::var("i"), IrExpr::Int(0))),
+        );
+        assert!(eval_bool_expr(&cond, &state).unwrap());
+        let e = IrExpr::bin(BinOp::Div, IrExpr::var("n"), IrExpr::Int(2));
+        assert_eq!(eval_int_expr(&e, &state).unwrap(), 2);
+        let e = IrExpr::Call {
+            func: "max".into(),
+            args: vec![IrExpr::var("i"), IrExpr::var("n")],
+        };
+        assert_eq!(eval_int_expr(&e, &state).unwrap(), 5);
+    }
+}

@@ -1,0 +1,431 @@
+//! Lexer for the Fortran-style subset.
+//!
+//! The lexer is line oriented (Fortran statements end at a newline) and keeps
+//! `STNG: assume(...)` comments around as [`Token::Annotation`] so the parser
+//! can attach them to the enclosing procedure.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A single lexical token together with the 1-based line it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokens of the Fortran subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser; Fortran
+    /// has no reserved words).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (including `d0` / `e0` exponent forms).
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `::`
+    DoubleColon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+    /// End of statement (newline or `;`).
+    Newline,
+    /// A `STNG: assume(...)` annotation comment; payload is the text inside
+    /// the outer parentheses.
+    Annotation(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Real(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::DoubleColon => write!(f, "::"),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "/="),
+            Token::And => write!(f, ".and."),
+            Token::Or => write!(f, ".or."),
+            Token::Not => write!(f, ".not."),
+            Token::Newline => write!(f, "<newline>"),
+            Token::Annotation(s) => write!(f, "! STNG: assume({s})"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenizes `source`, returning the token stream terminated by [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on malformed numeric literals or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
+    let mut tokens = Vec::new();
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = raw_line;
+        lex_line(line, line_no, &mut tokens)?;
+        // Every physical line ends a statement (the subset has no
+        // continuation lines).
+        if !matches!(
+            tokens.last().map(|t| &t.token),
+            None | Some(Token::Newline)
+        ) {
+            tokens.push(SpannedToken {
+                token: Token::Newline,
+                line: line_no,
+            });
+        }
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line: source.lines().count() + 1,
+    });
+    Ok(tokens)
+}
+
+fn lex_line(line: &str, line_no: usize, out: &mut Vec<SpannedToken>) -> Result<()> {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0usize;
+    let push = |out: &mut Vec<SpannedToken>, token: Token| {
+        out.push(SpannedToken {
+            token,
+            line: line_no,
+        })
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' => {
+                push(out, Token::Newline);
+                i += 1;
+            }
+            '!' => {
+                let comment: String = bytes[i + 1..].iter().collect();
+                let trimmed = comment.trim();
+                if let Some(rest) = trimmed.strip_prefix("STNG:") {
+                    let rest = rest.trim();
+                    if let Some(inner) = rest
+                        .strip_prefix("assume(")
+                        .and_then(|s| s.strip_suffix(')'))
+                    {
+                        push(out, Token::Annotation(inner.trim().to_string()));
+                    }
+                }
+                break;
+            }
+            '(' => {
+                push(out, Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(out, Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                push(out, Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                push(out, Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(out, Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                push(out, Token::Star);
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&':') {
+                    push(out, Token::DoubleColon);
+                    i += 2;
+                } else {
+                    push(out, Token::Colon);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(out, Token::EqEq);
+                    i += 2;
+                } else {
+                    push(out, Token::Assign);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(out, Token::Le);
+                    i += 2;
+                } else {
+                    push(out, Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(out, Token::Ge);
+                    i += 2;
+                } else {
+                    push(out, Token::Gt);
+                    i += 1;
+                }
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push(out, Token::Ne);
+                    i += 2;
+                } else {
+                    push(out, Token::Slash);
+                    i += 1;
+                }
+            }
+            '.' => {
+                // `.and.` / `.or.` / `.not.` logical operators, or a real
+                // literal starting with a dot (e.g. `.5`).
+                let rest: String = bytes[i..].iter().collect::<String>().to_lowercase();
+                if rest.starts_with(".and.") {
+                    push(out, Token::And);
+                    i += 5;
+                } else if rest.starts_with(".or.") {
+                    push(out, Token::Or);
+                    i += 4;
+                } else if rest.starts_with(".not.") {
+                    push(out, Token::Not);
+                    i += 5;
+                } else if bytes.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    let (tok, len) = lex_number(&bytes[i..], line_no)?;
+                    push(out, tok);
+                    i += len;
+                } else {
+                    return Err(Error::Lex {
+                        line: line_no,
+                        message: format!("unexpected character '.' in '{line}'"),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, len) = lex_number(&bytes[i..], line_no)?;
+                push(out, tok);
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                push(out, Token::Ident(word.to_lowercase()));
+            }
+            other => {
+                return Err(Error::Lex {
+                    line: line_no,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lexes a numeric literal starting at `chars[0]`, returning the token and the
+/// number of characters consumed.
+fn lex_number(chars: &[char], line_no: usize) -> Result<(Token, usize)> {
+    let mut i = 0usize;
+    let mut is_real = false;
+    let mut text = String::new();
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        text.push(chars[i]);
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '.' {
+        // A dot followed by a letter is a logical operator boundary
+        // (`1.and.`); only treat it as a decimal point when followed by a
+        // digit or end/non-letter.
+        let next = chars.get(i + 1);
+        let is_decimal = match next {
+            Some(c) => !c.is_ascii_alphabetic(),
+            None => true,
+        };
+        if is_decimal {
+            is_real = true;
+            text.push('.');
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    // Exponent: e/E/d/D followed by optional sign and digits.
+    if i < chars.len() && matches!(chars[i], 'e' | 'E' | 'd' | 'D') {
+        let mut j = i + 1;
+        let mut exp = String::new();
+        if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+            exp.push(chars[j]);
+            j += 1;
+        }
+        let digits_start = j;
+        while j < chars.len() && chars[j].is_ascii_digit() {
+            exp.push(chars[j]);
+            j += 1;
+        }
+        if j > digits_start {
+            is_real = true;
+            text.push('e');
+            text.push_str(&exp);
+            i = j;
+        }
+    }
+    if is_real {
+        let value: f64 = text.parse().map_err(|_| Error::Lex {
+            line: line_no,
+            message: format!("malformed real literal '{text}'"),
+        })?;
+        Ok((Token::Real(value), i))
+    } else {
+        let value: i64 = text.parse().map_err(|_| Error::Lex {
+            line: line_no,
+            message: format!("malformed integer literal '{text}'"),
+        })?;
+        Ok((Token::Int(value), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_assignment() {
+        let toks = kinds("a(i,j) = b(i-1,j) + b(i,j)");
+        assert_eq!(toks[0], Token::Ident("a".into()));
+        assert_eq!(toks[1], Token::LParen);
+        assert!(toks.contains(&Token::Assign));
+        assert!(toks.contains(&Token::Minus));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn real_literals_with_kind_exponent() {
+        let toks = kinds("x = 1.5d0 + 2.0e-3 + .5");
+        let reals: Vec<f64> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Real(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reals, vec![1.5, 0.002, 0.5]);
+    }
+
+    #[test]
+    fn integer_literals_stay_integers() {
+        let toks = kinds("do i = 1, 10, 2");
+        let ints: Vec<i64> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Int(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![1, 10, 2]);
+    }
+
+    #[test]
+    fn comments_are_stripped_and_annotations_kept() {
+        let toks = kinds("x = 1 ! a plain comment\n! STNG: assume(sz0 /= sz1)\ny = 2");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Annotation(s) if s == "sz0 /= sz1")));
+        // Plain comments vanish entirely.
+        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "plain")));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = kinds("if (a <= b .and. c /= d) then");
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::And));
+        assert!(toks.contains(&Token::Ne));
+    }
+
+    #[test]
+    fn keywords_are_lowercased_identifiers() {
+        let toks = kinds("DO J = JMIN, JMAX");
+        assert_eq!(toks[0], Token::Ident("do".into()));
+        assert_eq!(toks[1], Token::Ident("j".into()));
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        assert!(tokenize("a = b @ c").is_err());
+    }
+
+    #[test]
+    fn semicolon_separates_statements() {
+        let toks = kinds("a = 1; b = 2");
+        let newline_count = toks.iter().filter(|t| matches!(t, Token::Newline)).count();
+        assert_eq!(newline_count, 2);
+    }
+}

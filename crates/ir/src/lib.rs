@@ -1,0 +1,62 @@
+//! Fortran-subset frontend and loop-nest intermediate representation for the
+//! STNG reproduction.
+//!
+//! This crate provides everything the verified-lifting pipeline needs to get
+//! from source text to an analyzable kernel:
+//!
+//! * a lexer and parser for a Fortran-style loop-nest subset ([`lexer`],
+//!   [`parser`], [`ast`]),
+//! * candidate stencil identification following §5.1 of the paper
+//!   ([`identify`]),
+//! * lowering of accepted loop nests into a canonical intermediate
+//!   representation ([`ir`], [`lower`]),
+//! * a concrete interpreter over pluggable data domains ([`interp`],
+//!   [`value`]), and
+//! * dependence analysis with a classical auto-parallelization model used by
+//!   the §6.5 de-optimization experiment ([`depend`], [`autopar`]).
+//!
+//! # Example
+//!
+//! ```
+//! use stng_ir::parser::parse_program;
+//! use stng_ir::identify::identify_candidates;
+//!
+//! let src = r#"
+//! procedure sten(imin, imax, jmin, jmax, a, b)
+//!   real, dimension(imin:imax, jmin:jmax) :: a
+//!   real, dimension(imin:imax, jmin:jmax) :: b
+//!   real :: t
+//!   real :: q
+//!   integer :: i
+//!   integer :: j
+//!   do j = jmin, jmax
+//!     t = b(imin, j)
+//!     do i = imin+1, imax
+//!       q = b(i, j)
+//!       a(i, j) = q + t
+//!       t = q
+//!     enddo
+//!   enddo
+//! end procedure
+//! "#;
+//! let program = parse_program(src)?;
+//! let candidates = identify_candidates(&program.procedures[0]);
+//! assert_eq!(candidates.len(), 1);
+//! # Ok::<(), stng_ir::Error>(())
+//! ```
+
+pub mod ast;
+pub mod autopar;
+pub mod depend;
+pub mod error;
+pub mod identify;
+pub mod interp;
+pub mod ir;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ir::{BinOp, IrExpr, IrStmt, Kernel, ParamKind};
+pub use value::{DataValue, ModInt, MOD_FIELD};

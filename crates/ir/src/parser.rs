@@ -1,0 +1,841 @@
+//! Recursive-descent parser for the Fortran-style subset.
+//!
+//! The grammar covers the kernels the paper lifts: procedures, `real` /
+//! `integer` declarations with `dimension` attributes, counted `do` loops
+//! (with optional step), `if`/`else`, scalar and array assignments, calls,
+//! and `exit` / `cycle`. `STNG: assume(...)` annotation comments are attached
+//! to the procedure they appear in.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{tokenize, SpannedToken, Token};
+
+/// Parses a complete translation unit.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] or [`Error::Parse`] on malformed input.
+pub fn parse_program(source: &str) -> Result<Program> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    parser.program()
+}
+
+/// Parses a single expression (used for annotations and by tests).
+///
+/// # Errors
+///
+/// Returns an error if the text is not a well-formed expression.
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.skip_newlines();
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{expected}', found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found '{other}'"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Token::Ident(name) if name == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{kw}', found '{other}'"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(name) if name == kw)
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input '{}'", self.peek())))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.bump();
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<()> {
+        match self.peek() {
+            Token::Newline => {
+                self.skip_newlines();
+                Ok(())
+            }
+            Token::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found '{other}'"))),
+        }
+    }
+
+    // program := { procedure }
+    fn program(&mut self) -> Result<Program> {
+        let mut procedures = Vec::new();
+        self.skip_newlines();
+        while !matches!(self.peek(), Token::Eof) {
+            // Stray annotations before any procedure are ignored.
+            if matches!(self.peek(), Token::Annotation(_)) {
+                self.bump();
+                self.skip_newlines();
+                continue;
+            }
+            procedures.push(self.procedure()?);
+            self.skip_newlines();
+        }
+        Ok(Program { procedures })
+    }
+
+    // procedure := ("procedure"|"subroutine") name "(" params ")" body "end" [...]
+    fn procedure(&mut self) -> Result<Procedure> {
+        if self.at_keyword("procedure") || self.at_keyword("subroutine") {
+            self.bump();
+        } else {
+            return Err(self.err("expected 'procedure' or 'subroutine'"));
+        }
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if matches!(self.peek(), Token::LParen) {
+            self.bump();
+            if !matches!(self.peek(), Token::RParen) {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.end_statement()?;
+
+        let mut decls = Vec::new();
+        let mut annotations = Vec::new();
+        let mut body = Vec::new();
+
+        loop {
+            self.skip_newlines();
+            match self.peek().clone() {
+                Token::Eof => return Err(self.err("unexpected end of input inside procedure")),
+                Token::Annotation(text) => {
+                    let line = self.line();
+                    self.bump();
+                    let assumption = parse_expr(&text)?;
+                    annotations.push(Annotation { assumption, line });
+                }
+                Token::Ident(word) if word == "end" => {
+                    self.bump();
+                    if self.at_keyword("procedure") || self.at_keyword("subroutine") {
+                        self.bump();
+                        // Optional repeated name.
+                        if matches!(self.peek(), Token::Ident(_)) {
+                            self.bump();
+                        }
+                    }
+                    self.end_statement()?;
+                    break;
+                }
+                Token::Ident(word) if (word == "real" || word == "integer") && body.is_empty() => {
+                    decls.extend(self.decl()?);
+                }
+                _ => {
+                    body.push(self.stmt()?);
+                }
+            }
+        }
+
+        Ok(Procedure {
+            name,
+            params,
+            decls,
+            body,
+            annotations,
+        })
+    }
+
+    // decl := type [ "(" "kind" "=" int ")" ] [ "," "dimension" "(" ranges ")" ] "::" names
+    fn decl(&mut self) -> Result<Vec<Decl>> {
+        let ty = if self.at_keyword("real") {
+            self.bump();
+            Type::Real
+        } else {
+            self.expect_keyword("integer")?;
+            Type::Integer
+        };
+        // Optional kind specifier: `(kind=8)`.
+        if matches!(self.peek(), Token::LParen) {
+            self.bump();
+            self.expect_keyword("kind")?;
+            self.expect(&Token::Assign)?;
+            match self.bump() {
+                Token::Int(_) => {}
+                other => return Err(self.err(format!("expected kind value, found '{other}'"))),
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let mut dims = None;
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            if self.at_keyword("dimension") {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let mut ranges = Vec::new();
+                loop {
+                    let lower = self.expr()?;
+                    let range = if matches!(self.peek(), Token::Colon) {
+                        self.bump();
+                        let upper = self.expr()?;
+                        DimRange { lower, upper }
+                    } else {
+                        // `dimension(n)` means bounds 1..n.
+                        DimRange {
+                            lower: Expr::Int(1),
+                            upper: lower,
+                        }
+                    };
+                    ranges.push(range);
+                    if matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                dims = Some(ranges);
+            } else if self.at_keyword("intent") {
+                // `intent(in)` / `intent(out)` attributes are accepted and
+                // ignored: the identifier recomputes read/write sets itself.
+                self.bump();
+                self.expect(&Token::LParen)?;
+                while !matches!(self.peek(), Token::RParen) {
+                    self.bump();
+                }
+                self.expect(&Token::RParen)?;
+            } else if self.at_keyword("pointer") || self.at_keyword("target") {
+                self.bump();
+            } else {
+                return Err(self.err("unexpected declaration attribute"));
+            }
+        }
+        self.expect(&Token::DoubleColon)?;
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            decls.push(Decl {
+                name,
+                ty,
+                dims: dims.clone(),
+            });
+            if matches!(self.peek(), Token::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.end_statement()?;
+        Ok(decls)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek().clone() {
+            Token::Ident(word) if word == "do" => self.do_stmt(),
+            Token::Ident(word) if word == "if" => self.if_stmt(),
+            Token::Ident(word) if word == "call" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let mut args = Vec::new();
+                if matches!(self.peek(), Token::LParen) {
+                    self.bump();
+                    if !matches!(self.peek(), Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if matches!(self.peek(), Token::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                self.end_statement()?;
+                Ok(Stmt::Call { name, args })
+            }
+            Token::Ident(word) if word == "exit" => {
+                self.bump();
+                self.end_statement()?;
+                Ok(Stmt::Exit)
+            }
+            Token::Ident(word) if word == "cycle" => {
+                self.bump();
+                self.end_statement()?;
+                Ok(Stmt::Cycle)
+            }
+            Token::Ident(_) => self.assign_stmt(),
+            other => Err(self.err(format!("expected statement, found '{other}'"))),
+        }
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt> {
+        let name = self.expect_ident()?;
+        let target = if matches!(self.peek(), Token::LParen) {
+            self.bump();
+            let mut indices = Vec::new();
+            loop {
+                indices.push(self.expr()?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            LValue::Array { name, indices }
+        } else {
+            LValue::Scalar(name)
+        };
+        self.expect(&Token::Assign)?;
+        let value = self.expr()?;
+        self.end_statement()?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    fn do_stmt(&mut self) -> Result<Stmt> {
+        self.expect_keyword("do")?;
+        let var = self.expect_ident()?;
+        self.expect(&Token::Assign)?;
+        let lo = self.expr()?;
+        self.expect(&Token::Comma)?;
+        let hi = self.expr()?;
+        let step = if matches!(self.peek(), Token::Comma) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.end_statement()?;
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.at_keyword("enddo") {
+                self.bump();
+                self.end_statement()?;
+                break;
+            }
+            if self.at_keyword("end") {
+                // `end do`
+                let save = self.pos;
+                self.bump();
+                if self.at_keyword("do") {
+                    self.bump();
+                    self.end_statement()?;
+                    break;
+                }
+                self.pos = save;
+                return Err(self.err("expected 'enddo' to close loop"));
+            }
+            if matches!(self.peek(), Token::Eof) {
+                return Err(self.err("unexpected end of input inside do loop"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        self.expect_keyword("if")?;
+        self.expect(&Token::LParen)?;
+        let cond = self.bool_expr()?;
+        self.expect(&Token::RParen)?;
+        self.expect_keyword("then")?;
+        self.end_statement()?;
+        let mut then_body = Vec::new();
+        let mut else_body = Vec::new();
+        let mut in_else = false;
+        loop {
+            self.skip_newlines();
+            if self.at_keyword("endif") {
+                self.bump();
+                self.end_statement()?;
+                break;
+            }
+            if self.at_keyword("end") {
+                let save = self.pos;
+                self.bump();
+                if self.at_keyword("if") {
+                    self.bump();
+                    self.end_statement()?;
+                    break;
+                }
+                self.pos = save;
+                return Err(self.err("expected 'endif' to close if"));
+            }
+            if self.at_keyword("else") {
+                self.bump();
+                self.end_statement()?;
+                in_else = true;
+                continue;
+            }
+            if matches!(self.peek(), Token::Eof) {
+                return Err(self.err("unexpected end of input inside if"));
+            }
+            let stmt = self.stmt()?;
+            if in_else {
+                else_body.push(stmt);
+            } else {
+                then_body.push(stmt);
+            }
+        }
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    /// Boolean expressions: `or` over `and` over `not` over comparisons.
+    fn bool_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.bool_and()?;
+        while matches!(self.peek(), Token::Or) {
+            self.bump();
+            let rhs = self.bool_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.bool_not()?;
+        while matches!(self.peek(), Token::And) {
+            self.bump();
+            let rhs = self.bool_not()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bool_not(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Token::Not) {
+            self.bump();
+            let inner = self.bool_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Token::LParen) {
+            // Could be a parenthesized boolean expression; try it first and
+            // fall back to arithmetic if a comparison follows.
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.bool_expr() {
+                if matches!(self.peek(), Token::RParen)
+                    && matches!(
+                        inner,
+                        Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(..)
+                    )
+                {
+                    self.bump();
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Token::Lt => CmpOpKind::Lt,
+            Token::Le => CmpOpKind::Le,
+            Token::Gt => CmpOpKind::Gt,
+            Token::Ge => CmpOpKind::Ge,
+            Token::EqEq => CmpOpKind::Eq,
+            Token::Ne => CmpOpKind::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// Arithmetic expressions with standard precedence.
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        // Comparisons are allowed inside annotation expressions, so the
+        // public entry point handles them as the weakest binding level.
+        let lhs = self.add_sub()?;
+        let op = match self.peek() {
+            Token::Lt => Some(CmpOpKind::Lt),
+            Token::Le => Some(CmpOpKind::Le),
+            Token::Gt => Some(CmpOpKind::Gt),
+            Token::Ge => Some(CmpOpKind::Ge),
+            Token::EqEq => Some(CmpOpKind::Eq),
+            Token::Ne => Some(CmpOpKind::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_sub()?;
+            return Ok(Expr::Cmp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn add_sub(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_div()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOpKind::Add,
+                Token::Minus => BinOpKind::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_div()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_div(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOpKind::Mul,
+                Token::Slash => BinOpKind::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            Token::Plus => {
+                self.bump();
+                self.unary()
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Token::Real(v) => {
+                self.bump();
+                Ok(Expr::Real(v))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), Token::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if matches!(self.peek(), Token::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    if is_intrinsic(&name) {
+                        Ok(Expr::Call { name, args })
+                    } else {
+                        // Whether `name(args)` is an array reference or a call
+                        // to a user function is resolved during lowering using
+                        // declarations; the parser keeps it as an array
+                        // reference, which is by far the common case.
+                        Ok(Expr::ArrayRef {
+                            name,
+                            indices: args,
+                        })
+                    }
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found '{other}'"))),
+        }
+    }
+}
+
+/// Pure math intrinsics the lifter models as uninterpreted functions (§4.4).
+pub fn is_intrinsic(name: &str) -> bool {
+    matches!(
+        name,
+        "exp" | "log" | "sqrt" | "sin" | "cos" | "tan" | "abs" | "min" | "max" | "mod" | "sign"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUNNING_EXAMPLE: &str = r#"
+procedure sten(imin, imax, jmin, jmax, a, b)
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: a
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: b
+  real :: t
+  real :: q
+  integer :: i
+  integer :: j
+  do j = jmin, jmax
+    t = b(imin, j)
+    do i = imin+1, imax
+      q = b(i, j)
+      a(i, j) = q + t
+      t = q
+    enddo
+  enddo
+end procedure
+"#;
+
+    #[test]
+    fn parses_running_example() {
+        let program = parse_program(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(program.procedures.len(), 1);
+        let proc = &program.procedures[0];
+        assert_eq!(proc.name, "sten");
+        assert_eq!(proc.params.len(), 6);
+        assert_eq!(proc.decls.len(), 6);
+        assert!(proc.is_array("a"));
+        assert!(proc.is_array("b"));
+        assert!(!proc.is_array("t"));
+        assert_eq!(proc.body.len(), 1);
+        match &proc.body[0] {
+            Stmt::Do { var, body, .. } => {
+                assert_eq!(var, "j");
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[1], Stmt::Do { .. }));
+            }
+            other => panic!("expected do loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_annotations() {
+        let src = r#"
+procedure k(n, sz0, sz1, a)
+  real, dimension(1:n) :: a
+  integer :: i
+  ! STNG: assume(sz0 /= sz1)
+  do i = 1, n
+    a(i*(sz0-sz1)) = 1.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let proc = &program.procedures[0];
+        assert_eq!(proc.annotations.len(), 1);
+        assert!(matches!(
+            proc.annotations[0].assumption,
+            Expr::Cmp {
+                op: CmpOpKind::Ne,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_if_else_and_step() {
+        let src = r#"
+procedure k(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = n, 1, -1
+    if (b(i) > 0.0) then
+      a(i) = b(i)
+    else
+      a(i) = 0.0
+    endif
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let proc = &program.procedures[0];
+        match &proc.body[0] {
+            Stmt::Do { step, body, .. } => {
+                assert!(matches!(step, Some(Expr::Neg(_))));
+                assert!(matches!(body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_intrinsic_calls_vs_array_refs() {
+        let e = parse_expr("exp(b(i,j)) + c(i)").unwrap();
+        let mut calls = 0;
+        let mut arefs = 0;
+        e.walk(&mut |x| match x {
+            Expr::Call { .. } => calls += 1,
+            Expr::ArrayRef { .. } => arefs += 1,
+            _ => {}
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(arefs, 2);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Bin {
+                op: BinOpKind::Add,
+                rhs,
+                ..
+            } => assert!(matches!(
+                *rhs,
+                Expr::Bin {
+                    op: BinOpKind::Mul,
+                    ..
+                }
+            )),
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unclosed_loop() {
+        let src = "procedure p(a)\n real, dimension(1:4) :: a\n do i = 1, 3\n a(i) = 1.0\nend procedure";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn parses_multiple_procedures_and_consecutive_loops() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = 1, n
+    a(i) = b(i)
+  enddo
+  do i = 1, n
+    b(i) = a(i)
+  enddo
+end procedure
+
+procedure q(n, c)
+  real, dimension(1:n) :: c
+  integer :: i
+  do i = 1, n
+    c(i) = 2.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.procedures.len(), 2);
+        assert_eq!(program.procedures[0].body.len(), 2);
+    }
+
+    #[test]
+    fn end_do_variant_and_call_statement() {
+        let src = r#"
+subroutine p(n, a)
+  real, dimension(1:n) :: a
+  integer :: i
+  do i = 1, n
+    call helper(a, i)
+  end do
+end subroutine
+"#;
+        let program = parse_program(src).unwrap();
+        match &program.procedures[0].body[0] {
+            Stmt::Do { body, .. } => assert!(matches!(body[0], Stmt::Call { .. })),
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+}

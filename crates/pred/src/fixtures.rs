@@ -1,0 +1,161 @@
+//! Hand-written predicates for the paper's running example (Fig. 1).
+//!
+//! These fixtures serve three purposes: they document what the synthesizer is
+//! expected to find, they seed the test suites of the verifier and the
+//! synthesizer, and they are used by the quickstart example.
+
+use crate::lang::{Invariant, OutEq, Postcondition, QuantBound, QuantClause};
+use stng_ir::ir::{CmpOp, IrExpr};
+
+/// The Fortran source of the paper's running example (Fig. 1(a)).
+pub const RUNNING_EXAMPLE: &str = r#"
+procedure sten(imin, imax, jmin, jmax, a, b)
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: a
+  real (kind=8), dimension(imin:imax, jmin:jmax) :: b
+  real :: t
+  real :: q
+  integer :: i
+  integer :: j
+  do j = jmin, jmax
+    t = b(imin, j)
+    do i = imin+1, imax
+      q = b(i, j)
+      a(i, j) = q + t
+      t = q
+    enddo
+  enddo
+end procedure
+"#;
+
+fn load(array: &str, indices: Vec<IrExpr>) -> IrExpr {
+    IrExpr::Load {
+        array: array.to_string(),
+        indices,
+    }
+}
+
+/// The two-point stencil expression `b[vi-1, vj] + b[vi, vj]`.
+pub fn running_example_rhs() -> IrExpr {
+    IrExpr::add(
+        load(
+            "b",
+            vec![
+                IrExpr::sub(IrExpr::var("vi"), IrExpr::Int(1)),
+                IrExpr::var("vj"),
+            ],
+        ),
+        load("b", vec![IrExpr::var("vi"), IrExpr::var("vj")]),
+    )
+}
+
+/// The postcondition of Fig. 1(b):
+/// `∀ imin+1 ≤ vi ≤ imax, jmin ≤ vj ≤ jmax. a[vi,vj] = b[vi-1,vj] + b[vi,vj]`.
+pub fn running_example_post() -> Postcondition {
+    Postcondition {
+        clauses: vec![QuantClause {
+            bounds: vec![
+                QuantBound::inclusive(
+                    "vi",
+                    IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
+                    IrExpr::var("imax"),
+                ),
+                QuantBound::inclusive("vj", IrExpr::var("jmin"), IrExpr::var("jmax")),
+            ],
+            eq: OutEq {
+                array: "a".into(),
+                indices: vec![IrExpr::var("vi"), IrExpr::var("vj")],
+                rhs: running_example_rhs(),
+            },
+        }],
+    }
+}
+
+/// The loop invariants of the running example: one for the outer loop over
+/// `j` (Fig. 1(c)) and one for the inner loop over `i` (which additionally
+/// tracks the scalar temporary `t` and the partially completed current row).
+pub fn running_example_invariants() -> Vec<Invariant> {
+    let completed_rows = QuantClause {
+        bounds: vec![
+            QuantBound::inclusive(
+                "vi",
+                IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
+                IrExpr::var("imax"),
+            ),
+            QuantBound::inclusive(
+                "vj",
+                IrExpr::var("jmin"),
+                IrExpr::sub(IrExpr::var("j"), IrExpr::Int(1)),
+            ),
+        ],
+        eq: OutEq {
+            array: "a".into(),
+            indices: vec![IrExpr::var("vi"), IrExpr::var("vj")],
+            rhs: running_example_rhs(),
+        },
+    };
+    let current_row_partial = QuantClause {
+        bounds: vec![
+            QuantBound::inclusive(
+                "vi",
+                IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
+                IrExpr::sub(IrExpr::var("i"), IrExpr::Int(1)),
+            ),
+            QuantBound::inclusive("vj", IrExpr::var("j"), IrExpr::var("j")),
+        ],
+        eq: OutEq {
+            array: "a".into(),
+            indices: vec![IrExpr::var("vi"), IrExpr::var("vj")],
+            rhs: running_example_rhs(),
+        },
+    };
+
+    let outer = Invariant {
+        scalar_conds: vec![IrExpr::cmp(
+            CmpOp::Le,
+            IrExpr::var("jmin"),
+            IrExpr::var("j"),
+        )],
+        scalar_eqs: vec![],
+        clauses: vec![completed_rows.clone()],
+    };
+    let inner = Invariant {
+        scalar_conds: vec![
+            IrExpr::cmp(CmpOp::Le, IrExpr::var("jmin"), IrExpr::var("j")),
+            IrExpr::cmp(CmpOp::Le, IrExpr::var("j"), IrExpr::var("jmax")),
+            IrExpr::cmp(
+                CmpOp::Le,
+                IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
+                IrExpr::var("i"),
+            ),
+        ],
+        scalar_eqs: vec![(
+            "t".to_string(),
+            load(
+                "b",
+                vec![
+                    IrExpr::sub(IrExpr::var("i"), IrExpr::Int(1)),
+                    IrExpr::var("j"),
+                ],
+            ),
+        )],
+        clauses: vec![completed_rows, current_row_partial],
+    };
+    vec![outer, inner]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_shapes() {
+        let post = running_example_post();
+        assert_eq!(post.clauses.len(), 1);
+        assert_eq!(post.clauses[0].bounds.len(), 2);
+        let invs = running_example_invariants();
+        assert_eq!(invs.len(), 2);
+        assert_eq!(invs[0].clauses.len(), 1);
+        assert_eq!(invs[1].clauses.len(), 2);
+        assert_eq!(invs[1].scalar_eqs.len(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! The predicate language of the paper (Fig. 4), Hoare verification-condition
+//! generation (Fig. 2), predicate evaluation over concrete states, and the
+//! Skolemization machinery of §4.3.
+//!
+//! Postconditions are conjunctions of universally quantified `outEq`
+//! constraints (`∀ v⃗ ∈ D. out[v⃗] = expr(v⃗)`). Loop invariants additionally
+//! carry scalar inequalities on loop counters and scalar-equality facts for
+//! floating-point temporaries (the `t = b[i-1, j]`-style conjuncts required
+//! to prove preservation of imperfect loop nests).
+//!
+//! Verification conditions are represented as Hoare triples with straight-line
+//! bodies: a set of hypothesis predicates over the pre-state, a loop-free
+//! statement list, and a conclusion predicate over the post-state. Bounded
+//! checking evaluates them on concrete states ([`eval`]); the sound verifier
+//! in `stng-solve` proves them for all states.
+
+pub mod eval;
+pub mod fixtures;
+pub mod lang;
+pub mod skolem;
+pub mod vcgen;
+
+pub use lang::{Invariant, OutEq, Postcondition, Pred, QuantBound, QuantClause};
+pub use vcgen::{analyze_loop_nest, generate_vcs, LoopLevel, LoopNest, Vc};

@@ -1,0 +1,152 @@
+//! Skolemization and partial Skolemization of quantified hypotheses (§4.3).
+//!
+//! The verification conditions are ∃∀ problems once the unknown invariants
+//! are fixed, but invariants themselves contain universal quantifiers that
+//! appear in *negative* positions (as hypotheses), which normalizes to an
+//! inner existential — an ∃∀∃ alternation no constraint-based synthesizer can
+//! consume directly.
+//!
+//! Full Skolemization would replace the inner existential with an explicit
+//! Skolem *function* of the outer universals. STNG instead uses **partial
+//! Skolemization**: the existential `∃y. P(x, y)` is replaced by a finite
+//! disjunction `⋁_{t ∈ fS(x)} P(x, t)` over a small, syntactically derived
+//! set of candidate terms `fS(x)` — the quantified hypotheses are only ever
+//! *instantiated* at those terms. This module computes the instantiation
+//! sets used by both the synthesizer's checking encoding and the sound
+//! verifier: the conclusion's own index expressions, the indices of array
+//! stores performed by the VC body, and small constant offsets around both.
+
+use crate::lang::QuantClause;
+use std::collections::BTreeMap;
+use stng_ir::ir::IrExpr;
+
+/// One instantiation of the quantified variables of a hypothesis clause.
+pub type Instantiation = BTreeMap<String, IrExpr>;
+
+/// The set of constant offsets used when widening an anchor term into a
+/// partial Skolem set (`x`, `x±1`, …, `x±radius`).
+pub fn skolem_offsets(radius: i64) -> Vec<i64> {
+    let mut out = vec![0];
+    for d in 1..=radius {
+        out.push(d);
+        out.push(-d);
+    }
+    out
+}
+
+/// Builds the partial Skolem instantiation set for a quantified hypothesis
+/// clause, given the anchor index vectors the proof is likely to need:
+/// typically the conclusion's target indices and the indices of every store
+/// performed by the VC body.
+///
+/// Each anchor must have the same arity as the clause (one index expression
+/// per quantified variable, matched positionally against the clause's own
+/// output indices). Anchors of different arity are skipped.
+///
+/// With `radius = 0` the set contains exactly the anchors themselves — the
+/// minimal instantiation set; larger radii add constant offsets, mirroring
+/// the `x + i` / `x + j` example in the paper.
+pub fn partial_skolem_instances(
+    clause: &QuantClause,
+    anchors: &[Vec<IrExpr>],
+    radius: i64,
+) -> Vec<Instantiation> {
+    let vars: Vec<&str> = clause.bounds.iter().map(|b| b.var.as_str()).collect();
+    let mut out: Vec<Instantiation> = Vec::new();
+    let offsets = skolem_offsets(radius);
+    for anchor in anchors {
+        if anchor.len() != vars.len() {
+            continue;
+        }
+        for &off in &offsets {
+            let mut inst = Instantiation::new();
+            for (var, base) in vars.iter().zip(anchor) {
+                let expr = if off == 0 {
+                    base.clone()
+                } else if off > 0 {
+                    IrExpr::add(base.clone(), IrExpr::Int(off))
+                } else {
+                    IrExpr::sub(base.clone(), IrExpr::Int(-off))
+                };
+                inst.insert((*var).to_string(), expr);
+            }
+            if !out.contains(&inst) {
+                out.push(inst);
+            }
+        }
+    }
+    out
+}
+
+/// Instantiates a clause at a particular assignment of its quantified
+/// variables, returning the bound constraints and the instantiated output
+/// equation with every quantified variable substituted away.
+pub fn instantiate_clause(
+    clause: &QuantClause,
+    instantiation: &Instantiation,
+) -> (Vec<IrExpr>, crate::lang::OutEq) {
+    let subst = |e: &IrExpr| -> IrExpr {
+        let mut out = e.clone();
+        for (var, replacement) in instantiation {
+            out = out.subst_var(var, replacement);
+        }
+        out
+    };
+    let mut constraints = Vec::new();
+    for bound in &clause.bounds {
+        let [lower, upper] = bound.to_constraints();
+        constraints.push(subst(&lower));
+        constraints.push(subst(&upper));
+    }
+    let eq = crate::lang::OutEq {
+        array: clause.eq.array.clone(),
+        indices: clause.eq.indices.iter().map(&subst).collect(),
+        rhs: subst(&clause.eq.rhs),
+    };
+    (constraints, eq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn offsets_are_symmetric_and_include_zero() {
+        assert_eq!(skolem_offsets(0), vec![0]);
+        let offs = skolem_offsets(2);
+        assert_eq!(offs.len(), 5);
+        assert!(offs.contains(&-2) && offs.contains(&2) && offs.contains(&0));
+    }
+
+    #[test]
+    fn anchors_generate_instantiations_per_variable() {
+        let clause = fixtures::running_example_post().clauses[0].clone();
+        let anchors = vec![vec![IrExpr::var("i"), IrExpr::var("j")]];
+        let instances = partial_skolem_instances(&clause, &anchors, 0);
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0]["vi"], IrExpr::var("i"));
+        assert_eq!(instances[0]["vj"], IrExpr::var("j"));
+        let widened = partial_skolem_instances(&clause, &anchors, 1);
+        assert_eq!(widened.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_anchor_arity_is_skipped() {
+        let clause = fixtures::running_example_post().clauses[0].clone();
+        let anchors = vec![vec![IrExpr::var("i")]];
+        assert!(partial_skolem_instances(&clause, &anchors, 1).is_empty());
+    }
+
+    #[test]
+    fn instantiation_substitutes_into_bounds_and_rhs() {
+        let clause = fixtures::running_example_post().clauses[0].clone();
+        let mut inst = Instantiation::new();
+        inst.insert("vi".into(), IrExpr::var("i"));
+        inst.insert("vj".into(), IrExpr::var("j"));
+        let (constraints, eq) = instantiate_clause(&clause, &inst);
+        assert_eq!(constraints.len(), 4);
+        assert!(eq.rhs.to_string().contains("b[(i - 1), j]"));
+        assert!(!eq.rhs.free_vars().contains(&"vi".to_string()));
+    }
+}

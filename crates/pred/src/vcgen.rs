@@ -1,0 +1,412 @@
+//! Hoare verification-condition generation for loop nests (Fig. 2 of the
+//! paper).
+//!
+//! A kernel's single loop nest is first decomposed into [`LoopLevel`]s: at
+//! every nesting depth there may be straight-line statements before and after
+//! the (unique) nested loop, which is exactly the shape of the imperfect
+//! nests produced by scalar-temporary optimizations in real stencils.
+//!
+//! Given one candidate invariant per level and a candidate postcondition,
+//! [`generate_vcs`] produces the standard initiation / preservation /
+//! descend / ascend / exit conditions. Each [`Vc`] is a Hoare triple with a
+//! loop-free body; counter updates (`j := j + 1`, `i := lo`) are appended to
+//! the body so that conclusions are always evaluated on the triple's
+//! post-state, which keeps both the bounded checker and the sound verifier
+//! simple and uniform.
+
+use crate::lang::{Invariant, Postcondition, Pred};
+use stng_ir::ir::{CmpOp, IrExpr, IrStmt, Kernel};
+
+/// One level of a (possibly imperfect) loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopLevel {
+    /// Loop counter variable.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: IrExpr,
+    /// Inclusive upper bound.
+    pub hi: IrExpr,
+    /// Straight-line statements executed before the nested loop (for the
+    /// innermost level: the whole body).
+    pub pre: Vec<IrStmt>,
+    /// Straight-line statements executed after the nested loop.
+    pub post: Vec<IrStmt>,
+}
+
+/// A decomposed loop nest: levels from outermost to innermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Levels, outermost first.
+    pub levels: Vec<LoopLevel>,
+}
+
+impl LoopNest {
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Loop counter variables, outermost first.
+    pub fn vars(&self) -> Vec<String> {
+        self.levels.iter().map(|l| l.var.clone()).collect()
+    }
+}
+
+/// Decomposes a kernel whose body is a single loop nest with at most one
+/// nested loop per level and no conditionals.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the kernel does not have that shape
+/// (the lifter then reports the kernel as untranslated).
+pub fn analyze_loop_nest(kernel: &Kernel) -> Result<LoopNest, String> {
+    let mut loops = kernel.body.iter().filter(|s| matches!(s, IrStmt::Loop { .. }));
+    let first = loops
+        .next()
+        .ok_or_else(|| "kernel has no loops".to_string())?;
+    if loops.next().is_some() {
+        return Err("kernel has more than one top-level loop".to_string());
+    }
+    if kernel
+        .body
+        .iter()
+        .any(|s| !matches!(s, IrStmt::Loop { .. }))
+    {
+        return Err("kernel has statements outside the loop nest".to_string());
+    }
+    let mut levels = Vec::new();
+    decompose(first, &mut levels)?;
+    Ok(LoopNest { levels })
+}
+
+fn decompose(stmt: &IrStmt, levels: &mut Vec<LoopLevel>) -> Result<(), String> {
+    let IrStmt::Loop {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = stmt
+    else {
+        return Err("expected a loop".to_string());
+    };
+    if *step != 1 {
+        return Err(format!("loop over '{var}' has non-unit step {step}"));
+    }
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    let mut nested: Option<&IrStmt> = None;
+    for s in body {
+        match s {
+            IrStmt::Loop { .. } => {
+                if nested.is_some() {
+                    return Err(format!(
+                        "loop over '{var}' contains more than one nested loop"
+                    ));
+                }
+                nested = Some(s);
+            }
+            IrStmt::If { .. } => {
+                return Err(format!("loop over '{var}' contains a conditional"));
+            }
+            other => {
+                if nested.is_none() {
+                    pre.push(other.clone());
+                } else {
+                    post.push(other.clone());
+                }
+            }
+        }
+    }
+    levels.push(LoopLevel {
+        var: var.clone(),
+        lo: lo.clone(),
+        hi: hi.clone(),
+        pre,
+        post,
+    });
+    if let Some(inner) = nested {
+        decompose(inner, levels)?;
+    }
+    Ok(())
+}
+
+/// A verification condition: `hypotheses ⊢ {body} conclusion` where `body` is
+/// loop-free. The condition is valid when, for every state satisfying all
+/// hypotheses, executing `body` yields a state satisfying the conclusion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vc {
+    /// Human-readable name (e.g. `"preservation(i)"`).
+    pub name: String,
+    /// Hypotheses over the pre-state.
+    pub hypotheses: Vec<Pred>,
+    /// Loop-free statements transforming the pre-state into the post-state.
+    pub body: Vec<IrStmt>,
+    /// Conclusion over the post-state.
+    pub conclusion: Pred,
+    /// Names of scalars known to be integers (loop counters); everything
+    /// else assigned by the body is treated as floating-point data.
+    pub int_scalars: Vec<String>,
+}
+
+impl Vc {
+    /// All quantified-variable names appearing in the hypotheses and the
+    /// conclusion (useful for diagnostics).
+    pub fn quantified_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut visit = |p: &Pred| {
+            if let Pred::Forall(clause) = p {
+                for b in &clause.bounds {
+                    if !out.contains(&b.var) {
+                        out.push(b.var.clone());
+                    }
+                }
+            }
+        };
+        for h in &self.hypotheses {
+            for c in h.conjuncts() {
+                visit(c);
+            }
+        }
+        for c in self.conclusion.conjuncts() {
+            visit(c);
+        }
+        out
+    }
+}
+
+/// Generates the verification conditions of Fig. 2 for a loop nest, given one
+/// invariant per level and a postcondition.
+///
+/// `assumptions` are the kernel's `STNG: assume(...)` facts; they are added
+/// to the hypotheses of every condition.
+///
+/// # Panics
+///
+/// Panics if `invariants.len()` differs from the nest depth.
+pub fn generate_vcs(
+    nest: &LoopNest,
+    assumptions: &[IrExpr],
+    invariants: &[Invariant],
+    post: &Postcondition,
+) -> Vec<Vc> {
+    assert_eq!(
+        invariants.len(),
+        nest.levels.len(),
+        "one invariant per loop level is required"
+    );
+    let depth = nest.levels.len();
+    let assume_preds: Vec<Pred> = assumptions.iter().cloned().map(Pred::Bool).collect();
+    let int_scalars = nest.vars();
+    let mut vcs = Vec::new();
+
+    let in_range = |level: &LoopLevel| {
+        Pred::Bool(IrExpr::cmp(
+            CmpOp::Le,
+            IrExpr::var(level.var.clone()),
+            level.hi.clone(),
+        ))
+    };
+    let past_range = |level: &LoopLevel| {
+        Pred::Bool(IrExpr::cmp(
+            CmpOp::Gt,
+            IrExpr::var(level.var.clone()),
+            level.hi.clone(),
+        ))
+    };
+    let set_counter = |var: &str, value: IrExpr| IrStmt::AssignScalar {
+        name: var.to_string(),
+        value,
+    };
+    let increment = |var: &str| IrStmt::AssignScalar {
+        name: var.to_string(),
+        value: IrExpr::add(IrExpr::var(var.to_string()), IrExpr::Int(1)),
+    };
+
+    // Initiation of the outermost invariant: counters start at the lower
+    // bound, nothing has executed yet.
+    {
+        let level = &nest.levels[0];
+        vcs.push(Vc {
+            name: format!("initiation({})", level.var),
+            hypotheses: assume_preds.clone(),
+            body: vec![set_counter(&level.var, level.lo.clone())],
+            conclusion: invariants[0].to_pred(),
+            int_scalars: int_scalars.clone(),
+        });
+    }
+
+    // Descend: entering the loop at level d+1 from level d.
+    for d in 0..depth.saturating_sub(1) {
+        let outer = &nest.levels[d];
+        let inner = &nest.levels[d + 1];
+        let mut hyps = assume_preds.clone();
+        hyps.push(invariants[d].to_pred());
+        hyps.push(in_range(outer));
+        let mut body = outer.pre.clone();
+        body.push(set_counter(&inner.var, inner.lo.clone()));
+        vcs.push(Vc {
+            name: format!("descend({}->{})", outer.var, inner.var),
+            hypotheses: hyps,
+            body,
+            conclusion: invariants[d + 1].to_pred(),
+            int_scalars: int_scalars.clone(),
+        });
+    }
+
+    // Innermost preservation: one full iteration of the innermost body.
+    {
+        let level = &nest.levels[depth - 1];
+        let mut hyps = assume_preds.clone();
+        hyps.push(invariants[depth - 1].to_pred());
+        hyps.push(in_range(level));
+        let mut body = level.pre.clone();
+        body.extend(level.post.clone());
+        body.push(increment(&level.var));
+        vcs.push(Vc {
+            name: format!("preservation({})", level.var),
+            hypotheses: hyps,
+            body,
+            conclusion: invariants[depth - 1].to_pred(),
+            int_scalars: int_scalars.clone(),
+        });
+    }
+
+    // Ascend: the loop at level d+1 exits, so the iteration of level d
+    // finishes (its trailing statements run and its counter advances).
+    for d in (0..depth.saturating_sub(1)).rev() {
+        let outer = &nest.levels[d];
+        let inner = &nest.levels[d + 1];
+        let mut hyps = assume_preds.clone();
+        hyps.push(invariants[d + 1].to_pred());
+        hyps.push(past_range(inner));
+        // The iteration guard of the outer level still held when the inner
+        // loop started; keep it as a hypothesis so the ascend step can reason
+        // about the outer counter's range.
+        hyps.push(in_range(outer));
+        let mut body = outer.post.clone();
+        body.push(increment(&outer.var));
+        vcs.push(Vc {
+            name: format!("ascend({}->{})", inner.var, outer.var),
+            hypotheses: hyps,
+            body,
+            conclusion: invariants[d].to_pred(),
+            int_scalars: int_scalars.clone(),
+        });
+    }
+
+    // Exit: the outermost loop finishes, establishing the postcondition.
+    {
+        let level = &nest.levels[0];
+        let mut hyps = assume_preds.clone();
+        hyps.push(invariants[0].to_pred());
+        hyps.push(past_range(level));
+        vcs.push(Vc {
+            name: "exit".to_string(),
+            hypotheses: hyps,
+            body: Vec::new(),
+            conclusion: post.to_pred(),
+            int_scalars: int_scalars.clone(),
+        });
+    }
+
+    vcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use stng_ir::lower::kernel_from_source;
+
+    #[test]
+    fn running_example_decomposes_into_two_levels() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.vars(), vec!["j".to_string(), "i".to_string()]);
+        // Outer level: one pre statement (t = b(imin, j)), no post statement.
+        assert_eq!(nest.levels[0].pre.len(), 1);
+        assert_eq!(nest.levels[0].post.len(), 0);
+        // Inner level: the three body statements.
+        assert_eq!(nest.levels[1].pre.len(), 3);
+    }
+
+    #[test]
+    fn conditional_bodies_are_rejected() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = 1, n
+    if (b(i) > 0.0) then
+      a(i) = b(i)
+    endif
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let err = analyze_loop_nest(&kernel).unwrap_err();
+        assert!(err.contains("conditional"));
+    }
+
+    #[test]
+    fn two_sibling_inner_loops_are_rejected() {
+        let src = r#"
+procedure p(n, m, a, b)
+  real, dimension(1:n, 1:m) :: a
+  real, dimension(1:n, 1:m) :: b
+  integer :: i
+  integer :: j
+  do j = 1, m
+    do i = 1, n
+      a(i, j) = b(i, j)
+    enddo
+    do i = 1, n
+      a(i, j) = a(i, j) + 1.0
+    enddo
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let err = analyze_loop_nest(&kernel).unwrap_err();
+        assert!(err.contains("more than one nested loop"));
+    }
+
+    #[test]
+    fn vc_set_matches_figure_2_structure() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let invariants = fixtures::running_example_invariants();
+        let post = fixtures::running_example_post();
+        let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+        let names: Vec<&str> = vcs.iter().map(|vc| vc.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "initiation(j)",
+                "descend(j->i)",
+                "preservation(i)",
+                "ascend(i->j)",
+                "exit"
+            ]
+        );
+        // The preservation VC's body ends with the counter increment.
+        let pres = &vcs[2];
+        assert!(matches!(
+            pres.body.last(),
+            Some(IrStmt::AssignScalar { name, .. }) if name == "i"
+        ));
+        assert!(pres.quantified_vars().contains(&"vi".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one invariant per loop level")]
+    fn wrong_invariant_count_panics() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let post = fixtures::running_example_post();
+        let _ = generate_vcs(&nest, &[], &[Invariant::empty()], &post);
+    }
+}

@@ -1,0 +1,294 @@
+//! Bounded and randomized checking of verification conditions (§3.1's
+//! hierarchy of checking procedures, below the sound verifier).
+//!
+//! Candidates produced by the synthesizer are first screened here: the
+//! kernel is executed concretely on small random inputs in the modular data
+//! domain (§4.4), the machine states reached at every loop head are captured,
+//! and every VC is evaluated on every captured state. A candidate that
+//! violates a VC on any reachable state is certainly wrong and is rejected
+//! with a counterexample; candidates that survive are handed to
+//! [`crate::prover::SmtLite`] for the final, sound check.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stng_ir::error::{Error, Result};
+use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, State};
+use stng_ir::ir::{IrStmt, Kernel, ParamKind};
+use stng_ir::value::{ModInt, MOD_FIELD};
+use stng_pred::eval::{check_vc_on_state, VcOutcome};
+use stng_pred::vcgen::Vc;
+use stng_sym::choose_small_bounds;
+
+/// A concrete state on which some VC failed.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Name of the violated verification condition.
+    pub vc_name: String,
+    /// Short description of where the state came from.
+    pub origin: String,
+}
+
+/// Configuration of the bounded checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedChecker {
+    /// Grid sizes (values given to size-like integer parameters) to try.
+    pub grid_sizes: Vec<i64>,
+    /// Number of random input states generated per grid size.
+    pub trials_per_size: usize,
+    /// RNG seed, so counterexample search is reproducible.
+    pub seed: u64,
+}
+
+impl Default for BoundedChecker {
+    fn default() -> Self {
+        BoundedChecker {
+            grid_sizes: vec![3, 4],
+            trials_per_size: 3,
+            seed: 0x5717_1e57,
+        }
+    }
+}
+
+impl BoundedChecker {
+    /// Creates a checker with default settings.
+    pub fn new() -> BoundedChecker {
+        BoundedChecker::default()
+    }
+
+    /// Checks every VC on every reachable loop-head state of the kernel under
+    /// several random small inputs. Returns the first violation found, or
+    /// `None` when all checks pass (which does **not** imply validity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors (e.g. the candidate predicates index an
+    /// array out of bounds), which the synthesizer also treats as rejection.
+    pub fn find_counterexample(&self, kernel: &Kernel, vcs: &[Vc]) -> Result<Option<Counterexample>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for &size in &self.grid_sizes {
+            for trial in 0..self.trials_per_size {
+                let states = self.reachable_states(kernel, size, &mut rng)?;
+                for (origin, state) in &states {
+                    for vc in vcs {
+                        match check_vc_on_state(vc, state) {
+                            Ok(VcOutcome::Violated) => {
+                                return Ok(Some(Counterexample {
+                                    vc_name: vc.name.clone(),
+                                    origin: format!("{origin} (size {size}, trial {trial})"),
+                                }));
+                            }
+                            Ok(_) => {}
+                            Err(err) => {
+                                // Evaluation errors (out-of-bounds candidate
+                                // indices) also reject the candidate.
+                                return Ok(Some(Counterexample {
+                                    vc_name: vc.name.clone(),
+                                    origin: format!("evaluation error: {err}"),
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Runs the kernel concretely and captures the initial state, the state
+    /// at the head of every loop iteration, and the final state.
+    fn reachable_states(
+        &self,
+        kernel: &Kernel,
+        size: i64,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(String, State<ModInt>)>> {
+        let bounds = choose_small_bounds(kernel, size);
+        let mut state: State<ModInt> = State::new();
+        for (name, value) in &bounds {
+            state.set_int(name.clone(), *value);
+        }
+        for name in kernel.real_params() {
+            state.set_real(name, ModInt::new(rng.gen_range(0..MOD_FIELD)));
+        }
+        for param in &kernel.params {
+            if let ParamKind::Array { dims } = &param.kind {
+                let mut concrete = Vec::new();
+                for (lo, hi) in dims {
+                    let lo = eval_int_expr(lo, &state)?;
+                    let hi = eval_int_expr(hi, &state)?;
+                    concrete.push((lo, hi));
+                }
+                let array =
+                    ArrayData::from_fn(concrete, |_| ModInt::new(rng.gen_range(0..MOD_FIELD)));
+                state.set_array(param.name.clone(), array);
+            }
+        }
+
+        let mut tracer = Tracer {
+            snapshots: vec![("initial".to_string(), state.clone())],
+            steps: 0,
+            max_steps: 200_000,
+        };
+        tracer.run(&kernel.body, &mut state)?;
+        tracer.snapshots.push(("final".to_string(), state));
+        Ok(tracer.snapshots)
+    }
+}
+
+/// A tracing interpreter that snapshots the full machine state at the head of
+/// every loop iteration.
+struct Tracer {
+    snapshots: Vec<(String, State<ModInt>)>,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Tracer {
+    fn run(&mut self, stmts: &[IrStmt], state: &mut State<ModInt>) -> Result<()> {
+        for stmt in stmts {
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Err(Error::interp("bounded-checking step budget exhausted"));
+            }
+            match stmt {
+                IrStmt::AssignScalar { name, value } => {
+                    if state.ints.contains_key(name) {
+                        let v = eval_int_expr(value, state)?;
+                        state.ints.insert(name.clone(), v);
+                    } else {
+                        let v = eval_data_expr(value, state)?;
+                        state.reals.insert(name.clone(), v);
+                    }
+                }
+                IrStmt::Store {
+                    array,
+                    indices,
+                    value,
+                } => {
+                    let idx: Result<Vec<i64>> =
+                        indices.iter().map(|ix| eval_int_expr(ix, state)).collect();
+                    let idx = idx?;
+                    let v = eval_data_expr(value, state)?;
+                    let arr = state
+                        .arrays
+                        .get_mut(array)
+                        .ok_or_else(|| Error::interp(format!("unbound array '{array}'")))?;
+                    if !arr.set(&idx, v) {
+                        return Err(Error::interp(format!(
+                            "store index {idx:?} out of bounds for '{array}'"
+                        )));
+                    }
+                }
+                IrStmt::Loop {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                } => {
+                    let lo = eval_int_expr(lo, state)?;
+                    let hi = eval_int_expr(hi, state)?;
+                    let mut cur = lo;
+                    loop {
+                        let in_range = if *step > 0 { cur <= hi } else { cur >= hi };
+                        if !in_range {
+                            break;
+                        }
+                        state.ints.insert(var.clone(), cur);
+                        self.snapshots
+                            .push((format!("head of loop {var}"), state.clone()));
+                        self.run(body, state)?;
+                        cur += step;
+                    }
+                    state.ints.insert(var.clone(), cur);
+                    self.snapshots
+                        .push((format!("exit of loop {var}"), state.clone()));
+                }
+                IrStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if eval_bool_expr(cond, state)? {
+                        self.run(then_body, state)?;
+                    } else {
+                        self.run(else_body, state)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maximum snapshot count sanity limit used by callers when sizing grids.
+pub const RECOMMENDED_MAX_GRID: i64 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stng_ir::lower::kernel_from_source;
+    use stng_pred::fixtures;
+    use stng_pred::vcgen::{analyze_loop_nest, generate_vcs};
+
+    fn vcs_with(
+        post: stng_pred::lang::Postcondition,
+        invariants: Vec<stng_pred::lang::Invariant>,
+    ) -> (Kernel, Vec<Vc>) {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+        (kernel, vcs)
+    }
+
+    #[test]
+    fn correct_candidates_have_no_bounded_counterexample() {
+        let (kernel, vcs) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        let checker = BoundedChecker::new();
+        assert!(checker.find_counterexample(&kernel, &vcs).unwrap().is_none());
+    }
+
+    #[test]
+    fn wrong_postcondition_is_rejected_quickly() {
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                stng_ir::ir::IrExpr::var("vi"),
+                stng_ir::ir::IrExpr::var("vj"),
+            ],
+        };
+        let (kernel, vcs) = vcs_with(post, fixtures::running_example_invariants());
+        let checker = BoundedChecker::new();
+        let cex = checker.find_counterexample(&kernel, &vcs).unwrap();
+        assert!(cex.is_some());
+    }
+
+    #[test]
+    fn wrong_invariant_is_rejected() {
+        let mut invariants = fixtures::running_example_invariants();
+        invariants[1].scalar_eqs[0].1 = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![stng_ir::ir::IrExpr::var("i"), stng_ir::ir::IrExpr::var("j")],
+        };
+        let (kernel, vcs) = vcs_with(fixtures::running_example_post(), invariants);
+        let checker = BoundedChecker::new();
+        let cex = checker.find_counterexample(&kernel, &vcs).unwrap();
+        assert!(cex.is_some(), "expected a counterexample for the wrong invariant");
+    }
+
+    #[test]
+    fn counterexamples_are_reproducible_across_runs() {
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Real(0.0);
+        let (kernel, vcs) = vcs_with(post, fixtures::running_example_invariants());
+        let checker = BoundedChecker::new();
+        let a = checker.find_counterexample(&kernel, &vcs).unwrap().unwrap();
+        let b = checker.find_counterexample(&kernel, &vcs).unwrap().unwrap();
+        assert_eq!(a.vc_name, b.vc_name);
+        assert_eq!(a.origin, b.origin);
+    }
+}

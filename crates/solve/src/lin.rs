@@ -1,0 +1,345 @@
+//! Linear integer arithmetic over affine expressions: constraint contexts,
+//! feasibility by Fourier–Motzkin elimination, and entailment checks.
+//!
+//! Constraints are stored in the normalized form `affine ≤ 0`. Entailment of
+//! `e ≤ 0` from a context `C` is checked refutationally: `C ∧ (e ≥ 1)` must be
+//! infeasible. Feasibility is decided over the rationals, which is sound for
+//! proving integer entailments (every integer model is a rational model);
+//! strict integer inequalities are converted to non-strict ones with a `±1`
+//! adjustment before encoding, which recovers most of the lost precision.
+
+use std::collections::BTreeSet;
+use stng_ir::ir::{Affine, CmpOp, IrExpr};
+
+/// Maximum number of constraints Fourier–Motzkin is allowed to generate
+/// before giving up (returning "possibly feasible", which is always safe).
+const FM_CONSTRAINT_CAP: usize = 4000;
+
+/// A conjunction of linear integer constraints of the form `affine ≤ 0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinCtx {
+    constraints: Vec<Affine>,
+}
+
+impl LinCtx {
+    /// An empty (trivially satisfiable) context.
+    pub fn new() -> LinCtx {
+        LinCtx::default()
+    }
+
+    /// Number of constraints currently in the context.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Returns `true` when the context has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Adds `lhs ≤ rhs`.
+    pub fn assume_le(&mut self, lhs: &Affine, rhs: &Affine) {
+        self.constraints.push(lhs.sub(rhs));
+    }
+
+    /// Adds `lhs < rhs` (integer semantics: `lhs ≤ rhs − 1`).
+    pub fn assume_lt(&mut self, lhs: &Affine, rhs: &Affine) {
+        let mut c = lhs.sub(rhs);
+        c.constant += 1;
+        self.constraints.push(c);
+    }
+
+    /// Adds `lhs = rhs`.
+    pub fn assume_eq(&mut self, lhs: &Affine, rhs: &Affine) {
+        self.assume_le(lhs, rhs);
+        self.assume_le(rhs, lhs);
+    }
+
+    /// Adds the comparison `lhs op rhs`.
+    pub fn assume_cmp(&mut self, op: CmpOp, lhs: &Affine, rhs: &Affine) -> bool {
+        match op {
+            CmpOp::Le => self.assume_le(lhs, rhs),
+            CmpOp::Lt => self.assume_lt(lhs, rhs),
+            CmpOp::Ge => self.assume_le(rhs, lhs),
+            CmpOp::Gt => self.assume_lt(rhs, lhs),
+            CmpOp::Eq => self.assume_eq(lhs, rhs),
+            // A disequality is a disjunction; it cannot be added to a
+            // conjunction of linear constraints. The caller may case-split.
+            CmpOp::Ne => return false,
+        }
+        true
+    }
+
+    /// Attempts to add a boolean [`IrExpr`] (conjunctions of affine
+    /// comparisons). Returns `false` when part of the expression could not be
+    /// represented; the representable part is still added, which is sound for
+    /// use as a *hypothesis* context.
+    pub fn assume_bool_expr(&mut self, e: &IrExpr) -> bool {
+        match e {
+            IrExpr::And(a, b) => {
+                let ra = self.assume_bool_expr(a);
+                let rb = self.assume_bool_expr(b);
+                ra && rb
+            }
+            IrExpr::Cmp { op, lhs, rhs } => {
+                match (lhs.as_affine(), rhs.as_affine()) {
+                    (Some(l), Some(r)) => self.assume_cmp(*op, &l, &r),
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` when the context is provably infeasible (has no
+    /// rational, hence no integer, solutions).
+    pub fn is_infeasible(&self) -> bool {
+        fm_infeasible(&self.constraints)
+    }
+
+    /// Checks whether the context entails `lhs ≤ rhs`.
+    pub fn entails_le(&self, lhs: &Affine, rhs: &Affine) -> bool {
+        // Negation over the integers: lhs ≥ rhs + 1, i.e. rhs + 1 − lhs ≤ 0.
+        let mut neg = rhs.sub(lhs);
+        neg.constant += 1;
+        let mut cs = self.constraints.clone();
+        cs.push(neg);
+        fm_infeasible(&cs)
+    }
+
+    /// Checks whether the context entails `lhs = rhs`.
+    pub fn entails_eq(&self, lhs: &Affine, rhs: &Affine) -> bool {
+        self.entails_le(lhs, rhs) && self.entails_le(rhs, lhs)
+    }
+
+    /// Checks whether the context entails `lhs ≠ rhs` (by entailing one of
+    /// the strict orders).
+    pub fn entails_ne(&self, lhs: &Affine, rhs: &Affine) -> bool {
+        let mut lt = lhs.sub(rhs);
+        lt.constant += 1; // lhs ≤ rhs − 1
+        let mut gt = rhs.sub(lhs);
+        gt.constant += 1; // rhs ≤ lhs − 1
+        self.entails_constraint(&lt) || self.entails_constraint(&gt)
+    }
+
+    fn entails_constraint(&self, c: &Affine) -> bool {
+        // c ≤ 0 entailed iff context ∧ (c ≥ 1) infeasible.
+        let mut neg = c.scale(-1);
+        neg.constant += 1;
+        let mut cs = self.constraints.clone();
+        cs.push(neg);
+        fm_infeasible(&cs)
+    }
+
+    /// Checks whether the context entails the boolean expression `e`
+    /// (conjunctions of affine comparisons only; anything else fails).
+    pub fn entails_bool_expr(&self, e: &IrExpr) -> bool {
+        match e {
+            IrExpr::And(a, b) => self.entails_bool_expr(a) && self.entails_bool_expr(b),
+            IrExpr::Cmp { op, lhs, rhs } => match (lhs.as_affine(), rhs.as_affine()) {
+                (Some(l), Some(r)) => match op {
+                    CmpOp::Le => self.entails_le(&l, &r),
+                    CmpOp::Lt => {
+                        let mut r1 = r.clone();
+                        r1.constant -= 1;
+                        self.entails_le(&l, &r1)
+                    }
+                    CmpOp::Ge => self.entails_le(&r, &l),
+                    CmpOp::Gt => {
+                        let mut l1 = l.clone();
+                        l1.constant -= 1;
+                        self.entails_le(&r, &l1)
+                    }
+                    CmpOp::Eq => self.entails_eq(&l, &r),
+                    CmpOp::Ne => self.entails_ne(&l, &r),
+                },
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Adds the three-way case `lhs (<|=|>) rhs` selected by `case` and
+    /// returns the extended context.
+    pub fn with_case(&self, lhs: &Affine, rhs: &Affine, case: SplitCase) -> LinCtx {
+        let mut out = self.clone();
+        match case {
+            SplitCase::Less => out.assume_lt(lhs, rhs),
+            SplitCase::Equal => out.assume_eq(lhs, rhs),
+            SplitCase::Greater => out.assume_lt(rhs, lhs),
+        }
+        out
+    }
+}
+
+/// The three branches of a comparison case split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitCase {
+    /// `lhs < rhs`
+    Less,
+    /// `lhs = rhs`
+    Equal,
+    /// `lhs > rhs`
+    Greater,
+}
+
+/// All three split cases.
+pub const SPLIT_CASES: [SplitCase; 3] = [SplitCase::Less, SplitCase::Equal, SplitCase::Greater];
+
+/// Fourier–Motzkin feasibility check: returns `true` when the system
+/// `{ c ≤ 0 }` is provably infeasible over the rationals.
+fn fm_infeasible(constraints: &[Affine]) -> bool {
+    let mut cs: Vec<Affine> = constraints.to_vec();
+    loop {
+        // Constant constraints decide infeasibility immediately.
+        if cs
+            .iter()
+            .any(|c| c.terms.is_empty() && c.constant > 0)
+        {
+            return true;
+        }
+        // Pick the variable occurring in the fewest constraints to limit
+        // blow-up.
+        let vars: BTreeSet<String> = cs
+            .iter()
+            .flat_map(|c| c.terms.keys().cloned())
+            .collect();
+        let Some(var) = vars.iter().min_by_key(|v| {
+            cs.iter().filter(|c| c.coeff(v) != 0).count()
+        }) else {
+            return false;
+        };
+        let var = var.clone();
+        let mut uppers = Vec::new(); // a·v + p ≤ 0 with a > 0  → v ≤ −p/a
+        let mut lowers = Vec::new(); // −b·v + q ≤ 0 with b > 0 → v ≥ q/b
+        let mut rest = Vec::new();
+        for c in cs {
+            let a = c.coeff(&var);
+            if a > 0 {
+                uppers.push(c);
+            } else if a < 0 {
+                lowers.push(c);
+            } else {
+                rest.push(c);
+            }
+        }
+        for up in &uppers {
+            for lo in &lowers {
+                let a = up.coeff(&var);
+                let b = -lo.coeff(&var);
+                // b·up + a·lo eliminates v.
+                let combined = up.scale(b).add(&lo.scale(a));
+                debug_assert_eq!(combined.coeff(&var), 0);
+                rest.push(combined);
+                if rest.len() > FM_CONSTRAINT_CAP {
+                    // Give up: treat as (possibly) feasible, which is sound.
+                    return false;
+                }
+            }
+        }
+        cs = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Affine {
+        Affine::var(name.to_string())
+    }
+
+    fn constant(v: i64) -> Affine {
+        Affine::constant(v)
+    }
+
+    #[test]
+    fn simple_entailment_chain() {
+        // i ≤ n ∧ n ≤ 10 ⊨ i ≤ 10
+        let mut ctx = LinCtx::new();
+        ctx.assume_le(&var("i"), &var("n"));
+        ctx.assume_le(&var("n"), &constant(10));
+        assert!(ctx.entails_le(&var("i"), &constant(10)));
+        assert!(!ctx.entails_le(&constant(10), &var("i")));
+    }
+
+    #[test]
+    fn strict_inequalities_use_integer_semantics() {
+        // j > jmax ⊨ jmax ≤ j − 1.
+        let mut ctx = LinCtx::new();
+        ctx.assume_lt(&var("jmax"), &var("j"));
+        let mut j_minus_1 = var("j");
+        j_minus_1.constant -= 1;
+        assert!(ctx.entails_le(&var("jmax"), &j_minus_1));
+    }
+
+    #[test]
+    fn infeasibility_detection() {
+        let mut ctx = LinCtx::new();
+        ctx.assume_le(&var("x"), &constant(3));
+        ctx.assume_le(&constant(5), &var("x"));
+        assert!(ctx.is_infeasible());
+        // Everything is entailed from an infeasible context.
+        assert!(ctx.entails_le(&constant(100), &var("x")));
+    }
+
+    #[test]
+    fn equality_entailment() {
+        let mut ctx = LinCtx::new();
+        ctx.assume_eq(&var("vi"), &var("i"));
+        ctx.assume_le(&var("i"), &constant(4));
+        assert!(ctx.entails_eq(&var("vi"), &var("i")));
+        assert!(ctx.entails_le(&var("vi"), &constant(4)));
+        assert!(!ctx.entails_ne(&var("vi"), &var("i")));
+    }
+
+    #[test]
+    fn disequality_via_strict_order() {
+        let mut ctx = LinCtx::new();
+        // vi ≤ i − 1 ⊨ vi ≠ i.
+        let mut i_minus_1 = var("i");
+        i_minus_1.constant -= 1;
+        ctx.assume_le(&var("vi"), &i_minus_1);
+        assert!(ctx.entails_ne(&var("vi"), &var("i")));
+    }
+
+    #[test]
+    fn bool_expr_round_trip() {
+        use stng_ir::ir::IrExpr;
+        let mut ctx = LinCtx::new();
+        let hyp = IrExpr::And(
+            Box::new(IrExpr::cmp(CmpOp::Le, IrExpr::var("jmin"), IrExpr::var("j"))),
+            Box::new(IrExpr::cmp(CmpOp::Gt, IrExpr::var("j"), IrExpr::var("jmax"))),
+        );
+        assert!(ctx.assume_bool_expr(&hyp));
+        let goal = IrExpr::cmp(
+            CmpOp::Le,
+            IrExpr::var("jmax"),
+            IrExpr::sub(IrExpr::var("j"), IrExpr::Int(1)),
+        );
+        assert!(ctx.entails_bool_expr(&goal));
+    }
+
+    #[test]
+    fn case_split_contexts() {
+        let ctx = LinCtx::new();
+        let eq_case = ctx.with_case(&var("vi"), &var("i"), SplitCase::Equal);
+        assert!(eq_case.entails_eq(&var("vi"), &var("i")));
+        let lt_case = ctx.with_case(&var("vi"), &var("i"), SplitCase::Less);
+        assert!(lt_case.entails_ne(&var("vi"), &var("i")));
+    }
+
+    #[test]
+    fn multi_variable_elimination() {
+        // 2x + 3y ≤ 12 ∧ x ≥ 3 ∧ y ≥ 2 ⊨ ⊥ (2·3 + 3·2 = 12 ≤ 12 is fine, so
+        // feasible); tightening y ≥ 3 makes it infeasible.
+        let mut ctx = LinCtx::new();
+        let two_x_three_y = var("x").scale(2).add(&var("y").scale(3));
+        ctx.assume_le(&two_x_three_y, &constant(12));
+        ctx.assume_le(&constant(3), &var("x"));
+        ctx.assume_le(&constant(2), &var("y"));
+        assert!(!ctx.is_infeasible());
+        ctx.assume_le(&constant(3), &var("y"));
+        assert!(ctx.is_infeasible());
+    }
+}

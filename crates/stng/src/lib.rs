@@ -1,0 +1,24 @@
+//! STNG: verified lifting of stencil computations, end to end.
+//!
+//! This is the crate a user of the reproduction interacts with. It wires the
+//! substrates together exactly as Fig. 3 of the paper describes the STNG
+//! toolchain:
+//!
+//! 1. the **code fragment identifier** and **parser** (`stng-ir`) find
+//!    candidate loop nests in Fortran-subset source,
+//! 2. the **VC computation**, **postcondition synthesizer**, and **formal
+//!    verifier** (`stng-pred`, `stng-synth`, `stng-solve`) search for a
+//!    provably correct summary of each kernel,
+//! 3. the **Halide code generator** (`stng-halide` plus [`translate`])
+//!    converts accepted summaries into runnable stencil functions, Halide C++
+//!    generator sources, and de-optimized serial C.
+//!
+//! The main entry point is [`pipeline::Stng::lift_source`], which returns a
+//! [`pipeline::LiftReport`] with one entry per candidate kernel: either the
+//! lifted summary plus generated code, or the reason lifting failed.
+
+pub mod pipeline;
+pub mod translate;
+
+pub use pipeline::{KernelOutcome, KernelReport, LiftReport, Stng};
+pub use translate::{StencilSummary, TranslationError};

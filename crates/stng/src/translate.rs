@@ -1,0 +1,229 @@
+//! Translation of lifted summaries into the mini-Halide DSL (§5.3).
+//!
+//! A postcondition clause `∀ v⃗ ∈ D. out[v⃗] = expr(v⃗)` maps directly onto a
+//! Halide pure function: the quantified variables become the function's grid
+//! variables, input-array reads at `vᵢ + c` become image accesses at constant
+//! offsets, scalar parameters become runtime parameters, and the quantifier
+//! domain `D` becomes the realization region. One Halide function is emitted
+//! per output array (clause), matching how STNG works around Halide's
+//! single-output restriction.
+
+use std::collections::HashMap;
+use stng_halide::func::{Func, HExpr, HIndex};
+use stng_halide::schedule::Region;
+use stng_ir::interp::{eval_int_expr, State};
+use stng_ir::ir::{BinOp, IrExpr};
+use stng_pred::lang::{Postcondition, QuantClause};
+
+/// Errors raised during summary-to-DSL translation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslationError {
+    /// The right-hand side uses a construct with no Halide counterpart.
+    Unsupported(String),
+    /// An index expression is not of the `vᵢ + c` form.
+    BadIndex(String),
+}
+
+impl std::fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslationError::Unsupported(m) => write!(f, "unsupported expression: {m}"),
+            TranslationError::BadIndex(m) => write!(f, "unsupported index expression: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+/// A lifted stencil ready to run: one mini-Halide function per output array,
+/// plus the information needed to compute realization regions from the
+/// kernel's integer parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilSummary {
+    /// One function per output array (clause), in postcondition order.
+    pub funcs: Vec<(Func, QuantClause)>,
+    /// Names of scalar (floating-point) parameters referenced by the summary.
+    pub scalar_params: Vec<String>,
+}
+
+impl StencilSummary {
+    /// Translates a postcondition into mini-Halide functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslationError`] when the summary uses constructs outside
+    /// the DSL (which the synthesis grammar rules out by construction).
+    pub fn from_postcondition(
+        kernel_name: &str,
+        post: &Postcondition,
+    ) -> Result<StencilSummary, TranslationError> {
+        let mut funcs = Vec::new();
+        let mut scalar_params = Vec::new();
+        for (k, clause) in post.clauses.iter().enumerate() {
+            let vars: Vec<String> = clause.bounds.iter().map(|b| b.var.clone()).collect();
+            let expr = translate_expr(&clause.eq.rhs, &vars, &mut scalar_params)?;
+            let name = if post.clauses.len() == 1 {
+                format!("{kernel_name}_halide")
+            } else {
+                format!("{kernel_name}_halide_{k}")
+            };
+            funcs.push((Func::new(name, vars.len(), expr), clause.clone()));
+        }
+        Ok(StencilSummary {
+            funcs,
+            scalar_params,
+        })
+    }
+
+    /// Computes the realization region of clause `k` given concrete values of
+    /// the kernel's integer parameters (the "glue code" role of §5.3).
+    pub fn region(&self, k: usize, int_params: &HashMap<String, i64>) -> Option<Region> {
+        let clause = &self.funcs.get(k)?.1;
+        let mut state: State<f64> = State::new();
+        for (name, value) in int_params {
+            state.set_int(name.clone(), *value);
+        }
+        let mut region = Vec::new();
+        for bound in &clause.bounds {
+            let lo = eval_int_expr(&bound.inclusive_lo(), &state).ok()?;
+            let hi = eval_int_expr(&bound.inclusive_hi(), &state).ok()?;
+            region.push((lo, hi));
+        }
+        Some(region)
+    }
+
+    /// The Halide C++ generator source for every function of the summary.
+    pub fn halide_cpp(&self) -> String {
+        self.funcs
+            .iter()
+            .map(|(f, _)| stng_halide::codegen::halide_cpp(f, &self.scalar_params))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Translates one right-hand-side expression over quantified variables.
+fn translate_expr(
+    e: &IrExpr,
+    vars: &[String],
+    scalar_params: &mut Vec<String>,
+) -> Result<HExpr, TranslationError> {
+    match e {
+        IrExpr::Real(v) => Ok(HExpr::Const(*v)),
+        IrExpr::Int(v) => Ok(HExpr::Const(*v as f64)),
+        IrExpr::Var(name) => {
+            if vars.contains(name) {
+                Err(TranslationError::Unsupported(format!(
+                    "bare index variable '{name}' used as data"
+                )))
+            } else {
+                if !scalar_params.contains(name) {
+                    scalar_params.push(name.clone());
+                }
+                Ok(HExpr::Param(name.clone()))
+            }
+        }
+        IrExpr::Load { array, indices } => {
+            let index = indices
+                .iter()
+                .map(|ix| translate_index(ix, vars))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(HExpr::Input {
+                image: array.clone(),
+                index,
+            })
+        }
+        IrExpr::Bin { op, lhs, rhs } => {
+            let l = Box::new(translate_expr(lhs, vars, scalar_params)?);
+            let r = Box::new(translate_expr(rhs, vars, scalar_params)?);
+            Ok(match op {
+                BinOp::Add => HExpr::Add(l, r),
+                BinOp::Sub => HExpr::Sub(l, r),
+                BinOp::Mul => HExpr::Mul(l, r),
+                BinOp::Div => HExpr::Div(l, r),
+            })
+        }
+        IrExpr::Call { func, args } => {
+            let args = args
+                .iter()
+                .map(|a| translate_expr(a, vars, scalar_params))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(HExpr::Call {
+                name: func.clone(),
+                args,
+            })
+        }
+        other => Err(TranslationError::Unsupported(other.to_string())),
+    }
+}
+
+/// Translates an index expression of the grammar (`vᵢ + c`, `c`).
+fn translate_index(e: &IrExpr, vars: &[String]) -> Result<HIndex, TranslationError> {
+    let affine = e
+        .as_affine()
+        .ok_or_else(|| TranslationError::BadIndex(e.to_string()))?;
+    let mentioned: Vec<&String> = affine.terms.keys().collect();
+    match mentioned.len() {
+        0 => Ok(HIndex::Const(affine.constant)),
+        1 => {
+            let name = mentioned[0];
+            let coeff = affine.coeff(name);
+            let var = vars
+                .iter()
+                .position(|v| v == name)
+                .ok_or_else(|| TranslationError::BadIndex(e.to_string()))?;
+            if coeff != 1 {
+                return Err(TranslationError::BadIndex(e.to_string()));
+            }
+            Ok(HIndex::VarOffset {
+                var,
+                offset: affine.constant,
+            })
+        }
+        _ => Err(TranslationError::BadIndex(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stng_pred::fixtures;
+
+    #[test]
+    fn running_example_translates_to_a_two_point_halide_func() {
+        let post = fixtures::running_example_post();
+        let summary = StencilSummary::from_postcondition("sten_k0", &post).unwrap();
+        assert_eq!(summary.funcs.len(), 1);
+        let (func, _) = &summary.funcs[0];
+        assert_eq!(func.rank, 2);
+        assert_eq!(func.expr.to_string(), "(b(x-1, y) + b(x, y))");
+        let cpp = summary.halide_cpp();
+        assert!(cpp.contains("compile_to_file(\"sten_k0_halide\""));
+    }
+
+    #[test]
+    fn regions_come_from_the_quantifier_domain() {
+        let post = fixtures::running_example_post();
+        let summary = StencilSummary::from_postcondition("sten_k0", &post).unwrap();
+        let mut params = HashMap::new();
+        params.insert("imin".to_string(), 0);
+        params.insert("imax".to_string(), 10);
+        params.insert("jmin".to_string(), 2);
+        params.insert("jmax".to_string(), 8);
+        let region = summary.region(0, &params).unwrap();
+        assert_eq!(region, vec![(1, 10), (2, 8)]);
+    }
+
+    #[test]
+    fn non_unit_coefficients_are_rejected() {
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                IrExpr::mul(IrExpr::Int(2), IrExpr::var("vi")),
+                IrExpr::var("vj"),
+            ],
+        };
+        assert!(StencilSummary::from_postcondition("k", &post).is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! Canonical symbolic expressions over array reads, scalar inputs, constants,
+//! and pure functions.
+//!
+//! Values are kept in a sum-of-products normal form: an expression is a sum
+//! of monomials, each monomial a rational coefficient times a sorted multiset
+//! of atomic factors. Atoms are array reads at concrete indices, named scalar
+//! inputs, applications of pure functions, and quotients (kept opaque).
+//! Normalization makes semantically equal expressions (modulo associativity,
+//! commutativity, and distributivity over the reals) structurally equal,
+//! which is what both anti-unification and the verifier's equality checks
+//! rely on.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use stng_ir::value::DataValue;
+
+/// An atomic (non-arithmetic) factor of a monomial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// A read of an input array at concrete indices (symbolic execution runs
+    /// with concrete loop bounds, so indices are always concrete integers).
+    Read { array: String, indices: Vec<i64> },
+    /// A named symbolic scalar input.
+    Var(String),
+    /// An application of a pure (uninterpreted) function.
+    Apply { func: String, args: Vec<SymExpr> },
+    /// A quotient `numerator / denominator`, kept opaque (no rational
+    /// function simplification beyond constant folding).
+    Quot { num: Box<SymExpr>, den: Box<SymExpr> },
+}
+
+impl Eq for Atom {}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(a: &Atom) -> u8 {
+            match a {
+                Atom::Read { .. } => 0,
+                Atom::Var(_) => 1,
+                Atom::Apply { .. } => 2,
+                Atom::Quot { .. } => 3,
+            }
+        }
+        match (self, other) {
+            (
+                Atom::Read {
+                    array: a1,
+                    indices: i1,
+                },
+                Atom::Read {
+                    array: a2,
+                    indices: i2,
+                },
+            ) => a1.cmp(a2).then_with(|| i1.cmp(i2)),
+            (Atom::Var(a), Atom::Var(b)) => a.cmp(b),
+            (
+                Atom::Apply {
+                    func: f1,
+                    args: x1,
+                },
+                Atom::Apply {
+                    func: f2,
+                    args: x2,
+                },
+            ) => f1.cmp(f2).then_with(|| x1.cmp(x2)),
+            (Atom::Quot { num: n1, den: d1 }, Atom::Quot { num: n2, den: d2 }) => {
+                n1.cmp(n2).then_with(|| d1.cmp(d2))
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Read { array, indices } => {
+                write!(f, "{array}[")?;
+                for (k, ix) in indices.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{ix}")?;
+                }
+                write!(f, "]")
+            }
+            Atom::Var(name) => write!(f, "{name}"),
+            Atom::Apply { func, args } => {
+                write!(f, "{func}(")?;
+                for (k, a) in args.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Atom::Quot { num, den } => write!(f, "({num} / {den})"),
+        }
+    }
+}
+
+/// One monomial: a coefficient times a multiset of atoms (atom → power).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    /// Multiplicative coefficient.
+    pub coeff: f64,
+    /// Atom powers, sorted by atom.
+    pub factors: BTreeMap<Atom, u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `coeff`.
+    pub fn constant(coeff: f64) -> Monomial {
+        Monomial {
+            coeff,
+            factors: BTreeMap::new(),
+        }
+    }
+
+    /// The monomial `1 · atom`.
+    pub fn atom(atom: Atom) -> Monomial {
+        let mut factors = BTreeMap::new();
+        factors.insert(atom, 1);
+        Monomial {
+            coeff: 1.0,
+            factors,
+        }
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut factors = self.factors.clone();
+        for (a, p) in &other.factors {
+            *factors.entry(a.clone()).or_insert(0) += p;
+        }
+        Monomial {
+            coeff: self.coeff * other.coeff,
+            factors,
+        }
+    }
+
+    /// The sorting/grouping key of the monomial (its factors, ignoring the
+    /// coefficient).
+    fn key(&self) -> Vec<(Atom, u32)> {
+        self.factors
+            .iter()
+            .map(|(a, p)| (a.clone(), *p))
+            .collect()
+    }
+}
+
+impl Eq for Monomial {}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key()
+            .cmp(&other.key())
+            .then_with(|| self.coeff.total_cmp(&other.coeff))
+    }
+}
+
+/// A symbolic expression in sum-of-products normal form.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SymExpr {
+    /// The monomials of the sum, sorted by their factor keys. Zero-coefficient
+    /// monomials are removed.
+    pub terms: Vec<Monomial>,
+}
+
+impl SymExpr {
+    /// The zero expression.
+    pub fn zero() -> SymExpr {
+        SymExpr { terms: Vec::new() }
+    }
+
+    /// A constant expression.
+    pub fn constant(value: f64) -> SymExpr {
+        SymExpr {
+            terms: vec![Monomial::constant(value)],
+        }
+        .normalized()
+    }
+
+    /// A named symbolic scalar.
+    pub fn var(name: impl Into<String>) -> SymExpr {
+        SymExpr {
+            terms: vec![Monomial::atom(Atom::Var(name.into()))],
+        }
+    }
+
+    /// A read of `array` at concrete `indices`.
+    pub fn read(array: impl Into<String>, indices: Vec<i64>) -> SymExpr {
+        SymExpr {
+            terms: vec![Monomial::atom(Atom::Read {
+                array: array.into(),
+                indices,
+            })],
+        }
+    }
+
+    /// An application of a pure function.
+    pub fn apply(func: impl Into<String>, args: Vec<SymExpr>) -> SymExpr {
+        SymExpr {
+            terms: vec![Monomial::atom(Atom::Apply {
+                func: func.into(),
+                args,
+            })],
+        }
+    }
+
+    /// Returns `Some(c)` when the expression is the constant `c`.
+    pub fn as_constant(&self) -> Option<f64> {
+        match self.terms.len() {
+            0 => Some(0.0),
+            1 if self.terms[0].factors.is_empty() => Some(self.terms[0].coeff),
+            _ => None,
+        }
+    }
+
+    /// Returns the single atom when the expression is exactly `1 · atom`.
+    pub fn as_single_atom(&self) -> Option<&Atom> {
+        if self.terms.len() == 1
+            && (self.terms[0].coeff - 1.0).abs() < 1e-12
+            && self.terms[0].factors.len() == 1
+        {
+            let (atom, power) = self.terms[0].factors.iter().next().unwrap();
+            if *power == 1 {
+                return Some(atom);
+            }
+        }
+        None
+    }
+
+    /// All distinct array reads appearing (recursively) in the expression.
+    pub fn reads(&self) -> Vec<(String, Vec<i64>)> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<(String, Vec<i64>)>) {
+        for term in &self.terms {
+            for atom in term.factors.keys() {
+                match atom {
+                    Atom::Read { array, indices } => {
+                        let entry = (array.clone(), indices.clone());
+                        if !out.contains(&entry) {
+                            out.push(entry);
+                        }
+                    }
+                    Atom::Apply { args, .. } => {
+                        for a in args {
+                            a.collect_reads(out);
+                        }
+                    }
+                    Atom::Quot { num, den } => {
+                        num.collect_reads(out);
+                        den.collect_reads(out);
+                    }
+                    Atom::Var(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Re-sorts terms and merges monomials with identical factor keys.
+    fn normalized(mut self) -> SymExpr {
+        self.terms.sort_by(|a, b| a.key().cmp(&b.key()));
+        let mut merged: Vec<Monomial> = Vec::new();
+        for term in self.terms {
+            if let Some(last) = merged.last_mut() {
+                if last.key() == term.key() {
+                    last.coeff += term.coeff;
+                    continue;
+                }
+            }
+            merged.push(term);
+        }
+        merged.retain(|m| m.coeff.abs() > 1e-12);
+        SymExpr { terms: merged }
+    }
+}
+
+impl Eq for SymExpr {}
+
+impl PartialOrd for SymExpr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SymExpr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.terms.cmp(&other.terms)
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (k, term) in self.terms.iter().enumerate() {
+            if k > 0 {
+                write!(f, " + ")?;
+            }
+            let mut wrote = false;
+            if (term.coeff - 1.0).abs() > 1e-12 || term.factors.is_empty() {
+                write!(f, "{}", term.coeff)?;
+                wrote = true;
+            }
+            for (atom, power) in &term.factors {
+                if wrote {
+                    write!(f, "*")?;
+                }
+                write!(f, "{atom}")?;
+                if *power > 1 {
+                    write!(f, "^{power}")?;
+                }
+                wrote = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DataValue for SymExpr {
+    fn from_const(value: f64) -> Self {
+        SymExpr::constant(value)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.clone());
+        SymExpr { terms }.normalized()
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut terms = Vec::new();
+        for a in &self.terms {
+            for b in &other.terms {
+                terms.push(a.mul(b));
+            }
+        }
+        SymExpr { terms }.normalized()
+    }
+
+    fn div(&self, other: &Self) -> Self {
+        if let Some(c) = other.as_constant() {
+            if c.abs() > 1e-12 {
+                let mut out = self.clone();
+                for term in &mut out.terms {
+                    term.coeff /= c;
+                }
+                return out.normalized();
+            }
+            return SymExpr::zero();
+        }
+        if self == other {
+            return SymExpr::constant(1.0);
+        }
+        SymExpr {
+            terms: vec![Monomial::atom(Atom::Quot {
+                num: Box::new(self.clone()),
+                den: Box::new(other.clone()),
+            })],
+        }
+    }
+
+    fn neg(&self) -> Self {
+        let mut out = self.clone();
+        for term in &mut out.terms {
+            term.coeff = -term.coeff;
+        }
+        out
+    }
+
+    fn apply(func: &str, args: &[Self]) -> Self {
+        SymExpr::apply(func, args.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: i64, j: i64) -> SymExpr {
+        SymExpr::read("b", vec![i, j])
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative_structurally() {
+        let lhs = b(1, 2).add(&b(3, 4)).add(&SymExpr::constant(2.0));
+        let rhs = SymExpr::constant(2.0).add(&b(3, 4)).add(&b(1, 2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        // (x + y) * 2 == 2x + 2y
+        let x = SymExpr::var("x");
+        let y = SymExpr::var("y");
+        let lhs = x.add(&y).mul(&SymExpr::constant(2.0));
+        let rhs = x.mul(&SymExpr::constant(2.0)).add(&y.mul(&SymExpr::constant(2.0)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subtraction_cancels() {
+        let e = b(1, 1).add(&b(2, 2)).sub(&b(2, 2));
+        assert_eq!(e, b(1, 1));
+        let zero = b(1, 1).sub(&b(1, 1));
+        assert_eq!(zero, SymExpr::zero());
+        assert_eq!(zero.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = SymExpr::constant(2.0)
+            .mul(&SymExpr::constant(3.0))
+            .add(&SymExpr::constant(1.0));
+        assert_eq!(e.as_constant(), Some(7.0));
+    }
+
+    #[test]
+    fn division_by_constant_scales() {
+        let e = b(0, 0).mul(&SymExpr::constant(4.0)).div(&SymExpr::constant(2.0));
+        assert_eq!(e, b(0, 0).mul(&SymExpr::constant(2.0)));
+        // x / x = 1.
+        assert_eq!(b(0, 0).div(&b(0, 0)).as_constant(), Some(1.0));
+    }
+
+    #[test]
+    fn uninterpreted_functions_are_atoms() {
+        let e = SymExpr::apply("exp", vec![b(1, 1)]);
+        assert!(e.as_single_atom().is_some());
+        let sum = e.add(&e);
+        // exp(b) + exp(b) = 2 exp(b): one monomial with coefficient 2.
+        assert_eq!(sum.terms.len(), 1);
+        assert_eq!(sum.terms[0].coeff, 2.0);
+    }
+
+    #[test]
+    fn reads_are_collected_recursively() {
+        let e = SymExpr::apply("exp", vec![b(1, 2)]).add(&b(3, 4));
+        let reads = e.reads();
+        assert!(reads.contains(&("b".to_string(), vec![1, 2])));
+        assert!(reads.contains(&("b".to_string(), vec![3, 4])));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = b(1, 2).add(&SymExpr::constant(2.0)).add(&b(0, 0));
+        let s = e.to_string();
+        assert!(s.contains("b[1, 2]"));
+        assert!(s.contains("2"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The CEGIS driver: ties template generation, candidate enumeration,
+//! bounded checking, and sound verification together (§3 of the paper).
+
+use crate::control::ControlBits;
+use crate::invariant::invariant_candidates;
+use crate::postcond::PostcondSynthesizer;
+use std::time::{Duration, Instant};
+use stng_ir::interp::{run_kernel, ArrayData, State};
+use stng_ir::ir::{Kernel, ParamKind};
+use stng_ir::lower::liftability_check;
+use stng_ir::value::{ModInt, MOD_FIELD};
+use stng_pred::eval::eval_pred;
+use stng_pred::lang::{Invariant, Postcondition};
+use stng_pred::vcgen::{analyze_loop_nest, generate_vcs};
+use stng_solve::{BoundedChecker, SmtLite};
+use stng_sym::{choose_small_bounds, symbolic_execute};
+
+/// Why synthesis failed for a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisFailure {
+    /// The kernel is outside the liftable subset (conditionals, decrementing
+    /// loops, no output arrays, unsupported nest shape).
+    NotLiftable(String),
+    /// No postcondition in the restricted grammar matches the observations.
+    NoPostcondition(String),
+    /// A postcondition was found but it could not be validated even by
+    /// bounded checking.
+    NotValidated(String),
+}
+
+impl std::fmt::Display for SynthesisFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisFailure::NotLiftable(m) => write!(f, "not liftable: {m}"),
+            SynthesisFailure::NoPostcondition(m) => write!(f, "no postcondition found: {m}"),
+            SynthesisFailure::NotValidated(m) => write!(f, "candidate not validated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisFailure {}
+
+/// Configuration of the whole synthesis pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Postcondition synthesis settings.
+    pub postcond: PostcondSynthesizer,
+    /// Bounded checker used inside the CEGIS loop.
+    pub bounded: BoundedChecker,
+    /// Sound verifier used on surviving candidates.
+    pub prover: SmtLite,
+    /// When `true`, a kernel whose invariants cannot be proven sound is
+    /// rejected; when `false` (the default), it is accepted with
+    /// `soundly_verified = false` after extended bounded validation, and the
+    /// caller reports that distinction.
+    pub require_sound_proof: bool,
+    /// Grid sizes used for the extended bounded validation fallback.
+    pub validation_sizes: Vec<i64>,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            postcond: PostcondSynthesizer::default(),
+            bounded: BoundedChecker::default(),
+            prover: SmtLite {
+                max_split_depth: 6,
+                max_attempts: 4000,
+            },
+            require_sound_proof: false,
+            validation_sizes: vec![3, 4, 6],
+        }
+    }
+}
+
+/// The result of lifting one kernel to a summary.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The synthesized postcondition (the lifted summary).
+    pub post: Postcondition,
+    /// The loop invariants proving it, when sound verification succeeded.
+    pub invariants: Option<Vec<Invariant>>,
+    /// Control-bit accounting (Table 1).
+    pub control_bits: ControlBits,
+    /// AST-node count of the postcondition (Table 1).
+    pub postcond_nodes: usize,
+    /// Number of CEGIS candidate iterations (bounded-check rejections plus
+    /// verifier rejections) before the accepted candidate.
+    pub cegis_iterations: usize,
+    /// Whether the summary is backed by a full proof from the verifier.
+    pub soundly_verified: bool,
+    /// Wall-clock time spent synthesizing (Table 1, "Sketch Time").
+    pub synthesis_time: Duration,
+}
+
+/// Synthesizes a verified summary for a kernel using the default
+/// configuration.
+///
+/// # Errors
+///
+/// See [`SynthesisFailure`].
+pub fn synthesize(kernel: &Kernel) -> Result<SynthesisOutcome, SynthesisFailure> {
+    synthesize_with(kernel, &SynthesisConfig::default())
+}
+
+/// Synthesizes a verified summary for a kernel.
+///
+/// # Errors
+///
+/// See [`SynthesisFailure`].
+pub fn synthesize_with(
+    kernel: &Kernel,
+    config: &SynthesisConfig,
+) -> Result<SynthesisOutcome, SynthesisFailure> {
+    let start = Instant::now();
+    liftability_check(kernel).map_err(SynthesisFailure::NotLiftable)?;
+
+    // Step 1: postcondition from inductive templates.
+    let candidate = config
+        .postcond
+        .synthesize(kernel)
+        .map_err(SynthesisFailure::NoPostcondition)?;
+    let mut control_bits = candidate.control_bits;
+    let post = candidate.post;
+    let postcond_nodes = post.node_count();
+    let mut iterations = 0usize;
+
+    // Step 2: invariants + Hoare proof, when the nest shape is supported.
+    let nest = analyze_loop_nest(kernel);
+    if let Ok(nest) = nest {
+        let run = symbolic_execute(kernel, &choose_small_bounds(kernel, config.postcond.sizes.0));
+        if let Ok(run) = run {
+            if let Ok(inv_candidates) = invariant_candidates(kernel, &nest, &post, &run) {
+                control_bits.merge(&inv_candidates.control_bits);
+                for invariants in inv_candidates.candidates {
+                    iterations += 1;
+                    let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+                    // Fast screen: bounded checking on reachable states.
+                    match config.bounded.find_counterexample(kernel, &vcs) {
+                        Ok(None) => {}
+                        Ok(Some(_)) | Err(_) => continue,
+                    }
+                    // Sound check.
+                    if config.prover.verify_all(&vcs).is_valid() {
+                        return Ok(SynthesisOutcome {
+                            post,
+                            invariants: Some(invariants),
+                            control_bits,
+                            postcond_nodes,
+                            cegis_iterations: iterations,
+                            soundly_verified: true,
+                            synthesis_time: start.elapsed(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if config.require_sound_proof {
+        return Err(SynthesisFailure::NotValidated(
+            "no invariant candidate could be proven sound".to_string(),
+        ));
+    }
+
+    // Step 3 (fallback): extended bounded validation of the postcondition
+    // against full concrete executions. The result is flagged as not soundly
+    // verified; callers surface that distinction (see DESIGN.md §6).
+    validate_post_bounded(kernel, &post, &config.validation_sizes)
+        .map_err(SynthesisFailure::NotValidated)?;
+    Ok(SynthesisOutcome {
+        post,
+        invariants: None,
+        control_bits,
+        postcond_nodes,
+        cegis_iterations: iterations,
+        soundly_verified: false,
+        synthesis_time: start.elapsed(),
+    })
+}
+
+/// Validates a postcondition by running the kernel concretely (modular data
+/// domain) at several sizes and evaluating the predicate on the final state.
+fn validate_post_bounded(
+    kernel: &Kernel,
+    post: &Postcondition,
+    sizes: &[i64],
+) -> Result<(), String> {
+    for (trial, &size) in sizes.iter().enumerate() {
+        let bounds = choose_small_bounds(kernel, size);
+        let mut state: State<ModInt> = State::new();
+        for (name, value) in &bounds {
+            state.set_int(name.clone(), *value);
+        }
+        for (k, name) in kernel.real_params().into_iter().enumerate() {
+            state.set_real(name, ModInt::new((trial as i64 + k as i64 + 2) % MOD_FIELD));
+        }
+        for param in &kernel.params {
+            if let ParamKind::Array { dims } = &param.kind {
+                let mut concrete = Vec::new();
+                for (lo, hi) in dims {
+                    let lo = stng_ir::interp::eval_int_expr(lo, &state).map_err(|e| e.to_string())?;
+                    let hi = stng_ir::interp::eval_int_expr(hi, &state).map_err(|e| e.to_string())?;
+                    concrete.push((lo, hi));
+                }
+                let seed = trial as i64;
+                let array = ArrayData::from_fn(concrete, |idx| {
+                    ModInt::new(idx.iter().enumerate().map(|(d, v)| (d as i64 + 2) * v).sum::<i64>() + seed)
+                });
+                state.set_array(param.name.clone(), array);
+            }
+        }
+        run_kernel(kernel, &mut state).map_err(|e| e.to_string())?;
+        let mut state = state;
+        if !eval_pred(&post.to_pred(), &mut state).map_err(|e| e.to_string())? {
+            return Err(format!(
+                "postcondition fails on a concrete execution at size {size}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stng_ir::lower::kernel_from_source;
+    use stng_pred::fixtures;
+
+    #[test]
+    fn running_example_is_soundly_lifted() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let outcome = synthesize(&kernel).unwrap();
+        assert!(outcome.soundly_verified);
+        assert!(outcome.invariants.is_some());
+        assert!(outcome.postcond_nodes > 10);
+        assert!(outcome.control_bits.total() > 0);
+        let text = outcome.post.to_string();
+        assert!(text.contains("b[(v0 - 1), v1]"));
+    }
+
+    #[test]
+    fn conditional_kernel_is_rejected_as_not_liftable() {
+        let src = r#"
+procedure k(n, a, b)
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  integer :: i
+  do i = 1, n
+    if (b(i) > 0.0) then
+      a(i) = b(i)
+    endif
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(matches!(
+            synthesize(&kernel),
+            Err(SynthesisFailure::NotLiftable(_))
+        ));
+    }
+
+    #[test]
+    fn reduction_is_rejected_as_non_stencil() {
+        let src = r#"
+procedure k(n, b)
+  real, dimension(0:n) :: b
+  real :: s
+  integer :: i
+  do i = 1, n
+    s = s + b(i)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(matches!(
+            synthesize(&kernel),
+            Err(SynthesisFailure::NotLiftable(_))
+        ));
+    }
+
+    #[test]
+    fn three_dimensional_seven_point_stencil_lifts() {
+        let src = r#"
+procedure heat(n, a, b)
+  real, dimension(0:n, 0:n, 0:n) :: a
+  real, dimension(0:n, 0:n, 0:n) :: b
+  integer :: i
+  integer :: j
+  integer :: k
+  do k = 1, n-1
+    do j = 1, n-1
+      do i = 1, n-1
+        a(i, j, k) = b(i-1, j, k) + b(i+1, j, k) + b(i, j-1, k) + b(i, j+1, k) + b(i, j, k-1) + b(i, j, k+1) - 6.0 * b(i, j, k)
+      enddo
+    enddo
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let outcome = synthesize(&kernel).unwrap();
+        assert!(outcome.post.to_string().contains("b[(v0 - 1), v1, v2]"));
+        assert!(outcome.postcond_nodes > 30);
+    }
+}

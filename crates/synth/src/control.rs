@@ -1,0 +1,81 @@
+//! Accounting of "control bits": the size of the search space the equivalent
+//! SKETCH encoding would expose to the constraint solver (reported per kernel
+//! in Table 1 of the paper).
+
+/// Breakdown of the synthesis search space for one kernel, measured in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlBits {
+    /// Bits spent on index holes (`pt()` holes inside array reads).
+    pub index_bits: usize,
+    /// Bits spent on floating-point constant holes (`w` weights).
+    pub const_bits: usize,
+    /// Bits spent choosing quantifier bounds for the postcondition region.
+    pub bound_bits: usize,
+    /// Bits spent on invariant structural choices (region truncation points,
+    /// scalar-equality facts).
+    pub invariant_bits: usize,
+    /// Bits contributed by conditional grammars (§6.6 experiments only).
+    pub conditional_bits: usize,
+}
+
+impl ControlBits {
+    /// Total number of control bits.
+    pub fn total(&self) -> usize {
+        self.index_bits
+            + self.const_bits
+            + self.bound_bits
+            + self.invariant_bits
+            + self.conditional_bits
+    }
+
+    /// Adds another breakdown to this one.
+    pub fn merge(&mut self, other: &ControlBits) {
+        self.index_bits += other.index_bits;
+        self.const_bits += other.const_bits;
+        self.bound_bits += other.bound_bits;
+        self.invariant_bits += other.invariant_bits;
+        self.conditional_bits += other.conditional_bits;
+    }
+}
+
+/// Number of bits needed to pick one element out of `choices`.
+pub fn bits_for_choices(choices: usize) -> usize {
+    if choices <= 1 {
+        0
+    } else {
+        (usize::BITS - (choices - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_choices_is_ceil_log2() {
+        assert_eq!(bits_for_choices(0), 0);
+        assert_eq!(bits_for_choices(1), 0);
+        assert_eq!(bits_for_choices(2), 1);
+        assert_eq!(bits_for_choices(3), 2);
+        assert_eq!(bits_for_choices(8), 3);
+        assert_eq!(bits_for_choices(9), 4);
+    }
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = ControlBits {
+            index_bits: 10,
+            const_bits: 4,
+            bound_bits: 6,
+            invariant_bits: 8,
+            conditional_bits: 0,
+        };
+        assert_eq!(a.total(), 28);
+        let b = ControlBits {
+            conditional_bits: 63,
+            ..ControlBits::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 91);
+    }
+}

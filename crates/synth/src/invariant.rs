@@ -1,0 +1,433 @@
+//! Loop-invariant candidate generation (§4.1's restricted invariant
+//! structure, plus the scalar-equality facts needed by imperfect nests).
+//!
+//! Given the synthesized postcondition, the invariant for each loop level is
+//! derived structurally: the already-computed region of every output array is
+//! described lexicographically in terms of the enclosing loop counters, with
+//! a small set of candidate *truncation points* per level (the CEGIS choices
+//! the bounded checker and the verifier subsequently discriminate). Scalar
+//! temporaries are related to the input arrays by anti-unifying their values
+//! observed at loop heads during symbolic execution.
+
+use crate::control::{bits_for_choices, ControlBits};
+use std::collections::HashMap;
+use stng_ir::ir::{CmpOp, IrExpr, IrStmt, Kernel};
+use stng_pred::lang::{Invariant, OutEq, Postcondition, QuantBound, QuantClause};
+use stng_pred::vcgen::LoopNest;
+use stng_sym::anti::{generalize, IndexTemplate, TemplateExpr};
+use stng_sym::SymbolicRun;
+
+/// A full candidate: one invariant per loop level.
+pub type InvariantSet = Vec<Invariant>;
+
+/// The output of invariant candidate generation.
+#[derive(Debug, Clone)]
+pub struct InvariantCandidates {
+    /// Candidate invariant sets, most likely first.
+    pub candidates: Vec<InvariantSet>,
+    /// Search-space accounting for the structural choices.
+    pub control_bits: ControlBits,
+}
+
+/// Generates invariant candidates for a kernel whose postcondition is known.
+///
+/// # Errors
+///
+/// Returns a reason when the loop structure falls outside the supported
+/// shape (e.g. a loop level that does not drive any output dimension).
+pub fn invariant_candidates(
+    kernel: &Kernel,
+    nest: &LoopNest,
+    post: &Postcondition,
+    run: &SymbolicRun,
+) -> Result<InvariantCandidates, String> {
+    let mut bits = ControlBits::default();
+
+    // Which output dimension does each loop level drive, per output array?
+    // A level drives the dimension whose store index mentions its counter.
+    let mut driven: Vec<HashMap<String, usize>> = Vec::new();
+    for level in &nest.levels {
+        let mut per_array = HashMap::new();
+        for clause in &post.clauses {
+            if let Some(dim) = driven_dimension(kernel, &clause.eq.array, &level.var) {
+                per_array.insert(clause.eq.array.clone(), dim);
+            }
+        }
+        if per_array.is_empty() {
+            return Err(format!(
+                "loop over '{}' does not drive any output dimension (unsupported nest shape)",
+                level.var
+            ));
+        }
+        driven.push(per_array);
+    }
+
+    // Truncation choices per level: the completed region in the driven
+    // dimension stops at counter−1 (the common case) or at the counter
+    // itself; CEGIS discriminates between them.
+    let truncations: Vec<Vec<IrExpr>> = nest
+        .levels
+        .iter()
+        .map(|level| {
+            vec![
+                IrExpr::sub(IrExpr::var(level.var.clone()), IrExpr::Int(1)),
+                IrExpr::var(level.var.clone()),
+            ]
+        })
+        .collect();
+    for t in &truncations {
+        bits.invariant_bits += bits_for_choices(t.len());
+    }
+
+    // Scalar-equality facts per level, from the loop-head snapshots.
+    let scalar_eqs: Vec<Vec<(String, IrExpr)>> = nest
+        .levels
+        .iter()
+        .map(|level| scalar_equalities(run, &level.var))
+        .collect();
+    for eqs in &scalar_eqs {
+        bits.invariant_bits += eqs.len();
+    }
+
+    // Enumerate the cartesian product of truncation choices (small: 2^depth).
+    let depth = nest.levels.len();
+    let mut candidates = Vec::new();
+    let combinations = 1usize << depth;
+    for mask in 0..combinations {
+        let choice: Vec<&IrExpr> = (0..depth)
+            .map(|d| &truncations[d][(mask >> d) & 1])
+            .collect();
+        candidates.push(build_invariant_set(
+            nest,
+            post,
+            &driven,
+            &choice,
+            &scalar_eqs,
+        ));
+    }
+
+    Ok(InvariantCandidates {
+        candidates,
+        control_bits: bits,
+    })
+}
+
+/// Builds one invariant per level for a particular truncation choice.
+fn build_invariant_set(
+    nest: &LoopNest,
+    post: &Postcondition,
+    driven: &[HashMap<String, usize>],
+    truncation: &[&IrExpr],
+    scalar_eqs: &[Vec<(String, IrExpr)>],
+) -> InvariantSet {
+    let depth = nest.levels.len();
+    let mut set = Vec::new();
+    for d in 0..depth {
+        let mut inv = Invariant::empty();
+        // Scalar conditions: every enclosing counter has passed its lower
+        // bound.
+        for level in &nest.levels[0..=d] {
+            inv.scalar_conds.push(IrExpr::cmp(
+                CmpOp::Le,
+                level.lo.clone(),
+                IrExpr::var(level.var.clone()),
+            ));
+        }
+        // Scalar-equality facts observed at this level's loop head.
+        inv.scalar_eqs = scalar_eqs[d].clone();
+        // Region clauses: lexicographic decomposition of the completed part
+        // of every output array.
+        for clause in &post.clauses {
+            let array = &clause.eq.array;
+            for e in 0..=d {
+                let Some(&dim_e) = driven[e].get(array) else {
+                    continue;
+                };
+                let mut bounds = clause.bounds.clone();
+                let mut empty_region = false;
+                // Levels before `e` pin their driven dimension to the current
+                // iteration.
+                for (f, level_f) in nest.levels.iter().enumerate().take(e) {
+                    if let Some(&dim_f) = driven[f].get(array) {
+                        bounds[dim_f] = QuantBound::inclusive(
+                            bounds[dim_f].var.clone(),
+                            IrExpr::var(level_f.var.clone()),
+                            IrExpr::var(level_f.var.clone()),
+                        );
+                    }
+                }
+                // Level `e` truncates its driven dimension.
+                let full = &clause.bounds[dim_e];
+                bounds[dim_e] = QuantBound::inclusive(
+                    full.var.clone(),
+                    full.inclusive_lo(),
+                    truncation[e].clone(),
+                );
+                if empty_region {
+                    continue;
+                }
+                empty_region = false;
+                let _ = empty_region;
+                set_push_clause(&mut inv, bounds, clause);
+            }
+        }
+        set.push(inv);
+    }
+    set
+}
+
+fn set_push_clause(inv: &mut Invariant, bounds: Vec<QuantBound>, clause: &QuantClause) {
+    inv.clauses.push(QuantClause {
+        bounds,
+        eq: OutEq {
+            array: clause.eq.array.clone(),
+            indices: clause.eq.indices.clone(),
+            rhs: clause.eq.rhs.clone(),
+        },
+    });
+}
+
+/// The output dimension of `array` whose store index mentions `var`, if any.
+fn driven_dimension(kernel: &Kernel, array: &str, var: &str) -> Option<usize> {
+    let mut found = None;
+    for stmt in &kernel.body {
+        stmt.walk(&mut |s| {
+            if let IrStmt::Store {
+                array: a, indices, ..
+            } = s
+            {
+                if a == array {
+                    for (dim, ix) in indices.iter().enumerate() {
+                        if ix.free_vars().iter().any(|v| v == var) && found.is_none() {
+                            found = Some(dim);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    found
+}
+
+/// Synthesizes `scalar = expr(input arrays, counters)` facts from the values
+/// observed at the head of every iteration of the loop over `var`.
+fn scalar_equalities(run: &SymbolicRun, var: &str) -> Vec<(String, IrExpr)> {
+    let Some(snapshots) = run.loop_heads.get(var) else {
+        return Vec::new();
+    };
+    if snapshots.is_empty() {
+        return Vec::new();
+    }
+    // Scalars present in every snapshot.
+    let mut names: Vec<String> = snapshots[0].scalars.keys().cloned().collect();
+    names.retain(|n| snapshots.iter().all(|s| s.scalars.contains_key(n)));
+    names.sort();
+
+    let mut out = Vec::new();
+    'scalars: for name in names {
+        let values: Vec<_> = snapshots.iter().map(|s| s.scalars[&name].clone()).collect();
+        let Some(template) = generalize(&values) else {
+            continue;
+        };
+        // Solve every index hole as `counter + offset`, consistent across all
+        // snapshots.
+        let counters: Vec<String> = snapshots[0].counters.iter().map(|(v, _)| v.clone()).collect();
+        let mut hole_values: HashMap<usize, Vec<(Vec<i64>, i64)>> = HashMap::new();
+        for snap in snapshots {
+            let point: Vec<i64> = snap.counters.iter().map(|(_, v)| *v).collect();
+            let concrete = TemplateExpr::from_sym(&snap.scalars[&name]);
+            if !collect_index_holes(&template.expr, &concrete, &point, &mut hole_values) {
+                continue 'scalars;
+            }
+        }
+        let mut solutions: HashMap<usize, IrExpr> = HashMap::new();
+        for (hole, vals) in &hole_values {
+            match solve_counter_hole(vals, &counters) {
+                Some(expr) => {
+                    solutions.insert(*hole, expr);
+                }
+                None => continue 'scalars,
+            }
+        }
+        if let Some(expr) = instantiate(&template.expr, &solutions) {
+            out.push((name, expr));
+        }
+    }
+    out
+}
+
+fn collect_index_holes(
+    template: &TemplateExpr,
+    concrete: &TemplateExpr,
+    point: &[i64],
+    out: &mut HashMap<usize, Vec<(Vec<i64>, i64)>>,
+) -> bool {
+    use TemplateExpr::*;
+    match (template, concrete) {
+        (Const(a), Const(b)) => (a - b).abs() < 1e-12,
+        (Var(a), Var(b)) => a == b,
+        (
+            Read {
+                array: a1,
+                index: i1,
+            },
+            Read {
+                array: a2,
+                index: i2,
+            },
+        ) => {
+            if a1 != a2 || i1.len() != i2.len() {
+                return false;
+            }
+            for (t, c) in i1.iter().zip(i2) {
+                match (t, c) {
+                    (IndexTemplate::Fixed(x), IndexTemplate::Fixed(y)) => {
+                        if x != y {
+                            return false;
+                        }
+                    }
+                    (IndexTemplate::Hole(id), IndexTemplate::Fixed(y)) => {
+                        out.entry(*id).or_default().push((point.to_vec(), *y));
+                    }
+                    _ => return false,
+                }
+            }
+            true
+        }
+        (Apply { func: f1, args: x1 }, Apply { func: f2, args: x2 }) => {
+            f1 == f2
+                && x1.len() == x2.len()
+                && x1
+                    .iter()
+                    .zip(x2)
+                    .all(|(p, q)| collect_index_holes(p, q, point, out))
+        }
+        (Sum(x1), Sum(x2)) | (Prod(x1), Prod(x2)) => {
+            x1.len() == x2.len()
+                && x1
+                    .iter()
+                    .zip(x2)
+                    .all(|(p, q)| collect_index_holes(p, q, point, out))
+        }
+        (Quot(n1, d1), Quot(n2, d2)) => {
+            collect_index_holes(n1, n2, point, out) && collect_index_holes(d1, d2, point, out)
+        }
+        _ => false,
+    }
+}
+
+fn solve_counter_hole(values: &[(Vec<i64>, i64)], counters: &[String]) -> Option<IrExpr> {
+    for (k, counter) in counters.iter().enumerate() {
+        let offset = values[0].1 - values[0].0[k];
+        if values.iter().all(|(p, v)| v - p[k] == offset) {
+            let base = IrExpr::var(counter.clone());
+            return Some(match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => base,
+                std::cmp::Ordering::Greater => IrExpr::add(base, IrExpr::Int(offset)),
+                std::cmp::Ordering::Less => IrExpr::sub(base, IrExpr::Int(-offset)),
+            });
+        }
+    }
+    let first = values[0].1;
+    if values.iter().all(|(_, v)| *v == first) {
+        return Some(IrExpr::Int(first));
+    }
+    None
+}
+
+fn instantiate(template: &TemplateExpr, solutions: &HashMap<usize, IrExpr>) -> Option<IrExpr> {
+    use TemplateExpr::*;
+    match template {
+        Const(v) => Some(IrExpr::Real(*v)),
+        Var(name) => Some(IrExpr::var(name.clone())),
+        Read { array, index } => {
+            let mut indices = Vec::new();
+            for ix in index {
+                match ix {
+                    IndexTemplate::Fixed(v) => indices.push(IrExpr::Int(*v)),
+                    IndexTemplate::Hole(id) => indices.push(solutions.get(id)?.clone()),
+                }
+            }
+            Some(IrExpr::Load {
+                array: array.clone(),
+                indices,
+            })
+        }
+        Apply { func, args } => {
+            let args = args
+                .iter()
+                .map(|a| instantiate(a, solutions))
+                .collect::<Option<Vec<_>>>()?;
+            Some(IrExpr::Call {
+                func: func.clone(),
+                args,
+            })
+        }
+        Sum(terms) => {
+            let mut out: Option<IrExpr> = None;
+            for t in terms {
+                let e = instantiate(t, solutions)?;
+                out = Some(match out {
+                    Some(acc) => IrExpr::add(acc, e),
+                    None => e,
+                });
+            }
+            out
+        }
+        Prod(factors) => {
+            let mut out: Option<IrExpr> = None;
+            for t in factors {
+                let e = instantiate(t, solutions)?;
+                out = Some(match out {
+                    Some(acc) => IrExpr::mul(acc, e),
+                    None => e,
+                });
+            }
+            out
+        }
+        Quot(num, den) => Some(IrExpr::bin(
+            stng_ir::ir::BinOp::Div,
+            instantiate(num, solutions)?,
+            instantiate(den, solutions)?,
+        )),
+        ConstHole(_) | Hole(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postcond::PostcondSynthesizer;
+    use stng_ir::lower::kernel_from_source;
+    use stng_pred::fixtures;
+    use stng_pred::vcgen::analyze_loop_nest;
+    use stng_sym::exec::symbolic_execute_small;
+
+    #[test]
+    fn running_example_candidates_include_the_correct_invariants() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let post = PostcondSynthesizer::new().synthesize(&kernel).unwrap().post;
+        let run = symbolic_execute_small(&kernel, 4).unwrap();
+        let result = invariant_candidates(&kernel, &nest, &post, &run).unwrap();
+        assert_eq!(result.candidates.len(), 4); // 2 truncation choices × 2 levels
+        // Every candidate has one invariant per level and the inner one knows
+        // about the scalar temporary `t`.
+        for set in &result.candidates {
+            assert_eq!(set.len(), 2);
+            assert!(set[1].scalar_eqs.iter().any(|(name, _)| name == "t"));
+            assert_eq!(set[0].clauses.len(), 1);
+            assert_eq!(set[1].clauses.len(), 2);
+        }
+        assert!(result.control_bits.total() > 0);
+    }
+
+    #[test]
+    fn scalar_equalities_recover_the_carried_temporary() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let run = symbolic_execute_small(&kernel, 4).unwrap();
+        let eqs = scalar_equalities(&run, "i");
+        let t = eqs.iter().find(|(name, _)| name == "t").unwrap();
+        assert_eq!(t.1.to_string(), "b[(i - 1), j]");
+    }
+}

@@ -1,0 +1,54 @@
+//! Portability: lift the StencilMark `heat0` kernel, then compare CPU
+//! execution of the lifted summary against the modelled GPU execution with
+//! and without host↔device transfers (the §6.4 study for one kernel).
+//!
+//! Run with `cargo run --release --example gpu_offload`.
+
+use std::collections::HashMap;
+use stng::pipeline::{KernelOutcome, Stng};
+use stng_corpus::{suite_kernels, Suite};
+use stng_halide::buffer::Buffer;
+use stng_halide::gpu::GpuModel;
+use stng_halide::schedule::{realize, Schedule};
+use stng_sym::choose_small_bounds;
+
+fn main() {
+    let kernels = suite_kernels(Suite::StencilMark);
+    let heat0 = kernels.iter().find(|k| k.name == "heat0").expect("heat0 exists");
+    let report = Stng::new().lift_source(&heat0.source).expect("heat0 parses");
+    let kernel_report = &report.kernels[0];
+    let KernelOutcome::Translated { summary, .. } = &kernel_report.outcome else {
+        panic!("heat0 should lift: {:?}", kernel_report.outcome);
+    };
+    let kernel = kernel_report.kernel.as_ref().expect("kernel lowered");
+
+    // Build inputs at a 48³ grid.
+    let int_params: HashMap<String, i64> = choose_small_bounds(kernel, 48);
+    let (func, _) = &summary.funcs[0];
+    let region = summary.region(0, &int_params).expect("region evaluates");
+    let extent: Vec<usize> = region.iter().map(|(lo, hi)| (hi - lo + 3) as usize).collect();
+    let origin: Vec<i64> = region.iter().map(|(lo, _)| lo - 1).collect();
+    let input = Buffer::from_fn(origin, extent, |ix| {
+        (ix.iter().sum::<i64>() as f64 * 0.37).sin() + 1.0
+    });
+    let mut inputs = HashMap::new();
+    for image in func.expr.images() {
+        inputs.insert(image, &input);
+    }
+    let params = HashMap::new();
+
+    let start = std::time::Instant::now();
+    let out = realize(func, &Schedule::default_tuned(3, 4), &region, &inputs, &params);
+    let cpu = start.elapsed();
+
+    let gpu = GpuModel::default().run(func, out.len(), &inputs);
+    println!("heat0 over {} output points:", out.len());
+    println!("  CPU (tuned mini-Halide):        {cpu:?}");
+    println!("  GPU model, kernel only:         {:?}", gpu.kernel_time);
+    println!("  GPU model, including transfers: {:?}", gpu.total());
+    println!(
+        "  speedup vs CPU: {:.2}x (no transfer {:.2}x)",
+        cpu.as_secs_f64() / gpu.total().as_secs_f64(),
+        cpu.as_secs_f64() / gpu.kernel_time.as_secs_f64()
+    );
+}

@@ -1,0 +1,13 @@
+//! Workspace-level facade for the STNG reproduction.
+//!
+//! This crate re-exports the member crates so integration tests and examples
+//! can reach every layer through a single dependency.
+
+pub use stng;
+pub use stng_corpus as corpus;
+pub use stng_halide as halide;
+pub use stng_ir as ir;
+pub use stng_pred as pred;
+pub use stng_solve as solve;
+pub use stng_sym as sym;
+pub use stng_synth as synth;

@@ -1,0 +1,77 @@
+//! Integration tests over the benchmark corpus: the Table 2 classification
+//! behaves as designed and representative kernels from every suite lift.
+
+use stng::pipeline::Stng;
+use stng_corpus::{all_kernels, suite_kernels, Suite};
+
+fn fast_stng() -> Stng {
+    let mut stng = Stng::new();
+    stng.config.prover.max_attempts = 1500;
+    stng
+}
+
+#[test]
+fn stencilmark_suite_lifts_completely() {
+    let stng = fast_stng();
+    for kernel in suite_kernels(Suite::StencilMark) {
+        let report = stng.lift_source(&kernel.source).unwrap();
+        assert_eq!(
+            report.translated(),
+            report.candidates(),
+            "kernel {} should lift ({:?})",
+            kernel.name,
+            report.kernels[0].outcome
+        );
+    }
+}
+
+#[test]
+fn negative_cases_are_classified_as_designed() {
+    let stng = fast_stng();
+    let kernels = all_kernels();
+
+    // The decrementing-loop kernel is a candidate that fails translation.
+    let rev = kernels.iter().find(|k| k.name == "akl_rev").unwrap();
+    let report = stng.lift_source(&rev.source).unwrap();
+    assert_eq!(report.candidates(), 1);
+    assert_eq!(report.translated(), 0);
+
+    // The boundary-condition kernel also fails (conditionals).
+    let bc = kernels.iter().find(|k| k.name == "akl_bc").unwrap();
+    let report = stng.lift_source(&bc.source).unwrap();
+    assert_eq!(report.candidates(), 1);
+    assert_eq!(report.translated(), 0);
+
+    // The indirect-access kernel is not even flagged as a candidate.
+    let gather = kernels.iter().find(|k| k.name == "gather0").unwrap();
+    let report = stng.lift_source(&gather.source).unwrap();
+    assert_eq!(report.candidates(), 0);
+    assert_eq!(report.skipped_loops, 1);
+
+    // The reduction is a candidate but not a stencil.
+    let norm = kernels.iter().find(|k| k.name == "mg_norm").unwrap();
+    let report = stng.lift_source(&norm.source).unwrap();
+    assert_eq!(report.candidates(), 1);
+    assert_eq!(report.translated(), 0);
+}
+
+#[test]
+fn cloverleaf_representatives_lift() {
+    let stng = fast_stng();
+    for name in ["akl83", "akl81", "gckl77"] {
+        let kernel = all_kernels().into_iter().find(|k| k.name == name).unwrap();
+        let report = stng.lift_source(&kernel.source).unwrap();
+        assert_eq!(report.translated(), 1, "kernel {name} should lift");
+    }
+}
+
+#[test]
+fn challenge_kernels_produce_summaries() {
+    let stng = fast_stng();
+    for name in ["heat27", "heat27u"] {
+        let kernel = all_kernels().into_iter().find(|k| k.name == name).unwrap();
+        let report = stng.lift_source(&kernel.source).unwrap();
+        assert_eq!(report.translated(), 1, "kernel {name} should lift");
+        assert!(report.kernels[0].postcond_nodes > 50);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests: for randomly generated pointwise stencils, the
+//! lifted summary must agree with the original program, and the predicate
+//! evaluation/verification machinery must respect its invariants.
+
+use proptest::prelude::*;
+use stng::pipeline::{KernelOutcome, Stng};
+use stng_ir::interp::{run_kernel, ArrayData, State};
+use stng_ir::value::{DataValue, ModInt, MOD_FIELD};
+use stng_pred::eval::eval_pred;
+
+/// Generates a random 1D stencil kernel: a weighted sum of reads of `b` at
+/// small offsets.
+fn stencil_source(offsets: &[i64], weights: &[f64]) -> String {
+    let terms: Vec<String> = offsets
+        .iter()
+        .zip(weights)
+        .map(|(off, w)| {
+            let ix = match off.cmp(&0) {
+                std::cmp::Ordering::Equal => "i".to_string(),
+                std::cmp::Ordering::Greater => format!("i+{off}"),
+                std::cmp::Ordering::Less => format!("i{off}"),
+            };
+            format!("{w:.2} * b({ix})")
+        })
+        .collect();
+    format!(
+        r#"
+procedure randsten(n, a, b)
+  real, dimension(-3:n) :: a
+  real, dimension(-3:n) :: b
+  integer :: i
+  do i = 1, n-3
+    a(i) = {}
+  enddo
+end procedure
+"#,
+        terms.join(" + ")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Every randomly generated pointwise stencil lifts, and its postcondition
+    /// holds on a concrete execution in the modular domain.
+    #[test]
+    fn random_1d_stencils_lift_and_their_summaries_hold(
+        offsets in proptest::collection::btree_set(-3i64..=3, 1..=4),
+        weight_bits in proptest::collection::vec(1u8..=4, 4),
+    ) {
+        let offsets: Vec<i64> = offsets.into_iter().collect();
+        let weights: Vec<f64> = offsets
+            .iter()
+            .enumerate()
+            .map(|(k, _)| weight_bits[k % weight_bits.len()] as f64 * 0.25)
+            .collect();
+        let source = stencil_source(&offsets, &weights);
+        let mut stng = Stng::new();
+        stng.config.prover.max_attempts = 800;
+        let report = stng.lift_source(&source).unwrap();
+        prop_assert_eq!(report.translated(), 1, "stencil should lift: {}", source);
+        let kernel_report = &report.kernels[0];
+        let kernel = kernel_report.kernel.as_ref().unwrap();
+        let KernelOutcome::Translated { post, .. } = &kernel_report.outcome else {
+            return Err(TestCaseError::fail("expected translation"));
+        };
+
+        // Check the summary against an independent concrete execution.
+        let n = 9i64;
+        let mut state: State<ModInt> = State::new();
+        state.set_int("n", n).set_int("i", 0);
+        state.set_array("a", ArrayData::new(vec![(-3, n)], ModInt::new(0)));
+        state.set_array(
+            "b",
+            ArrayData::from_fn(vec![(-3, n)], |ix| ModInt::new((3 * ix[0] + 5).rem_euclid(MOD_FIELD))),
+        );
+        run_kernel(kernel, &mut state).unwrap();
+        prop_assert!(eval_pred(&post.to_pred(), &mut state).unwrap());
+    }
+
+    /// The modular field used during synthesis really is a field: every
+    /// non-zero element has a multiplicative inverse and the ring laws hold.
+    #[test]
+    fn mod_field_laws(a in 0i64..100, b in 0i64..100, c in 0i64..100) {
+        let (x, y, z) = (ModInt::new(a), ModInt::new(b), ModInt::new(c));
+        prop_assert_eq!(x.add(&y).mul(&z), x.mul(&z).add(&y.mul(&z)));
+        prop_assert_eq!(x.sub(&x), ModInt::new(0));
+        if y != ModInt::new(0) {
+            prop_assert_eq!(x.mul(&y).div(&y), x);
+        }
+    }
+}
