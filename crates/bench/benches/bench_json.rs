@@ -1,0 +1,187 @@
+//! Machine-readable benchmark emitter: lifts every corpus kernel, times the
+//! end-to-end pipeline, and writes `BENCH_1.json` at the workspace root so
+//! the performance trajectory is tracked from PR to PR.
+//!
+//! Usage:
+//!
+//! * `cargo bench --bench bench_json` — measures the current tree and writes
+//!   `BENCH_1.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
+//!   computed.
+//! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
+//!   snapshots the measurements to `BENCH_baseline.json` (run this before a
+//!   perf change to freeze the comparison point).
+//!
+//! The JSON is emitted by hand (no serde in the offline build environment);
+//! the schema is flat and stable on purpose.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use stng_bench::bench_stng;
+use stng_corpus::all_kernels;
+
+/// One measured kernel.
+struct KernelMeasurement {
+    name: String,
+    suite: &'static str,
+    lift_ms: f64,
+    translated: bool,
+    soundly_verified: bool,
+    cegis_iterations: usize,
+    prover_attempts: usize,
+    peak_candidates: usize,
+    control_bits: usize,
+    postcond_nodes: usize,
+}
+
+fn measure() -> (Vec<KernelMeasurement>, f64) {
+    let stng = bench_stng();
+    let mut rows = Vec::new();
+    let mut total_ms = 0.0;
+    for corpus_kernel in all_kernels() {
+        // Three repetitions, keep the minimum: lifting is deterministic, so
+        // the minimum is the least-noise estimate.
+        let mut best_ms = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let r = stng.lift_source(&corpus_kernel.source);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            best_ms = best_ms.min(elapsed);
+            report = r.ok();
+        }
+        let (translated, soundly, iters, attempts, peak, bits, nodes) = report
+            .as_ref()
+            .and_then(|r| r.kernels.first())
+            .map(|k| {
+                let (soundly, iters) = match &k.outcome {
+                    stng::pipeline::KernelOutcome::Translated {
+                        soundly_verified,
+                        cegis_iterations,
+                        ..
+                    } => (*soundly_verified, *cegis_iterations),
+                    _ => (false, 0),
+                };
+                (
+                    k.outcome.is_translated(),
+                    soundly,
+                    iters,
+                    k.prover_attempts,
+                    k.peak_candidates,
+                    k.control_bits.total(),
+                    k.postcond_nodes,
+                )
+            })
+            .unwrap_or((false, false, 0, 0, 0, 0, 0));
+        total_ms += best_ms;
+        rows.push(KernelMeasurement {
+            name: corpus_kernel.name.clone(),
+            suite: corpus_kernel.suite.name(),
+            lift_ms: best_ms,
+            translated,
+            soundly_verified: soundly,
+            cegis_iterations: iters,
+            prover_attempts: attempts,
+            peak_candidates: peak,
+            control_bits: bits,
+            postcond_nodes: nodes,
+        });
+    }
+    (rows, total_ms)
+}
+
+fn kernels_json(rows: &[KernelMeasurement]) -> String {
+    let mut out = String::from("{");
+    for (k, row) in rows.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "\n    \"{}\": {{\"suite\": \"{}\", \"lift_ms\": {:.3}, \"translated\": {}, \
+             \"soundly_verified\": {}, \"cegis_iterations\": {}, \"prover_attempts\": {}, \
+             \"peak_candidates\": {}, \"control_bits\": {}, \"postcond_nodes\": {}}}",
+            row.name,
+            row.suite,
+            row.lift_ms,
+            row.translated,
+            row.soundly_verified,
+            row.cegis_iterations,
+            row.prover_attempts,
+            row.peak_candidates,
+            row.control_bits,
+            row.postcond_nodes,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\n  }");
+    out
+}
+
+/// Extracts `"total_lift_ms": <number>` from a previously written snapshot.
+fn parse_total(json: &str) -> Option<f64> {
+    let key = "\"total_lift_ms\": ";
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    // benches run with the crate as cwd; the workspace root is two levels up.
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives at <root>/crates/bench")
+        .to_path_buf()
+}
+
+fn main() {
+    let root = workspace_root();
+    let (rows, total_ms) = measure();
+
+    let snapshot = format!(
+        "{{\n  \"schema\": 1,\n  \"total_lift_ms\": {:.3},\n  \"translated\": {},\n  \"kernels\": {}\n}}\n",
+        total_ms,
+        rows.iter().filter(|r| r.translated).count(),
+        kernels_json(&rows)
+    );
+
+    if std::env::var("BENCH_SAVE_BASELINE").is_ok() {
+        std::fs::write(root.join("BENCH_baseline.json"), &snapshot)
+            .expect("BENCH_baseline.json is writable");
+        println!("wrote BENCH_baseline.json (total {total_ms:.1} ms)");
+    }
+
+    let baseline = std::fs::read_to_string(root.join("BENCH_baseline.json")).ok();
+    let mut out = String::from("{\n  \"schema\": 1,\n");
+    write!(
+        out,
+        "  \"total_lift_ms\": {:.3},\n  \"translated\": {},\n  \"kernels\": {},\n",
+        total_ms,
+        rows.iter().filter(|r| r.translated).count(),
+        kernels_json(&rows)
+    )
+    .expect("writing to a String cannot fail");
+    if let Some(base) = &baseline {
+        let base_total = parse_total(base).unwrap_or(f64::NAN);
+        write!(
+            out,
+            "  \"baseline_total_lift_ms\": {:.3},\n  \"speedup_vs_baseline\": {:.3},\n",
+            base_total,
+            base_total / total_ms
+        )
+        .expect("writing to a String cannot fail");
+        println!(
+            "end-to-end lifting: {total_ms:.1} ms vs baseline {base_total:.1} ms \
+             ({:.2}x speedup)",
+            base_total / total_ms
+        );
+    } else {
+        println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
+    }
+    out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
+    std::fs::write(root.join("BENCH_1.json"), out).expect("BENCH_1.json is writable");
+    println!("wrote BENCH_1.json");
+}

@@ -3,10 +3,10 @@
 //! The schedule language covers the directives the paper's autotuner
 //! explores: loop tiling, parallelization of the outermost (tile) loop,
 //! vectorization and unrolling of the innermost loop. The runtime honours
-//! tiling and parallelism directly (tiles are distributed over worker threads
-//! with `crossbeam`); vectorization and unrolling are executed as innermost
-//! chunked loops, which mainly affects memory-access order — the same
-//! first-order effect they have in Halide.
+//! tiling and parallelism directly (tiles are distributed over scoped worker
+//! threads); vectorization and unrolling are executed as innermost chunked
+//! loops, which mainly affects memory-access order — the same first-order
+//! effect they have in Halide.
 
 use crate::buffer::Buffer;
 use crate::func::Func;
@@ -98,13 +98,14 @@ pub fn realize(
         return output;
     }
 
-    // Each worker fills a disjoint band of the output; bands are stitched
-    // afterwards (the output buffer is row-major with the outer dimension
-    // slowest, so bands are contiguous).
+    // Each worker fills a band-sized local buffer (the buffer's own origin
+    // is shifted into the band, so logical coordinates still map correctly);
+    // bands are stitched afterwards (the output is row-major with the outer
+    // dimension slowest, so bands are contiguous).
     let chunk = outer_extent.div_ceil(workers);
     let band_len: usize = extent[1..].iter().product::<usize>().max(1);
     let mut bands: Vec<(usize, Vec<f64>)> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let start = w * chunk;
@@ -112,26 +113,22 @@ pub fn realize(
             if start >= end {
                 continue;
             }
-            let func = func.clone();
-            let schedule = schedule.clone();
-            let region = region.clone();
-            let origin = origin.clone();
-            let extent = extent.clone();
-            let handle = scope.spawn(move |_| {
-                let mut local = Buffer::new(origin.clone(), extent.clone());
-                realize_chunk(
-                    &func, &schedule, &region, inputs, params, start, end, &mut local,
-                );
-                (start, end, local.data)
+            let mut band_origin = origin.clone();
+            band_origin[0] += start as i64;
+            let mut band_extent = extent.clone();
+            band_extent[0] = end - start;
+            let handle = scope.spawn(move || {
+                let mut local = Buffer::new(band_origin, band_extent);
+                realize_chunk(func, schedule, region, inputs, params, start, end, &mut local);
+                (start, local.data)
             });
             handles.push(handle);
         }
         for handle in handles {
-            let (start, end, data) = handle.join().expect("worker thread panicked");
-            bands.push((start, data[start * band_len..end * band_len].to_vec()));
+            let (start, data) = handle.join().expect("worker thread panicked");
+            bands.push((start, data));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     for (start, data) in bands {
         let offset = start * band_len;
         output.data[offset..offset + data.len()].copy_from_slice(&data);

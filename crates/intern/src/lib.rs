@@ -1,0 +1,414 @@
+//! Interning and hash-consing primitives shared by the lifting pipeline.
+//!
+//! The synthesizer and verifier spend essentially all of their time building,
+//! comparing, and hashing symbolic expressions. In the original
+//! representation every atom carried an owned `String` and every structural
+//! equality check walked whole trees. This crate provides the shared
+//! machinery that makes those operations O(1):
+//!
+//! * [`Symbol`] — a globally interned string. Copyable, pointer-equal,
+//!   pointer-hashed, but *ordered by string content* so collections keyed by
+//!   symbols iterate in the same order as the `String`-keyed originals.
+//! * [`ConsSet`] — a hash-consing arena: structurally equal values are
+//!   interned to the same `&'static T`, so node identity (a pointer compare)
+//!   coincides with structural equality.
+//! * [`Memo`] — a concurrent memo table for caching operation results keyed
+//!   on consed node identities.
+//! * [`parallel`] — scoped-thread work distribution (the container has no
+//!   crates.io access, so this stands in for rayon on embarrassingly parallel
+//!   CEGIS workloads).
+//!
+//! Interned data is leaked deliberately: arenas are global, append-only, and
+//! deduplicated, so the resident set is bounded by the number of *distinct*
+//! values ever built, which the consing itself keeps small.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::{OnceLock, RwLock};
+
+/// A globally interned, copyable string.
+///
+/// Equality and hashing are by pointer (O(1)); ordering is by string content,
+/// so replacing `String` keys with `Symbol` keys preserves the iteration
+/// order of sorted containers — a property the expression normal forms rely
+/// on.
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
+
+static SYMBOLS: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+
+impl Symbol {
+    /// Interns `name`, returning the canonical symbol for it.
+    pub fn intern(name: &str) -> Symbol {
+        let lock = SYMBOLS.get_or_init(Default::default);
+        if let Some(&found) = lock.read().expect("symbol table poisoned").get(name) {
+            return Symbol(found);
+        }
+        let mut table = lock.write().expect("symbol table poisoned");
+        if let Some(&found) = table.get(name) {
+            return Symbol(found);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        table.insert(leaked);
+        Symbol(leaked)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Symbol {}
+
+impl Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(name: &String) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern(&name)
+    }
+}
+
+/// A hash-consing arena: [`ConsSet::intern`] returns the canonical
+/// `&'static T` for each distinct value, so two interned references are
+/// structurally equal iff they are pointer-equal.
+///
+/// Declare as a `static`: `static ARENA: ConsSet<Node> = ConsSet::new();`
+pub struct ConsSet<T: 'static> {
+    inner: OnceLock<RwLock<HashSet<&'static T>>>,
+}
+
+impl<T: Hash + Eq> ConsSet<T> {
+    /// An empty arena (usable in `static` position).
+    pub const fn new() -> ConsSet<T> {
+        ConsSet {
+            inner: OnceLock::new(),
+        }
+    }
+
+    /// Interns `value`, returning its canonical leaked reference.
+    pub fn intern(&self, value: T) -> &'static T {
+        let lock = self.inner.get_or_init(Default::default);
+        if let Some(&found) = lock.read().expect("cons arena poisoned").get(&value) {
+            return found;
+        }
+        let mut set = lock.write().expect("cons arena poisoned");
+        if let Some(&found) = set.get(&value) {
+            return found;
+        }
+        let leaked: &'static T = Box::leak(Box::new(value));
+        set.insert(leaked);
+        leaked
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .get()
+            .map(|l| l.read().expect("cons arena poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Hash + Eq> Default for ConsSet<T> {
+    fn default() -> Self {
+        ConsSet::new()
+    }
+}
+
+/// A concurrent memo table for operation results keyed on consed identities.
+///
+/// Values must be `Copy` (they are consed references or small ids in
+/// practice), which keeps lookups allocation-free.
+pub struct Memo<K: 'static, V: 'static> {
+    inner: OnceLock<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V: Copy> Memo<K, V> {
+    /// An empty memo table (usable in `static` position).
+    pub const fn new() -> Memo<K, V> {
+        Memo {
+            inner: OnceLock::new(),
+        }
+    }
+
+    /// Looks up a cached result.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner
+            .get()?
+            .read()
+            .expect("memo table poisoned")
+            .get(key)
+            .copied()
+    }
+
+    /// Caches `value` under `key`.
+    pub fn insert(&self, key: K, value: V) {
+        self.inner
+            .get_or_init(Default::default)
+            .write()
+            .expect("memo table poisoned")
+            .insert(key, value);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .get()
+            .map(|l| l.read().expect("memo table poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq, V: Copy> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+/// Canonical bit pattern of an `f64` for hashing/consing: collapses `-0.0`
+/// onto `+0.0` so consing equality agrees with `==` on the coefficients the
+/// pipeline produces.
+pub fn f64_key(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+pub mod parallel {
+    //! Scoped-thread work distribution for embarrassingly parallel stages.
+    //!
+    //! The CEGIS screening loop checks independent candidates with pure
+    //! functions over shared immutable data; these helpers spread that work
+    //! over `std::thread::scope` threads while keeping results deterministic
+    //! (a parallel search returns the same element the sequential scan would
+    //! have).
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Number of worker threads to use by default.
+    pub fn default_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Applies `f` to every item, in parallel across `threads` workers, and
+    /// returns the results in input order. Falls back to a sequential map
+    /// when `threads <= 1` or there is at most one item.
+    pub fn map<T: Sync, R: Send>(
+        items: &[T],
+        threads: usize,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let threads = threads.min(items.len());
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[k]);
+                    results.lock().expect("result vector poisoned").push((k, r));
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("result vector poisoned");
+        results.sort_by_key(|(k, _)| *k);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Finds the item with the **lowest index** for which `f` returns
+    /// `Some`, evaluating candidates in parallel. Matches the sequential
+    /// first-success semantics of a `for` loop with early return, which is
+    /// what keeps a parallelized CEGIS scan deterministic.
+    ///
+    /// Workers skip indices above the best success seen so far, so the extra
+    /// work past the winner stays bounded.
+    pub fn find_first<T: Sync, R: Send>(
+        items: &[T],
+        threads: usize,
+        f: impl Fn(usize, &T) -> Option<R> + Sync,
+    ) -> Option<(usize, R)> {
+        let threads = threads.min(items.len());
+        if threads <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .find_map(|(k, item)| f(k, item).map(|r| (k, r)));
+        }
+        let next = AtomicUsize::new(0);
+        let best = AtomicUsize::new(usize::MAX);
+        let found: Mutex<Option<(usize, R)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= items.len() || k > best.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Some(r) = f(k, &items[k]) {
+                        best.fetch_min(k, Ordering::AcqRel);
+                        let mut slot = found.lock().expect("result slot poisoned");
+                        if slot.as_ref().map(|(j, _)| k < *j).unwrap_or(true) {
+                            *slot = Some((k, r));
+                        }
+                        break;
+                    }
+                });
+            }
+        });
+        found.into_inner().expect("result slot poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_pointer_equal_and_string_ordered() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("alpha");
+        let c = Symbol::intern("beta");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_ne!(a, c);
+        assert!(a < c);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        // Ordering agrees with string ordering for arbitrary pairs.
+        for (x, y) in [("a", "b"), ("zz", "za"), ("m", "m"), ("", "a")] {
+            assert_eq!(
+                Symbol::intern(x).cmp(&Symbol::intern(y)),
+                x.cmp(y),
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cons_set_dedupes_structurally() {
+        static ARENA: ConsSet<Vec<i64>> = ConsSet::new();
+        let a = ARENA.intern(vec![1, 2, 3]);
+        let b = ARENA.intern(vec![1, 2, 3]);
+        let c = ARENA.intern(vec![4]);
+        assert!(std::ptr::eq(a, b));
+        assert!(!std::ptr::eq(a, c));
+        assert!(ARENA.len() >= 2);
+    }
+
+    #[test]
+    fn memo_round_trips() {
+        static MEMO: Memo<(usize, usize), usize> = Memo::new();
+        assert_eq!(MEMO.get(&(1, 2)), None);
+        MEMO.insert((1, 2), 3);
+        assert_eq!(MEMO.get(&(1, 2)), Some(3));
+    }
+
+    #[test]
+    fn f64_key_canonicalizes_negative_zero() {
+        assert_eq!(f64_key(-0.0), f64_key(0.0));
+        assert_ne!(f64_key(1.0), f64_key(2.0));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel::map(&items, 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_find_first_matches_sequential_semantics() {
+        let items: Vec<usize> = (0..64).collect();
+        // Successes at 17, 20, 40: the sequential scan returns 17.
+        let hit = |_k: usize, x: &usize| -> Option<usize> {
+            if [17, 20, 40].contains(x) {
+                Some(*x * 10)
+            } else {
+                None
+            }
+        };
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                parallel::find_first(&items, threads, hit),
+                Some((17, 170)),
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(
+            parallel::find_first(&items, 8, |_, _| None::<()>),
+            None
+        );
+    }
+}

@@ -84,19 +84,35 @@ impl SmtLite {
 
     /// Verifies a set of VCs; valid only if every one is valid.
     pub fn verify_all(&self, vcs: &[Vc]) -> Verdict {
+        self.verify_all_counting(vcs).0
+    }
+
+    /// Like [`SmtLite::verify_all`], additionally returning the total number
+    /// of proof attempts spent (the case-split search effort), for
+    /// benchmarking instrumentation.
+    pub fn verify_all_counting(&self, vcs: &[Vc]) -> (Verdict, usize) {
+        let mut attempts = 0;
         for vc in vcs {
-            match self.verify_vc(vc) {
-                Verdict::Valid => {}
-                Verdict::Unknown(reason) => {
-                    return Verdict::Unknown(format!("{}: {reason}", vc.name));
-                }
+            let (verdict, spent) = self.verify_vc_counting(vc);
+            attempts += spent;
+            if let Verdict::Unknown(reason) = verdict {
+                return (
+                    Verdict::Unknown(format!("{}: {reason}", vc.name)),
+                    attempts,
+                );
             }
         }
-        Verdict::Valid
+        (Verdict::Valid, attempts)
     }
 
     /// Verifies a single VC.
     pub fn verify_vc(&self, vc: &Vc) -> Verdict {
+        self.verify_vc_counting(vc).0
+    }
+
+    /// Like [`SmtLite::verify_vc`], additionally returning the number of
+    /// proof attempts spent.
+    pub fn verify_vc_counting(&self, vc: &Vc) -> (Verdict, usize) {
         let mut session = ProofSession {
             vc,
             hyp_clauses: Vec::new(),
@@ -128,10 +144,11 @@ impl SmtLite {
                 }
             }
         }
-        match session.prove(&base_ctx, self.max_split_depth) {
+        let verdict = match session.prove(&base_ctx, self.max_split_depth) {
             Ok(()) => Verdict::Valid,
             Err(reason) => Verdict::Unknown(reason),
-        }
+        };
+        (verdict, session.attempts)
     }
 }
 

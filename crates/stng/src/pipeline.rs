@@ -56,6 +56,10 @@ pub struct KernelReport {
     pub control_bits: ControlBits,
     /// AST-node count of the postcondition (Table 1).
     pub postcond_nodes: usize,
+    /// Proof attempts spent by the sound verifier on the accepted candidate.
+    pub prover_attempts: usize,
+    /// Number of invariant candidates enumerated (peak CEGIS candidate set).
+    pub peak_candidates: usize,
 }
 
 /// The report for a whole source file.
@@ -140,6 +144,8 @@ impl Stng {
                     synthesis_time: started.elapsed(),
                     control_bits: ControlBits::default(),
                     postcond_nodes: 0,
+                    prover_attempts: 0,
+                    peak_candidates: 0,
                 }
             }
         };
@@ -154,6 +160,8 @@ impl Stng {
                 synthesis_time: started.elapsed(),
                 control_bits: ControlBits::default(),
                 postcond_nodes: 0,
+                prover_attempts: 0,
+                peak_candidates: 0,
             };
         }
         match synthesize_with(&kernel, &self.config) {
@@ -173,6 +181,8 @@ impl Stng {
                         synthesis_time: outcome.synthesis_time,
                         control_bits: outcome.control_bits,
                         postcond_nodes: outcome.postcond_nodes,
+                        prover_attempts: outcome.prover_attempts,
+                        peak_candidates: outcome.peak_candidates,
                     },
                     Err(err) => KernelReport {
                         name: fragment.name.clone(),
@@ -183,6 +193,8 @@ impl Stng {
                         synthesis_time: outcome.synthesis_time,
                         control_bits: outcome.control_bits,
                         postcond_nodes: outcome.postcond_nodes,
+                        prover_attempts: outcome.prover_attempts,
+                        peak_candidates: outcome.peak_candidates,
                     },
                 }
             }
@@ -195,6 +207,8 @@ impl Stng {
                 synthesis_time: started.elapsed(),
                 control_bits: ControlBits::default(),
                 postcond_nodes: 0,
+                prover_attempts: 0,
+                peak_candidates: 0,
             },
         }
     }

@@ -87,6 +87,12 @@ pub struct SynthesisOutcome {
     /// Number of CEGIS candidate iterations (bounded-check rejections plus
     /// verifier rejections) before the accepted candidate.
     pub cegis_iterations: usize,
+    /// Proof attempts spent by the sound verifier on the accepted candidate
+    /// (0 when the bounded-validation fallback was used).
+    pub prover_attempts: usize,
+    /// Number of invariant candidates enumerated for this kernel (the peak
+    /// size of the CEGIS candidate set).
+    pub peak_candidates: usize,
     /// Whether the summary is backed by a full proof from the verifier.
     pub soundly_verified: bool,
     /// Wall-clock time spent synthesizing (Table 1, "Sketch Time").
@@ -126,12 +132,14 @@ pub fn synthesize_with(
     let mut iterations = 0usize;
 
     // Step 2: invariants + Hoare proof, when the nest shape is supported.
+    let mut peak_candidates = 0usize;
     let nest = analyze_loop_nest(kernel);
     if let Ok(nest) = nest {
         let run = symbolic_execute(kernel, &choose_small_bounds(kernel, config.postcond.sizes.0));
         if let Ok(run) = run {
             if let Ok(inv_candidates) = invariant_candidates(kernel, &nest, &post, &run) {
                 control_bits.merge(&inv_candidates.control_bits);
+                peak_candidates = inv_candidates.candidates.len();
                 for invariants in inv_candidates.candidates {
                     iterations += 1;
                     let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
@@ -141,13 +149,16 @@ pub fn synthesize_with(
                         Ok(Some(_)) | Err(_) => continue,
                     }
                     // Sound check.
-                    if config.prover.verify_all(&vcs).is_valid() {
+                    let (verdict, attempts) = config.prover.verify_all_counting(&vcs);
+                    if verdict.is_valid() {
                         return Ok(SynthesisOutcome {
                             post,
                             invariants: Some(invariants),
                             control_bits,
                             postcond_nodes,
                             cegis_iterations: iterations,
+                            prover_attempts: attempts,
+                            peak_candidates,
                             soundly_verified: true,
                             synthesis_time: start.elapsed(),
                         });
@@ -174,6 +185,8 @@ pub fn synthesize_with(
         control_bits,
         postcond_nodes,
         cegis_iterations: iterations,
+        prover_attempts: 0,
+        peak_candidates,
         soundly_verified: false,
         synthesis_time: start.elapsed(),
     })

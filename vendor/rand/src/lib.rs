@@ -1,0 +1,119 @@
+//! A minimal, dependency-free stand-in for the `rand` crate, providing the
+//! API subset this workspace uses (`StdRng::seed_from_u64`, `gen_range` on
+//! integer ranges, `gen_bool`).
+//!
+//! The build environment has no network access to crates.io. Randomness here
+//! backs *reproducible* randomized testing only (seeded counterexample search
+//! and autotuning), so a fast deterministic SplitMix64 generator is exactly
+//! what is needed — statistical quality far beyond these use cases, zero
+//! dependencies, stable across platforms.
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types samplable from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `range`.
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                let span = (range.end as i128 - range.start as i128).max(1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i64, u64, i32, u32, usize, isize);
+
+pub mod rngs {
+    //! Generator implementations (subset of `rand::rngs`).
+
+    /// Deterministic generator backed by SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-3i64..7);
+            assert!((-3..7).contains(&v));
+            let u: usize = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}
