@@ -104,10 +104,9 @@ impl Ord for NAtom {
                 },
             ) => a1.cmp(a2).then_with(|| i1.cmp(i2)),
             (NAtom::Var(a), NAtom::Var(b)) => a.cmp(b),
-            (
-                NAtom::Apply { func: f1, args: x1 },
-                NAtom::Apply { func: f2, args: x2 },
-            ) => f1.cmp(f2).then_with(|| x1.cmp(x2)),
+            (NAtom::Apply { func: f1, args: x1 }, NAtom::Apply { func: f2, args: x2 }) => {
+                f1.cmp(f2).then_with(|| x1.cmp(x2))
+            }
             (NAtom::Quot { num: n1, den: d1 }, NAtom::Quot { num: n2, den: d2 }) => {
                 n1.cmp(n2).then_with(|| d1.cmp(d2))
             }
@@ -135,9 +134,8 @@ impl PartialOrd for NMono {
 
 impl Ord for NMono {
     fn cmp(&self, other: &Self) -> Ordering {
-        let k1: Vec<_> = self.factors.iter().collect();
-        let k2: Vec<_> = other.factors.iter().collect();
-        k1.cmp(&k2).then_with(|| self.coeff.total_cmp(&other.coeff))
+        self.key_cmp(other)
+            .then_with(|| self.coeff.total_cmp(&other.coeff))
     }
 }
 
@@ -159,9 +157,34 @@ impl NMono {
     }
 
     fn mul(&self, other: &NMono) -> NMono {
-        let mut factors = self.factors.clone();
-        for (a, p) in &other.factors {
-            *factors.entry(a.clone()).or_insert(0) += p;
+        // Merge the two sorted factor maps in one pass instead of cloning
+        // the whole left map and re-finding every right atom via the entry
+        // API. Atoms are cloned exactly once each.
+        let mut factors = BTreeMap::new();
+        let mut left = self.factors.iter().peekable();
+        let mut right = other.factors.iter().peekable();
+        loop {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some((a, _)), Some((b, _))) => match a.cmp(b) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let (atom, p) = left.next().expect("peeked");
+                        let (_, q) = right.next().expect("peeked");
+                        factors.insert(atom.clone(), p + q);
+                        continue;
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (atom, p) = if take_left {
+                left.next().expect("peeked")
+            } else {
+                right.next().expect("peeked")
+            };
+            factors.insert(atom.clone(), *p);
         }
         NMono {
             coeff: self.coeff * other.coeff,
@@ -169,8 +192,10 @@ impl NMono {
         }
     }
 
-    fn key(&self) -> Vec<(&NAtom, &u32)> {
-        self.factors.iter().collect()
+    /// Compares the factor multisets (the grouping key) without allocating
+    /// intermediate key vectors.
+    fn key_cmp(&self, other: &NMono) -> Ordering {
+        self.factors.iter().cmp(other.factors.iter())
     }
 }
 
@@ -231,9 +256,42 @@ impl NormExpr {
 
     /// Sum.
     pub fn add(&self, other: &NormExpr) -> NormExpr {
-        let mut terms = self.terms.clone();
-        terms.extend(other.terms.clone());
-        NormExpr { terms }.normalized()
+        // Both sides are already in normal form (sorted by factor key, one
+        // monomial per key), so a single linear merge replaces the previous
+        // clone-both + extend + full re-sort.
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let mut left = self.terms.iter().peekable();
+        let mut right = other.terms.iter().peekable();
+        loop {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some(a), Some(b)) => match a.key_cmp(b) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let a = left.next().expect("peeked");
+                        let b = right.next().expect("peeked");
+                        let coeff = a.coeff + b.coeff;
+                        if coeff.abs() > 1e-12 {
+                            terms.push(NMono {
+                                coeff,
+                                factors: a.factors.clone(),
+                            });
+                        }
+                        continue;
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let mono = if take_left {
+                left.next().expect("peeked")
+            } else {
+                right.next().expect("peeked")
+            };
+            terms.push(mono.clone());
+        }
+        NormExpr { terms }
     }
 
     /// Difference.
@@ -409,7 +467,7 @@ impl NormExpr {
         let mut merged: Vec<NMono> = Vec::new();
         for term in self.terms {
             if let Some(last) = merged.last_mut() {
-                if last.key() == term.key() {
+                if last.key_cmp(&term) == Ordering::Equal {
                     last.coeff += term.coeff;
                     continue;
                 }
@@ -510,13 +568,8 @@ pub fn atom_eq_mod_ctx(a: &NAtom, b: &NAtom, ctx: &LinCtx) -> bool {
                     .all(|(x, y)| x == y || ctx.entails_eq(x, y))
         }
         (NAtom::Var(x), NAtom::Var(y)) => x == y,
-        (
-            NAtom::Apply { func: f1, args: x1 },
-            NAtom::Apply { func: f2, args: x2 },
-        ) => {
-            f1 == f2
-                && x1.len() == x2.len()
-                && x1.iter().zip(x2).all(|(p, q)| p.eq_mod_ctx(q, ctx))
+        (NAtom::Apply { func: f1, args: x1 }, NAtom::Apply { func: f2, args: x2 }) => {
+            f1 == f2 && x1.len() == x2.len() && x1.iter().zip(x2).all(|(p, q)| p.eq_mod_ctx(q, ctx))
         }
         (NAtom::Quot { num: n1, den: d1 }, NAtom::Quot { num: n2, den: d2 }) => {
             n1.eq_mod_ctx(n2, ctx) && d1.eq_mod_ctx(d2, ctx)
@@ -612,8 +665,7 @@ impl SymState {
                 }
             }
             IrExpr::Load { array, indices } => {
-                let idx: Option<Vec<Affine>> =
-                    indices.iter().map(|ix| self.norm_int(ix)).collect();
+                let idx: Option<Vec<Affine>> = indices.iter().map(|ix| self.norm_int(ix)).collect();
                 let idx = idx.ok_or_else(|| {
                     NormErr::Unsupported(format!("non-affine index into '{array}'"))
                 })?;
@@ -759,10 +811,15 @@ mod tests {
         state
             .real_env
             .insert("t".into(), NormExpr::load("b", vec![aff("i")]));
-        state.int_env.insert("j".into(), aff("i").add(&Affine::constant(1)));
+        state
+            .int_env
+            .insert("j".into(), aff("i").add(&Affine::constant(1)));
         let e = IrExpr::add(IrExpr::var("t"), IrExpr::Real(1.0));
         let n = state.norm_data(&e, &LinCtx::new()).unwrap();
-        assert_eq!(n, NormExpr::load("b", vec![aff("i")]).add(&NormExpr::constant(1.0)));
+        assert_eq!(
+            n,
+            NormExpr::load("b", vec![aff("i")]).add(&NormExpr::constant(1.0))
+        );
         // Index normalization honours the int environment.
         let load = IrExpr::Load {
             array: "b".into(),
