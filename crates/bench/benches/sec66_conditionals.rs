@@ -46,7 +46,11 @@ fn bench_conditionals(c: &mut Criterion) {
     ] {
         let kernel = guarded_benchmark_kernel(grammar);
         group.bench_function(format!("{grammar:?}"), |b| {
-            b.iter(|| conditional_experiment(&kernel, grammar).unwrap().candidates_tried)
+            b.iter(|| {
+                conditional_experiment(&kernel, grammar)
+                    .unwrap()
+                    .candidates_tried
+            })
         });
     }
     group.finish();

@@ -30,9 +30,15 @@ fn print_table2() {
     }
     println!(
         "{:<12} {:>11} {:>11} {:>22} {:>13}",
-        "Total", total.candidates, total.translated, total.untranslated_stencils, total.non_stencils
+        "Total",
+        total.candidates,
+        total.translated,
+        total.untranslated_stencils,
+        total.non_stencils
     );
-    println!("(paper totals: 93 candidates, 77 translated, 11 untranslated stencils, 5 non-stencils)");
+    println!(
+        "(paper totals: 93 candidates, 77 translated, 11 untranslated stencils, 5 non-stencils)"
+    );
 }
 
 fn bench_identification(c: &mut Criterion) {

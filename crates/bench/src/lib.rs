@@ -169,7 +169,11 @@ pub fn measure_halide(
 
 /// Produces one Table 1 row for a corpus kernel, or `None` when the kernel
 /// does not lift (such kernels appear in Table 2 only).
-pub fn table1_row(corpus_kernel: &CorpusKernel, stng: &Stng, tune_budget: usize) -> Option<Table1Row> {
+pub fn table1_row(
+    corpus_kernel: &CorpusKernel,
+    stng: &Stng,
+    tune_budget: usize,
+) -> Option<Table1Row> {
     let (report, kernel) = lift(corpus_kernel, stng)?;
     let KernelOutcome::Translated {
         summary,
@@ -189,7 +193,10 @@ pub fn table1_row(corpus_kernel: &CorpusKernel, stng: &Stng, tune_budget: usize)
     // region: the modelled compiler always parallelizes it.
     let clean_outcome = AutoParModel::default();
     let after = clean_outcome.cores as f64 * clean_outcome.efficiency
-        / (1.0 + clean_outcome.overhead_fraction * clean_outcome.cores as f64 * clean_outcome.efficiency);
+        / (1.0
+            + clean_outcome.overhead_fraction
+                * clean_outcome.cores as f64
+                * clean_outcome.efficiency);
 
     Some(Table1Row {
         suite: corpus_kernel.suite.name(),
@@ -234,7 +241,7 @@ pub fn median(values: &mut [f64]) -> f64 {
     }
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = values.len() / 2;
-    if values.len() % 2 == 0 {
+    if values.len().is_multiple_of(2) {
         (values[mid - 1] + values[mid]) / 2.0
     } else {
         values[mid]

@@ -177,6 +177,7 @@ end procedure
 }
 
 /// The full corpus, in suite order.
+#[allow(clippy::vec_init_then_push)]
 pub fn all_kernels() -> Vec<CorpusKernel> {
     let mut out = Vec::new();
 
@@ -381,8 +382,14 @@ end procedure
     ));
 
     // ---- CloverLeaf: a family of 2D staggered-grid kernels. -------------
-    let clover_specs: Vec<(&str, Vec<(i64, i64)>, f64, bool)> = vec![
-        ("akl81", vec![(0, 0), (-1, 0), (0, -1), (-1, -1)], 0.25, true),
+    type CloverSpec = (&'static str, Vec<(i64, i64)>, f64, bool);
+    let clover_specs: Vec<CloverSpec> = vec![
+        (
+            "akl81",
+            vec![(0, 0), (-1, 0), (0, -1), (-1, -1)],
+            0.25,
+            true,
+        ),
         ("akl83", vec![(0, 0), (-1, 0)], 0.5, false),
         ("akl84", vec![(0, 0), (0, -1)], 0.5, false),
         ("akl85", vec![(0, 0), (1, 0)], 0.5, false),
@@ -502,7 +509,13 @@ end procedure
         ("meclfu0", 8.0, true),
     ];
     for (name, scale, divide) in nffs_specs {
-        out.push(entry(Suite::NffsFvm, name, 24, true, nffs_kernel(name, scale, divide)));
+        out.push(entry(
+            Suite::NffsFvm,
+            name,
+            24,
+            true,
+            nffs_kernel(name, scale, divide),
+        ));
     }
     // An initialization kernel with a pure function call.
     out.push(entry(
@@ -659,7 +672,10 @@ end procedure
 
 /// The kernels of one suite.
 pub fn suite_kernels(suite: Suite) -> Vec<CorpusKernel> {
-    all_kernels().into_iter().filter(|k| k.suite == suite).collect()
+    all_kernels()
+        .into_iter()
+        .filter(|k| k.suite == suite)
+        .collect()
 }
 
 #[cfg(test)]

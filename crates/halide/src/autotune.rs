@@ -92,7 +92,9 @@ impl Autotuner {
                             + self.exploration
                                 * ((total_pulls as f64).ln() / pulls[k] as f64).sqrt()
                     };
-                    ucb(a).partial_cmp(&ucb(b)).unwrap_or(std::cmp::Ordering::Equal)
+                    ucb(a)
+                        .partial_cmp(&ucb(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .unwrap_or(0);
             let candidate = mutate(&best, arm, func.rank, self.threads, &mut rng);

@@ -26,7 +26,11 @@ impl Buffer {
     }
 
     /// Creates a buffer with contents produced by `f(logical indices)`.
-    pub fn from_fn(origin: Vec<i64>, extent: Vec<usize>, mut f: impl FnMut(&[i64]) -> f64) -> Buffer {
+    pub fn from_fn(
+        origin: Vec<i64>,
+        extent: Vec<usize>,
+        mut f: impl FnMut(&[i64]) -> f64,
+    ) -> Buffer {
         let mut buf = Buffer::new(origin.clone(), extent.clone());
         let mut idx = origin.clone();
         let len = buf.data.len();

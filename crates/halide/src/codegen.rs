@@ -114,16 +114,33 @@ fn cpp_expr(e: &HExpr, vars: &[String]) -> String {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn c_expr(e: &HExpr, vars: &[String], region: &Region) -> String {
     match e {
         HExpr::Input { image, index } => {
             let idx: Vec<String> = index.iter().map(|ix| index_str(ix, vars)).collect();
-            format!("{image}[{}]", idx.join("][") )
+            format!("{image}[{}]", idx.join("]["))
         }
-        HExpr::Add(a, b) => format!("({} + {})", c_expr(a, vars, region), c_expr(b, vars, region)),
-        HExpr::Sub(a, b) => format!("({} - {})", c_expr(a, vars, region), c_expr(b, vars, region)),
-        HExpr::Mul(a, b) => format!("({} * {})", c_expr(a, vars, region), c_expr(b, vars, region)),
-        HExpr::Div(a, b) => format!("({} / {})", c_expr(a, vars, region), c_expr(b, vars, region)),
+        HExpr::Add(a, b) => format!(
+            "({} + {})",
+            c_expr(a, vars, region),
+            c_expr(b, vars, region)
+        ),
+        HExpr::Sub(a, b) => format!(
+            "({} - {})",
+            c_expr(a, vars, region),
+            c_expr(b, vars, region)
+        ),
+        HExpr::Mul(a, b) => format!(
+            "({} * {})",
+            c_expr(a, vars, region),
+            c_expr(b, vars, region)
+        ),
+        HExpr::Div(a, b) => format!(
+            "({} / {})",
+            c_expr(a, vars, region),
+            c_expr(b, vars, region)
+        ),
         HExpr::Call { name, args } => {
             let args: Vec<String> = args.iter().map(|a| c_expr(a, vars, region)).collect();
             format!("{name}({})", args.join(", "))

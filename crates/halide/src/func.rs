@@ -62,7 +62,12 @@ pub enum HExpr {
 
 impl HExpr {
     /// Evaluates the expression at a grid point.
-    pub fn eval(&self, point: &[i64], inputs: &HashMap<String, &Buffer>, params: &HashMap<String, f64>) -> f64 {
+    pub fn eval(
+        &self,
+        point: &[i64],
+        inputs: &HashMap<String, &Buffer>,
+        params: &HashMap<String, f64>,
+    ) -> f64 {
         match self {
             HExpr::Const(v) => *v,
             HExpr::Param(name) => params.get(name).copied().unwrap_or(0.0),
@@ -239,11 +244,17 @@ mod tests {
             HExpr::Add(
                 Box::new(HExpr::Input {
                     image: "b".into(),
-                    index: vec![HIndex::VarOffset { var: 0, offset: -1 }, HIndex::VarOffset { var: 1, offset: 0 }],
+                    index: vec![
+                        HIndex::VarOffset { var: 0, offset: -1 },
+                        HIndex::VarOffset { var: 1, offset: 0 },
+                    ],
                 }),
                 Box::new(HExpr::Input {
                     image: "b".into(),
-                    index: vec![HIndex::VarOffset { var: 0, offset: 0 }, HIndex::VarOffset { var: 1, offset: 0 }],
+                    index: vec![
+                        HIndex::VarOffset { var: 0, offset: 0 },
+                        HIndex::VarOffset { var: 1, offset: 0 },
+                    ],
                 }),
             ),
         )

@@ -62,8 +62,7 @@ impl GpuModel {
         let bytes_touched = ((func.expr.loads() + 1) * points * std::mem::size_of::<f64>()) as f64;
         let compute = flops / self.flops_per_second;
         let memory = bytes_touched / self.mem_bytes_per_second;
-        let kernel =
-            Duration::from_secs_f64(compute.max(memory)) + self.launch_overhead;
+        let kernel = Duration::from_secs_f64(compute.max(memory)) + self.launch_overhead;
 
         let mut transfer_bytes = points * std::mem::size_of::<f64>();
         for image in func.expr.images() {

@@ -74,7 +74,11 @@ pub fn realize(
     inputs: &HashMap<String, &Buffer>,
     params: &HashMap<String, f64>,
 ) -> Buffer {
-    assert_eq!(region.len(), func.rank, "region rank must match the function");
+    assert_eq!(
+        region.len(),
+        func.rank,
+        "region rank must match the function"
+    );
     let origin: Vec<i64> = region.iter().map(|(lo, _)| *lo).collect();
     let extent: Vec<usize> = region
         .iter()
@@ -94,7 +98,16 @@ pub fn realize(
     };
 
     if workers <= 1 {
-        realize_chunk(func, schedule, region, inputs, params, 0, outer_extent, &mut output);
+        realize_chunk(
+            func,
+            schedule,
+            region,
+            inputs,
+            params,
+            0,
+            outer_extent,
+            &mut output,
+        );
         return output;
     }
 
@@ -119,7 +132,9 @@ pub fn realize(
             band_extent[0] = end - start;
             let handle = scope.spawn(move || {
                 let mut local = Buffer::new(band_origin, band_extent);
-                realize_chunk(func, schedule, region, inputs, params, start, end, &mut local);
+                realize_chunk(
+                    func, schedule, region, inputs, params, start, end, &mut local,
+                );
                 (start, local.data)
             });
             handles.push(handle);

@@ -238,6 +238,127 @@ pub fn f64_key(x: f64) -> u64 {
     }
 }
 
+pub mod sop {
+    //! Shared sum-of-products machinery for the two expression normal forms
+    //! (`stng_sym::SymExpr` over concrete indices, `stng_solve::NormExpr`
+    //! over affine indices).
+    //!
+    //! Both keep values as a sorted vector of monomials, each a float
+    //! coefficient times a sorted atom→power multiset; the subtle merge
+    //! loops (and the cancellation threshold) live here once so the two
+    //! representations cannot silently diverge.
+
+    use std::cmp::Ordering;
+    use std::collections::BTreeMap;
+
+    /// Coefficients with magnitude at or below this are treated as zero and
+    /// dropped during normalization and sum merging.
+    pub const CANCEL_EPS: f64 = 1e-12;
+
+    /// A monomial of a sum-of-products normal form, as seen by the shared
+    /// merge algorithms: a coefficient plus an ordering on the factor
+    /// multiset (the grouping key).
+    pub trait Mono: Clone {
+        /// The multiplicative coefficient.
+        fn coeff(&self) -> f64;
+        /// The same monomial with a different coefficient.
+        fn with_coeff(&self, coeff: f64) -> Self;
+        /// Compares the factor multisets, ignoring the coefficient.
+        fn key_cmp(&self, other: &Self) -> Ordering;
+    }
+
+    /// Product of two sorted atom→power maps: one merge pass, cloning each
+    /// atom exactly once (no whole-map clone, no per-atom entry lookups).
+    pub fn merge_pow_maps<A: Ord + Clone>(
+        left: &BTreeMap<A, u32>,
+        right: &BTreeMap<A, u32>,
+    ) -> BTreeMap<A, u32> {
+        let mut merged = BTreeMap::new();
+        let mut left = left.iter().peekable();
+        let mut right = right.iter().peekable();
+        loop {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some((a, _)), Some((b, _))) => match a.cmp(b) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let (atom, p) = left.next().expect("peeked");
+                        let (_, q) = right.next().expect("peeked");
+                        merged.insert(atom.clone(), p + q);
+                        continue;
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (atom, p) = if take_left {
+                left.next().expect("peeked")
+            } else {
+                right.next().expect("peeked")
+            };
+            merged.insert(atom.clone(), *p);
+        }
+        merged
+    }
+
+    /// Sum of two normal forms (both already sorted by key with one monomial
+    /// per key): one linear merge, combining coefficients on equal keys and
+    /// dropping cancellations. No re-sort.
+    pub fn merge_sum<M: Mono>(a: &[M], b: &[M]) -> Vec<M> {
+        let mut terms = Vec::with_capacity(a.len() + b.len());
+        let mut left = a.iter().peekable();
+        let mut right = b.iter().peekable();
+        loop {
+            let take_left = match (left.peek(), right.peek()) {
+                (Some(x), Some(y)) => match x.key_cmp(y) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => {
+                        let x = left.next().expect("peeked");
+                        let y = right.next().expect("peeked");
+                        let coeff = x.coeff() + y.coeff();
+                        if coeff.abs() > CANCEL_EPS {
+                            terms.push(x.with_coeff(coeff));
+                        }
+                        continue;
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let mono = if take_left {
+                left.next().expect("peeked")
+            } else {
+                right.next().expect("peeked")
+            };
+            terms.push(mono.clone());
+        }
+        terms
+    }
+
+    /// Canonicalizes an arbitrary term vector: sort by key (stable, so
+    /// equal-key coefficients are summed in construction order, exactly as
+    /// the pre-interning representation did), combine equal keys, drop
+    /// cancellations.
+    pub fn normalize<M: Mono>(mut terms: Vec<M>) -> Vec<M> {
+        terms.sort_by(|a, b| a.key_cmp(b));
+        let mut merged: Vec<M> = Vec::new();
+        for term in terms {
+            if let Some(last) = merged.last_mut() {
+                if last.key_cmp(&term) == Ordering::Equal {
+                    *last = last.with_coeff(last.coeff() + term.coeff());
+                    continue;
+                }
+            }
+            merged.push(term);
+        }
+        merged.retain(|m| m.coeff().abs() > CANCEL_EPS);
+        merged
+    }
+}
+
 pub mod parallel {
     //! Scoped-thread work distribution for embarrassingly parallel stages.
     //!
@@ -406,9 +527,6 @@ mod tests {
                 "threads = {threads}"
             );
         }
-        assert_eq!(
-            parallel::find_first(&items, 8, |_, _| None::<()>),
-            None
-        );
+        assert_eq!(parallel::find_first(&items, 8, |_, _| None::<()>), None);
     }
 }

@@ -48,7 +48,10 @@ pub enum DependenceReason {
 pub fn analyze_outer_loop(kernel: &Kernel) -> ParallelizationVerdict {
     let Some(IrStmt::Loop {
         var, lo, hi, body, ..
-    }) = kernel.body.iter().find(|s| matches!(s, IrStmt::Loop { .. }))
+    }) = kernel
+        .body
+        .iter()
+        .find(|s| matches!(s, IrStmt::Loop { .. }))
     else {
         return ParallelizationVerdict::Serial(DependenceReason::NoLoop);
     };
@@ -71,7 +74,9 @@ pub fn analyze_outer_loop(kernel: &Kernel) -> ParallelizationVerdict {
     // Conditionals and very deep artificial nests (tiling + unrolling) defeat
     // the dependence test in practice.
     if kernel.has_conditionals() {
-        return ParallelizationVerdict::NotAnalyzable("loop body contains conditionals".to_string());
+        return ParallelizationVerdict::NotAnalyzable(
+            "loop body contains conditionals".to_string(),
+        );
     }
     if kernel.loop_depth() > 4 {
         return ParallelizationVerdict::NotAnalyzable(format!(

@@ -107,25 +107,24 @@ fn classify_single_loop(stmt: &Stmt) -> Result<(), SkipReason> {
     });
     // The assignment *targets* also count as array uses.
     walk::visit_stmts(stmts, &mut |s| {
-        if let Stmt::Assign { target, .. } = s {
-            if let crate::ast::LValue::Array { indices, .. } = target {
-                uses_arrays = true;
-                for ix in indices {
-                    if ix.uses_arrays()
-                        || matches!(ix, Expr::Call { .. })
-                        || ix.has_indirect_index()
-                    {
-                        indirect = true;
+        if let Stmt::Assign {
+            target: crate::ast::LValue::Array { indices, .. },
+            ..
+        } = s
+        {
+            uses_arrays = true;
+            for ix in indices {
+                if ix.uses_arrays() || matches!(ix, Expr::Call { .. }) || ix.has_indirect_index() {
+                    indirect = true;
+                }
+                let mut has_call = false;
+                ix.walk(&mut |sub| {
+                    if matches!(sub, Expr::Call { .. }) {
+                        has_call = true;
                     }
-                    let mut has_call = false;
-                    ix.walk(&mut |sub| {
-                        if matches!(sub, Expr::Call { .. }) {
-                            has_call = true;
-                        }
-                    });
-                    if has_call {
-                        indirect = true;
-                    }
+                });
+                if has_call {
+                    indirect = true;
                 }
             }
         }

@@ -40,7 +40,10 @@ impl<V: DataValue> ArrayData<V> {
 
     /// Creates an array whose elements are produced by `f(indices)`.
     pub fn from_fn(dims: Vec<(i64, i64)>, mut f: impl FnMut(&[i64]) -> V) -> ArrayData<V> {
-        let mut arr = ArrayData::new(dims.clone(), f(&dims.iter().map(|d| d.0).collect::<Vec<_>>()));
+        let mut arr = ArrayData::new(
+            dims.clone(),
+            f(&dims.iter().map(|d| d.0).collect::<Vec<_>>()),
+        );
         let mut idx: Vec<i64> = dims.iter().map(|d| d.0).collect();
         loop {
             let value = f(&idx);
@@ -261,9 +264,9 @@ pub fn eval_int_expr<V: DataValue>(expr: &IrExpr, state: &State<V>) -> Result<i6
                 .ok_or_else(|| Error::interp(format!("unbound array '{array}'")))?;
             let idx: Result<Vec<i64>> = indices.iter().map(|ix| eval_int_expr(ix, state)).collect();
             let idx = idx?;
-            let value = arr
-                .get(&idx)
-                .ok_or_else(|| Error::interp(format!("index {idx:?} out of bounds for '{array}'")))?;
+            let value = arr.get(&idx).ok_or_else(|| {
+                Error::interp(format!("index {idx:?} out of bounds for '{array}'"))
+            })?;
             value
                 .as_index()
                 .ok_or_else(|| Error::interp("data value is not usable as an index".to_string()))
@@ -537,9 +540,8 @@ end procedure
 
     #[test]
     fn array_data_indexing() {
-        let arr: ArrayData<f64> = ArrayData::from_fn(vec![(0, 2), (1, 3)], |ix| {
-            (ix[0] * 10 + ix[1]) as f64
-        });
+        let arr: ArrayData<f64> =
+            ArrayData::from_fn(vec![(0, 2), (1, 3)], |ix| (ix[0] * 10 + ix[1]) as f64);
         assert_eq!(arr.len(), 9);
         assert_eq!(*arr.get(&[0, 1]).unwrap(), 1.0);
         assert_eq!(*arr.get(&[2, 3]).unwrap(), 23.0);

@@ -170,16 +170,19 @@ impl IrExpr {
     }
 
     /// `lhs + rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: IrExpr, rhs: IrExpr) -> IrExpr {
         IrExpr::bin(BinOp::Add, lhs, rhs)
     }
 
     /// `lhs - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: IrExpr, rhs: IrExpr) -> IrExpr {
         IrExpr::bin(BinOp::Sub, lhs, rhs)
     }
 
     /// `lhs * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: IrExpr, rhs: IrExpr) -> IrExpr {
         IrExpr::bin(BinOp::Mul, lhs, rhs)
     }
@@ -297,7 +300,10 @@ impl IrExpr {
             },
             IrExpr::Call { func, args } => IrExpr::Call {
                 func: func.clone(),
-                args: args.iter().map(|a| a.subst_var(name, replacement)).collect(),
+                args: args
+                    .iter()
+                    .map(|a| a.subst_var(name, replacement))
+                    .collect(),
             },
             IrExpr::Cmp { op, lhs, rhs } => IrExpr::Cmp {
                 op: *op,
@@ -353,7 +359,7 @@ impl fmt::Display for IrExpr {
 }
 
 /// An affine integer expression: `constant + Σ coefficient·variable`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Affine {
     /// Per-variable coefficients (zero coefficients are not stored).
     pub terms: BTreeMap<String, i64>,
@@ -713,7 +719,10 @@ mod tests {
             value: IrExpr::add(
                 IrExpr::Load {
                     array: "b".into(),
-                    indices: vec![IrExpr::sub(IrExpr::var("i"), IrExpr::Int(1)), IrExpr::var("j")],
+                    indices: vec![
+                        IrExpr::sub(IrExpr::var("i"), IrExpr::Int(1)),
+                        IrExpr::var("j"),
+                    ],
                 },
                 IrExpr::Load {
                     array: "b".into(),
@@ -836,7 +845,10 @@ mod tests {
 
     #[test]
     fn substitution_replaces_all_occurrences() {
-        let e = IrExpr::add(IrExpr::var("i"), IrExpr::mul(IrExpr::var("i"), IrExpr::var("j")));
+        let e = IrExpr::add(
+            IrExpr::var("i"),
+            IrExpr::mul(IrExpr::var("i"), IrExpr::var("j")),
+        );
         let replaced = e.subst_var("i", &IrExpr::Int(4));
         assert_eq!(replaced.free_vars(), vec!["j".to_string()]);
     }

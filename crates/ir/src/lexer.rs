@@ -119,10 +119,7 @@ pub fn tokenize(source: &str) -> Result<Vec<SpannedToken>> {
         lex_line(line, line_no, &mut tokens)?;
         // Every physical line ends a statement (the subset has no
         // continuation lines).
-        if !matches!(
-            tokens.last().map(|t| &t.token),
-            None | Some(Token::Newline)
-        ) {
+        if !matches!(tokens.last().map(|t| &t.token), None | Some(Token::Newline)) {
             tokens.push(SpannedToken {
                 token: Token::Newline,
                 line: line_no,
@@ -249,7 +246,11 @@ fn lex_line(line: &str, line_no: usize, out: &mut Vec<SpannedToken>) -> Result<(
                 } else if rest.starts_with(".not.") {
                     push(out, Token::Not);
                     i += 5;
-                } else if bytes.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                } else if bytes
+                    .get(i + 1)
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     let (tok, len) = lex_number(&bytes[i..], line_no)?;
                     push(out, tok);
                     i += len;
@@ -353,7 +354,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -399,7 +404,9 @@ mod tests {
             .iter()
             .any(|t| matches!(t, Token::Annotation(s) if s == "sz0 /= sz1")));
         // Plain comments vanish entirely.
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "plain")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "plain")));
     }
 
     #[test]

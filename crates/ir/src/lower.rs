@@ -267,7 +267,11 @@ impl<'a> LowerCtx<'a> {
                     BinOpKind::Mul => BinOp::Mul,
                     BinOpKind::Div => BinOp::Div,
                 };
-                Ok(IrExpr::bin(op, self.lower_expr(lhs)?, self.lower_expr(rhs)?))
+                Ok(IrExpr::bin(
+                    op,
+                    self.lower_expr(lhs)?,
+                    self.lower_expr(rhs)?,
+                ))
             }
             Expr::Neg(inner) => {
                 let inner_ir = self.lower_expr(inner)?;
@@ -301,7 +305,11 @@ impl<'a> LowerCtx<'a> {
                     CmpOpKind::Eq => CmpOp::Eq,
                     CmpOpKind::Ne => CmpOp::Ne,
                 };
-                Ok(IrExpr::cmp(op, self.lower_expr(lhs)?, self.lower_expr(rhs)?))
+                Ok(IrExpr::cmp(
+                    op,
+                    self.lower_expr(lhs)?,
+                    self.lower_expr(rhs)?,
+                ))
             }
             Expr::And(a, b) => Ok(IrExpr::And(
                 Box::new(self.lower_expr(a)?),

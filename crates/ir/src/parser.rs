@@ -789,7 +789,8 @@ end procedure
 
     #[test]
     fn rejects_unclosed_loop() {
-        let src = "procedure p(a)\n real, dimension(1:4) :: a\n do i = 1, 3\n a(i) = 1.0\nend procedure";
+        let src =
+            "procedure p(a)\n real, dimension(1:4) :: a\n do i = 1, 3\n a(i) = 1.0\nend procedure";
         assert!(parse_program(src).is_err());
     }
 

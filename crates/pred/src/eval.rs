@@ -268,7 +268,10 @@ mod tests {
         let nest = analyze_loop_nest(&kernel).unwrap();
         // Deliberately wrong: claim the whole output is done at loop exit
         // even though the invariant says nothing about it.
-        let invariants = vec![crate::lang::Invariant::empty(), crate::lang::Invariant::empty()];
+        let invariants = vec![
+            crate::lang::Invariant::empty(),
+            crate::lang::Invariant::empty(),
+        ];
         let post = fixtures::running_example_post();
         let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
         let exit = vcs.iter().find(|vc| vc.name == "exit").unwrap();

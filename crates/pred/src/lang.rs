@@ -99,12 +99,7 @@ pub struct OutEq {
 impl OutEq {
     /// Number of AST nodes in this constraint.
     pub fn node_count(&self) -> usize {
-        1 + self
-            .indices
-            .iter()
-            .map(IrExpr::node_count)
-            .sum::<usize>()
-            + self.rhs.node_count()
+        1 + self.indices.iter().map(IrExpr::node_count).sum::<usize>() + self.rhs.node_count()
     }
 }
 

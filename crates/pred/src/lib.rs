@@ -21,4 +21,4 @@ pub mod skolem;
 pub mod vcgen;
 
 pub use lang::{Invariant, OutEq, Postcondition, Pred, QuantBound, QuantClause};
-pub use vcgen::{analyze_loop_nest, generate_vcs, LoopLevel, LoopNest, Vc};
+pub use vcgen::{analyze_loop_nest, generate_vcs, LoopLevel, LoopNest, Vc, VcScope};

@@ -60,7 +60,10 @@ impl LoopNest {
 /// Returns a human-readable reason when the kernel does not have that shape
 /// (the lifter then reports the kernel as untranslated).
 pub fn analyze_loop_nest(kernel: &Kernel) -> Result<LoopNest, String> {
-    let mut loops = kernel.body.iter().filter(|s| matches!(s, IrStmt::Loop { .. }));
+    let mut loops = kernel
+        .body
+        .iter()
+        .filter(|s| matches!(s, IrStmt::Loop { .. }));
     let first = loops
         .next()
         .ok_or_else(|| "kernel has no loops".to_string())?;
@@ -131,6 +134,28 @@ fn decompose(stmt: &IrStmt, levels: &mut Vec<LoopLevel>) -> Result<(), String> {
     Ok(())
 }
 
+/// The program point a VC's Hoare triple is instantiated at. Bounded
+/// checking uses this to evaluate each VC only on the reachable states of
+/// its own point instead of on every captured state — the screen's
+/// rejection power lives exactly at these points (a violated initiation /
+/// descend / preservation / ascend condition manifests on the states of the
+/// loop it steps), and the product `all states × all VCs` is the dominant
+/// cost of CEGIS on deep nests. Soundness is unaffected: bounded checking
+/// is only a filter, and the prover re-checks survivors for all states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcScope {
+    /// Before any loop has executed.
+    Initial,
+    /// At the head of each iteration of the named loop.
+    LoopHead(String),
+    /// Immediately after the named loop exits.
+    LoopExit(String),
+    /// After the whole nest has executed.
+    Final,
+    /// No specific point (checked against every state).
+    Any,
+}
+
 /// A verification condition: `hypotheses ⊢ {body} conclusion` where `body` is
 /// loop-free. The condition is valid when, for every state satisfying all
 /// hypotheses, executing `body` yields a state satisfying the conclusion.
@@ -147,6 +172,9 @@ pub struct Vc {
     /// Names of scalars known to be integers (loop counters); everything
     /// else assigned by the body is treated as floating-point data.
     pub int_scalars: Vec<String>,
+    /// The program point this condition is anchored at (bounded checking
+    /// evaluates it on exactly those reachable states).
+    pub scope: VcScope,
 }
 
 impl Vc {
@@ -233,6 +261,7 @@ pub fn generate_vcs(
             body: vec![set_counter(&level.var, level.lo.clone())],
             conclusion: invariants[0].to_pred(),
             int_scalars: int_scalars.clone(),
+            scope: VcScope::Initial,
         });
     }
 
@@ -251,6 +280,7 @@ pub fn generate_vcs(
             body,
             conclusion: invariants[d + 1].to_pred(),
             int_scalars: int_scalars.clone(),
+            scope: VcScope::LoopHead(outer.var.clone()),
         });
     }
 
@@ -269,6 +299,7 @@ pub fn generate_vcs(
             body,
             conclusion: invariants[depth - 1].to_pred(),
             int_scalars: int_scalars.clone(),
+            scope: VcScope::LoopHead(level.var.clone()),
         });
     }
 
@@ -292,6 +323,7 @@ pub fn generate_vcs(
             body,
             conclusion: invariants[d].to_pred(),
             int_scalars: int_scalars.clone(),
+            scope: VcScope::LoopExit(inner.var.clone()),
         });
     }
 
@@ -307,6 +339,7 @@ pub fn generate_vcs(
             body: Vec::new(),
             conclusion: post.to_pred(),
             int_scalars: int_scalars.clone(),
+            scope: VcScope::Final,
         });
     }
 

@@ -11,13 +11,53 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use stng_ir::error::{Error, Result};
 use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, State};
 use stng_ir::ir::{IrStmt, Kernel, ParamKind};
 use stng_ir::value::{ModInt, MOD_FIELD};
 use stng_pred::eval::{check_vc_on_state, VcOutcome};
-use stng_pred::vcgen::Vc;
+use stng_pred::vcgen::{Vc, VcScope};
 use stng_sym::choose_small_bounds;
+
+/// The program point a captured state was snapshotted at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateOrigin {
+    /// Before any statement executed.
+    Initial,
+    /// At the head of an iteration of the named loop.
+    LoopHead(String),
+    /// Immediately after the named loop exited.
+    LoopExit(String),
+    /// After the whole kernel executed.
+    Final,
+}
+
+impl StateOrigin {
+    /// Whether a VC anchored at `scope` should be evaluated on a state
+    /// captured here.
+    fn in_scope(&self, scope: &VcScope) -> bool {
+        match (scope, self) {
+            (VcScope::Any, _) => true,
+            (VcScope::Initial, StateOrigin::Initial) => true,
+            (VcScope::LoopHead(v), StateOrigin::LoopHead(w)) => v == w,
+            (VcScope::LoopExit(v), StateOrigin::LoopExit(w)) => v == w,
+            (VcScope::Final, StateOrigin::Final) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StateOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateOrigin::Initial => write!(f, "initial"),
+            StateOrigin::LoopHead(v) => write!(f, "head of loop {v}"),
+            StateOrigin::LoopExit(v) => write!(f, "exit of loop {v}"),
+            StateOrigin::Final => write!(f, "final"),
+        }
+    }
+}
 
 /// A concrete state on which some VC failed.
 #[derive(Debug, Clone)]
@@ -37,6 +77,11 @@ pub struct BoundedChecker {
     pub trials_per_size: usize,
     /// RNG seed, so counterexample search is reproducible.
     pub seed: u64,
+    /// Worker threads used for state capture and VC checking (1 = serial).
+    /// Checking is pure over immutable shared data, so this is
+    /// embarrassingly parallel; results are deterministic regardless of the
+    /// thread count.
+    pub parallelism: usize,
 }
 
 impl Default for BoundedChecker {
@@ -45,6 +90,7 @@ impl Default for BoundedChecker {
             grid_sizes: vec![3, 4],
             trials_per_size: 3,
             seed: 0x5717_1e57,
+            parallelism: stng_intern::parallel::default_parallelism(),
         }
     }
 }
@@ -56,23 +102,55 @@ impl BoundedChecker {
     }
 
     /// Checks every VC on every reachable loop-head state of the kernel under
-    /// several random small inputs. Returns the first violation found, or
-    /// `None` when all checks pass (which does **not** imply validity).
+    /// several random small inputs. Returns the first violation found (in
+    /// deterministic size → trial → state → VC order, independent of the
+    /// thread count), or `None` when all checks pass (which does **not**
+    /// imply validity).
+    ///
+    /// The (size, trial) executions are captured concurrently — each gets its
+    /// own deterministic per-unit RNG seed — and the captured states are then
+    /// scanned concurrently. This is where the CEGIS loop spends most of its
+    /// wall time on 3D kernels (state count × VC count × quantifier domain),
+    /// and every check is an independent pure function.
     ///
     /// # Errors
     ///
     /// Propagates interpreter errors (e.g. the candidate predicates index an
     /// array out of bounds), which the synthesizer also treats as rejection.
-    pub fn find_counterexample(&self, kernel: &Kernel, vcs: &[Vc]) -> Result<Option<Counterexample>> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+    pub fn find_counterexample(
+        &self,
+        kernel: &Kernel,
+        vcs: &[Vc],
+    ) -> Result<Option<Counterexample>> {
+        let mut units: Vec<(i64, usize)> = Vec::new();
         for &size in &self.grid_sizes {
             for trial in 0..self.trials_per_size {
-                let states = self.reachable_states(kernel, size, &mut rng)?;
+                units.push((size, trial));
+            }
+        }
+
+        // One unit = capture the (size, trial) execution, then scan its
+        // states against the in-scope VCs. Pipelining capture+check inside
+        // the unit keeps the sequential early exit (a violation in the first
+        // unit stops the search without ever capturing the rest) while units
+        // still run concurrently on multi-core hosts.
+        let found = stng_intern::parallel::find_first(
+            &units,
+            self.parallelism,
+            |_, &(size, trial)| -> Option<Result<Counterexample>> {
+                let mut rng = StdRng::seed_from_u64(self.unit_seed(size, trial));
+                let states = match self.reachable_states(kernel, size, &mut rng) {
+                    Ok(states) => states,
+                    Err(err) => return Some(Err(err)),
+                };
                 for (origin, state) in &states {
                     for vc in vcs {
+                        if !origin.in_scope(&vc.scope) {
+                            continue;
+                        }
                         match check_vc_on_state(vc, state) {
                             Ok(VcOutcome::Violated) => {
-                                return Ok(Some(Counterexample {
+                                return Some(Ok(Counterexample {
                                     vc_name: vc.name.clone(),
                                     origin: format!("{origin} (size {size}, trial {trial})"),
                                 }));
@@ -81,7 +159,7 @@ impl BoundedChecker {
                             Err(err) => {
                                 // Evaluation errors (out-of-bounds candidate
                                 // indices) also reject the candidate.
-                                return Ok(Some(Counterexample {
+                                return Some(Ok(Counterexample {
                                     vc_name: vc.name.clone(),
                                     origin: format!("evaluation error: {err}"),
                                 }));
@@ -89,9 +167,22 @@ impl BoundedChecker {
                         }
                     }
                 }
-            }
+                None
+            },
+        );
+        match found {
+            None => Ok(None),
+            Some((_, Ok(cex))) => Ok(Some(cex)),
+            Some((_, Err(err))) => Err(err),
         }
-        Ok(None)
+    }
+
+    /// Deterministic per-(size, trial) RNG seed, so units can be captured in
+    /// any order (or concurrently) with reproducible inputs.
+    fn unit_seed(&self, size: i64, trial: usize) -> u64 {
+        self.seed.wrapping_add(
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(size as u64 * 31 + trial as u64 + 1),
+        )
     }
 
     /// Runs the kernel concretely and captures the initial state, the state
@@ -101,7 +192,7 @@ impl BoundedChecker {
         kernel: &Kernel,
         size: i64,
         rng: &mut StdRng,
-    ) -> Result<Vec<(String, State<ModInt>)>> {
+    ) -> Result<Vec<(StateOrigin, State<ModInt>)>> {
         let bounds = choose_small_bounds(kernel, size);
         let mut state: State<ModInt> = State::new();
         for (name, value) in &bounds {
@@ -125,12 +216,12 @@ impl BoundedChecker {
         }
 
         let mut tracer = Tracer {
-            snapshots: vec![("initial".to_string(), state.clone())],
+            snapshots: vec![(StateOrigin::Initial, state.clone())],
             steps: 0,
             max_steps: 200_000,
         };
         tracer.run(&kernel.body, &mut state)?;
-        tracer.snapshots.push(("final".to_string(), state));
+        tracer.snapshots.push((StateOrigin::Final, state));
         Ok(tracer.snapshots)
     }
 }
@@ -138,7 +229,7 @@ impl BoundedChecker {
 /// A tracing interpreter that snapshots the full machine state at the head of
 /// every loop iteration.
 struct Tracer {
-    snapshots: Vec<(String, State<ModInt>)>,
+    snapshots: Vec<(StateOrigin, State<ModInt>)>,
     steps: u64,
     max_steps: u64,
 }
@@ -196,13 +287,13 @@ impl Tracer {
                         }
                         state.ints.insert(var.clone(), cur);
                         self.snapshots
-                            .push((format!("head of loop {var}"), state.clone()));
+                            .push((StateOrigin::LoopHead(var.clone()), state.clone()));
                         self.run(body, state)?;
                         cur += step;
                     }
                     state.ints.insert(var.clone(), cur);
                     self.snapshots
-                        .push((format!("exit of loop {var}"), state.clone()));
+                        .push((StateOrigin::LoopExit(var.clone()), state.clone()));
                 }
                 IrStmt::If {
                     cond,
@@ -248,7 +339,10 @@ mod tests {
             fixtures::running_example_invariants(),
         );
         let checker = BoundedChecker::new();
-        assert!(checker.find_counterexample(&kernel, &vcs).unwrap().is_none());
+        assert!(checker
+            .find_counterexample(&kernel, &vcs)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -277,7 +371,10 @@ mod tests {
         let (kernel, vcs) = vcs_with(fixtures::running_example_post(), invariants);
         let checker = BoundedChecker::new();
         let cex = checker.find_counterexample(&kernel, &vcs).unwrap();
-        assert!(cex.is_some(), "expected a counterexample for the wrong invariant");
+        assert!(
+            cex.is_some(),
+            "expected a counterexample for the wrong invariant"
+        );
     }
 
     #[test]

@@ -9,11 +9,31 @@
 //! adjustment before encoding, which recovers most of the lost precision.
 
 use std::collections::BTreeSet;
+use stng_intern::Memo;
 use stng_ir::ir::{Affine, CmpOp, IrExpr};
 
 /// Maximum number of constraints Fourier–Motzkin is allowed to generate
 /// before giving up (returning "possibly feasible", which is always safe).
 const FM_CONSTRAINT_CAP: usize = 4000;
+
+/// Global memo of Fourier–Motzkin feasibility verdicts, keyed on the sorted,
+/// deduplicated constraint set. The prover's case-split search asks the same
+/// entailment questions under the same (or prefix-shared) contexts thousands
+/// of times; a hit here replaces a full elimination with one table lookup.
+static FM_MEMO: Memo<Vec<Affine>, bool> = Memo::new();
+
+/// Canonicalizes (sort + dedup) and checks feasibility through the memo.
+fn fm_infeasible_cached(constraints: &[Affine]) -> bool {
+    let mut key: Vec<Affine> = constraints.to_vec();
+    key.sort();
+    key.dedup();
+    if let Some(hit) = FM_MEMO.get(&key) {
+        return hit;
+    }
+    let verdict = fm_infeasible(&key);
+    FM_MEMO.insert(key, verdict);
+    verdict
+}
 
 /// A conjunction of linear integer constraints of the form `affine ≤ 0`.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -81,12 +101,10 @@ impl LinCtx {
                 let rb = self.assume_bool_expr(b);
                 ra && rb
             }
-            IrExpr::Cmp { op, lhs, rhs } => {
-                match (lhs.as_affine(), rhs.as_affine()) {
-                    (Some(l), Some(r)) => self.assume_cmp(*op, &l, &r),
-                    _ => false,
-                }
-            }
+            IrExpr::Cmp { op, lhs, rhs } => match (lhs.as_affine(), rhs.as_affine()) {
+                (Some(l), Some(r)) => self.assume_cmp(*op, &l, &r),
+                _ => false,
+            },
             _ => false,
         }
     }
@@ -94,7 +112,7 @@ impl LinCtx {
     /// Returns `true` when the context is provably infeasible (has no
     /// rational, hence no integer, solutions).
     pub fn is_infeasible(&self) -> bool {
-        fm_infeasible(&self.constraints)
+        fm_infeasible_cached(&self.constraints)
     }
 
     /// Checks whether the context entails `lhs ≤ rhs`.
@@ -104,7 +122,7 @@ impl LinCtx {
         neg.constant += 1;
         let mut cs = self.constraints.clone();
         cs.push(neg);
-        fm_infeasible(&cs)
+        fm_infeasible_cached(&cs)
     }
 
     /// Checks whether the context entails `lhs = rhs`.
@@ -128,7 +146,7 @@ impl LinCtx {
         neg.constant += 1;
         let mut cs = self.constraints.clone();
         cs.push(neg);
-        fm_infeasible(&cs)
+        fm_infeasible_cached(&cs)
     }
 
     /// Checks whether the context entails the boolean expression `e`
@@ -192,21 +210,16 @@ fn fm_infeasible(constraints: &[Affine]) -> bool {
     let mut cs: Vec<Affine> = constraints.to_vec();
     loop {
         // Constant constraints decide infeasibility immediately.
-        if cs
-            .iter()
-            .any(|c| c.terms.is_empty() && c.constant > 0)
-        {
+        if cs.iter().any(|c| c.terms.is_empty() && c.constant > 0) {
             return true;
         }
         // Pick the variable occurring in the fewest constraints to limit
         // blow-up.
-        let vars: BTreeSet<String> = cs
+        let vars: BTreeSet<String> = cs.iter().flat_map(|c| c.terms.keys().cloned()).collect();
+        let Some(var) = vars
             .iter()
-            .flat_map(|c| c.terms.keys().cloned())
-            .collect();
-        let Some(var) = vars.iter().min_by_key(|v| {
-            cs.iter().filter(|c| c.coeff(v) != 0).count()
-        }) else {
+            .min_by_key(|v| cs.iter().filter(|c| c.coeff(v) != 0).count())
+        else {
             return false;
         };
         let var = var.clone();
@@ -308,8 +321,16 @@ mod tests {
         use stng_ir::ir::IrExpr;
         let mut ctx = LinCtx::new();
         let hyp = IrExpr::And(
-            Box::new(IrExpr::cmp(CmpOp::Le, IrExpr::var("jmin"), IrExpr::var("j"))),
-            Box::new(IrExpr::cmp(CmpOp::Gt, IrExpr::var("j"), IrExpr::var("jmax"))),
+            Box::new(IrExpr::cmp(
+                CmpOp::Le,
+                IrExpr::var("jmin"),
+                IrExpr::var("j"),
+            )),
+            Box::new(IrExpr::cmp(
+                CmpOp::Gt,
+                IrExpr::var("j"),
+                IrExpr::var("jmax"),
+            )),
         );
         assert!(ctx.assume_bool_expr(&hyp));
         let goal = IrExpr::cmp(

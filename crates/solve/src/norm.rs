@@ -8,11 +8,21 @@
 //! condition. Values are kept in sum-of-products normal form; array reads are
 //! resolved against the symbolic store list using the linear context
 //! (read-over-write with provable index equality/disequality).
+//!
+//! Like `SymExpr`, normal forms are **hash-consed**: [`NormExpr`] is a
+//! `Copy`able reference to a canonical interned node, equality and hashing
+//! are O(1) pointer operations, and the ring operations plus atom
+//! substitution are memoized on node identity. The prover's case-split
+//! search re-executes VC bodies and re-rewrites goals under many linear
+//! contexts; with consing, every re-normalization of an already-seen operand
+//! pair is a table hit instead of a tree rebuild.
 
 use crate::lin::LinCtx;
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use stng_intern::sop::{self, Mono};
+use stng_intern::{f64_key, ConsSet, Memo, Symbol};
 use stng_ir::ir::{Affine, BinOp, IrExpr};
 
 /// Failures raised during normalization.
@@ -47,34 +57,32 @@ impl fmt::Display for NormErr {
 }
 
 /// An atomic factor of a normalized data term.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum NAtom {
     /// A read of the *pre-state* value of an array at affine indices.
     Load {
         /// Array name.
-        array: String,
+        array: Symbol,
         /// Affine index per dimension.
         indices: Vec<Affine>,
     },
     /// A free real scalar of the pre-state.
-    Var(String),
+    Var(Symbol),
     /// An application of a pure (uninterpreted) function.
     Apply {
         /// Function name.
-        func: String,
+        func: Symbol,
         /// Normalized arguments.
         args: Vec<NormExpr>,
     },
     /// An opaque quotient.
     Quot {
         /// Numerator.
-        num: Box<NormExpr>,
+        num: NormExpr,
         /// Denominator.
-        den: Box<NormExpr>,
+        den: NormExpr,
     },
 }
-
-impl Eq for NAtom {}
 
 impl PartialOrd for NAtom {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -116,7 +124,7 @@ impl Ord for NAtom {
 }
 
 /// One monomial: coefficient × product of atoms.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NMono {
     /// Coefficient.
     pub coeff: f64,
@@ -124,7 +132,20 @@ pub struct NMono {
     pub factors: BTreeMap<NAtom, u32>,
 }
 
+impl PartialEq for NMono {
+    fn eq(&self, other: &Self) -> bool {
+        self.coeff == other.coeff && self.factors == other.factors
+    }
+}
+
 impl Eq for NMono {}
+
+impl std::hash::Hash for NMono {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        f64_key(self.coeff).hash(state);
+        self.factors.hash(state);
+    }
+}
 
 impl PartialOrd for NMono {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -157,56 +178,64 @@ impl NMono {
     }
 
     fn mul(&self, other: &NMono) -> NMono {
-        // Merge the two sorted factor maps in one pass instead of cloning
-        // the whole left map and re-finding every right atom via the entry
-        // API. Atoms are cloned exactly once each.
-        let mut factors = BTreeMap::new();
-        let mut left = self.factors.iter().peekable();
-        let mut right = other.factors.iter().peekable();
-        loop {
-            let take_left = match (left.peek(), right.peek()) {
-                (Some((a, _)), Some((b, _))) => match a.cmp(b) {
-                    Ordering::Less => true,
-                    Ordering::Greater => false,
-                    Ordering::Equal => {
-                        let (atom, p) = left.next().expect("peeked");
-                        let (_, q) = right.next().expect("peeked");
-                        factors.insert(atom.clone(), p + q);
-                        continue;
-                    }
-                },
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            let (atom, p) = if take_left {
-                left.next().expect("peeked")
-            } else {
-                right.next().expect("peeked")
-            };
-            factors.insert(atom.clone(), *p);
-        }
         NMono {
             coeff: self.coeff * other.coeff,
-            factors,
+            factors: sop::merge_pow_maps(&self.factors, &other.factors),
+        }
+    }
+}
+
+impl Mono for NMono {
+    fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    fn with_coeff(&self, coeff: f64) -> NMono {
+        NMono {
+            coeff,
+            factors: self.factors.clone(),
         }
     }
 
-    /// Compares the factor multisets (the grouping key) without allocating
-    /// intermediate key vectors.
     fn key_cmp(&self, other: &NMono) -> Ordering {
         self.factors.iter().cmp(other.factors.iter())
     }
 }
 
-/// A normalized data expression: sum of monomials.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct NormExpr {
+/// The interned payload of a [`NormExpr`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct NNode {
     /// Monomials, sorted and merged.
-    pub terms: Vec<NMono>,
+    terms: Vec<NMono>,
+}
+
+static NEXPRS: ConsSet<NNode> = ConsSet::new();
+static MEMO_ADD: Memo<(usize, usize), NormExpr> = Memo::new();
+static MEMO_MUL: Memo<(usize, usize), NormExpr> = Memo::new();
+static MEMO_DIV: Memo<(usize, usize), NormExpr> = Memo::new();
+static MEMO_NEG: Memo<usize, NormExpr> = Memo::new();
+static MEMO_SUBST: Memo<(usize, NAtom, usize), NormExpr> = Memo::new();
+
+/// A normalized data expression: sum of monomials, hash-consed.
+///
+/// `NormExpr` is a `Copy`able reference to the canonical interned node, so
+/// structural equality and hashing are O(1) and cloning is free.
+#[derive(Clone, Copy)]
+pub struct NormExpr(&'static NNode);
+
+impl PartialEq for NormExpr {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
 }
 
 impl Eq for NormExpr {}
+
+impl std::hash::Hash for NormExpr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
 
 impl PartialOrd for NormExpr {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -216,82 +245,87 @@ impl PartialOrd for NormExpr {
 
 impl Ord for NormExpr {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.terms.cmp(&other.terms)
+        if std::ptr::eq(self.0, other.0) {
+            Ordering::Equal
+        } else {
+            self.0.terms.cmp(&other.0.terms)
+        }
+    }
+}
+
+impl Default for NormExpr {
+    fn default() -> Self {
+        NormExpr::zero()
+    }
+}
+
+impl fmt::Debug for NormExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NormExpr({self})")
     }
 }
 
 impl NormExpr {
+    fn cons(terms: Vec<NMono>) -> NormExpr {
+        NormExpr(NEXPRS.intern(NNode { terms }))
+    }
+
+    fn key(self) -> usize {
+        self.0 as *const NNode as usize
+    }
+
+    /// Monomials, sorted and merged.
+    pub fn terms(self) -> &'static [NMono] {
+        &self.0.terms
+    }
+
+    /// Number of distinct normal forms interned process-wide (diagnostics).
+    pub fn arena_len() -> usize {
+        NEXPRS.len()
+    }
+
     /// The zero expression.
     pub fn zero() -> NormExpr {
-        NormExpr::default()
+        NormExpr::cons(Vec::new())
     }
 
     /// A constant.
     pub fn constant(c: f64) -> NormExpr {
-        NormExpr {
-            terms: vec![NMono::constant(c)],
-        }
-        .normalized()
+        NormExpr::normalized(vec![NMono::constant(c)])
     }
 
     /// A single atom.
     pub fn atom(a: NAtom) -> NormExpr {
-        NormExpr {
-            terms: vec![NMono::atom(a)],
-        }
+        NormExpr::cons(vec![NMono::atom(a)])
     }
 
     /// A free real scalar.
-    pub fn var(name: impl Into<String>) -> NormExpr {
+    pub fn var(name: impl Into<Symbol>) -> NormExpr {
         NormExpr::atom(NAtom::Var(name.into()))
     }
 
     /// A pre-state array read.
-    pub fn load(array: impl Into<String>, indices: Vec<Affine>) -> NormExpr {
+    pub fn load(array: impl Into<Symbol>, indices: Vec<Affine>) -> NormExpr {
         NormExpr::atom(NAtom::Load {
             array: array.into(),
             indices,
         })
     }
 
-    /// Sum.
+    /// Sum: one linear merge over the two (already sorted) normal forms.
     pub fn add(&self, other: &NormExpr) -> NormExpr {
-        // Both sides are already in normal form (sorted by factor key, one
-        // monomial per key), so a single linear merge replaces the previous
-        // clone-both + extend + full re-sort.
-        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
-        let mut left = self.terms.iter().peekable();
-        let mut right = other.terms.iter().peekable();
-        loop {
-            let take_left = match (left.peek(), right.peek()) {
-                (Some(a), Some(b)) => match a.key_cmp(b) {
-                    Ordering::Less => true,
-                    Ordering::Greater => false,
-                    Ordering::Equal => {
-                        let a = left.next().expect("peeked");
-                        let b = right.next().expect("peeked");
-                        let coeff = a.coeff + b.coeff;
-                        if coeff.abs() > 1e-12 {
-                            terms.push(NMono {
-                                coeff,
-                                factors: a.factors.clone(),
-                            });
-                        }
-                        continue;
-                    }
-                },
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            let mono = if take_left {
-                left.next().expect("peeked")
-            } else {
-                right.next().expect("peeked")
-            };
-            terms.push(mono.clone());
+        let (a, b) = if self.key() <= other.key() {
+            (*self, *other)
+        } else {
+            (*other, *self)
+        };
+        let memo_key = (a.key(), b.key());
+        if let Some(cached) = MEMO_ADD.get(&memo_key) {
+            return cached;
         }
-        NormExpr { terms }
+        let result = NormExpr::cons(sop::merge_sum(a.terms(), b.terms()));
+        MEMO_ADD.insert(memo_key, result);
+        result
     }
 
     /// Difference.
@@ -301,50 +335,81 @@ impl NormExpr {
 
     /// Product.
     pub fn mul(&self, other: &NormExpr) -> NormExpr {
-        let mut terms = Vec::new();
-        for a in &self.terms {
-            for b in &other.terms {
-                terms.push(a.mul(b));
+        let (a, b) = if self.key() <= other.key() {
+            (*self, *other)
+        } else {
+            (*other, *self)
+        };
+        let memo_key = (a.key(), b.key());
+        if let Some(cached) = MEMO_MUL.get(&memo_key) {
+            return cached;
+        }
+        let mut terms = Vec::with_capacity(a.terms().len() * b.terms().len());
+        for x in a.terms() {
+            for y in b.terms() {
+                terms.push(x.mul(y));
             }
         }
-        NormExpr { terms }.normalized()
+        let result = NormExpr::normalized(terms);
+        MEMO_MUL.insert(memo_key, result);
+        result
     }
 
-    /// Negation.
+    /// Negation (canonical without re-sorting: keys are coefficient-free).
     pub fn neg(&self) -> NormExpr {
-        let mut out = self.clone();
-        for t in &mut out.terms {
-            t.coeff = -t.coeff;
+        if let Some(cached) = MEMO_NEG.get(&self.key()) {
+            return cached;
         }
-        out
+        let terms = self
+            .terms()
+            .iter()
+            .map(|t| NMono {
+                coeff: -t.coeff,
+                factors: t.factors.clone(),
+            })
+            .collect();
+        let result = NormExpr::cons(terms);
+        MEMO_NEG.insert(self.key(), result);
+        result
     }
 
     /// Quotient (kept opaque unless the divisor is a non-zero constant).
     pub fn div(&self, other: &NormExpr) -> NormExpr {
-        if let Some(c) = other.as_constant() {
+        let memo_key = (self.key(), other.key());
+        if let Some(cached) = MEMO_DIV.get(&memo_key) {
+            return cached;
+        }
+        let result = if let Some(c) = other.as_constant() {
             if c.abs() > 1e-12 {
-                let mut out = self.clone();
-                for t in &mut out.terms {
-                    t.coeff /= c;
-                }
-                return out.normalized();
+                NormExpr::normalized(
+                    self.terms()
+                        .iter()
+                        .map(|t| NMono {
+                            coeff: t.coeff / c,
+                            factors: t.factors.clone(),
+                        })
+                        .collect(),
+                )
+            } else {
+                NormExpr::zero()
             }
-            return NormExpr::zero();
-        }
-        if self == other {
-            return NormExpr::constant(1.0);
-        }
-        NormExpr::atom(NAtom::Quot {
-            num: Box::new(self.clone()),
-            den: Box::new(other.clone()),
-        })
+        } else if self == other {
+            NormExpr::constant(1.0)
+        } else {
+            NormExpr::atom(NAtom::Quot {
+                num: *self,
+                den: *other,
+            })
+        };
+        MEMO_DIV.insert(memo_key, result);
+        result
     }
 
     /// Returns `Some(c)` when the expression is the constant `c`.
     pub fn as_constant(&self) -> Option<f64> {
-        match self.terms.len() {
+        match self.terms().len() {
             0 => Some(0.0),
-            1 if self.terms[0].factors.is_empty() => Some(self.terms[0].coeff),
+            1 if self.terms()[0].factors.is_empty() => Some(self.terms()[0].coeff),
             _ => None,
         }
     }
@@ -353,10 +418,13 @@ impl NormExpr {
     /// is with respect to the reals, so tiny floating-point drift from
     /// constant folding must not cause spurious mismatches).
     pub fn approx_eq(&self, other: &NormExpr) -> bool {
-        if self.terms.len() != other.terms.len() {
+        if self == other {
+            return true;
+        }
+        if self.terms().len() != other.terms().len() {
             return false;
         }
-        self.terms.iter().zip(&other.terms).all(|(a, b)| {
+        self.terms().iter().zip(other.terms()).all(|(a, b)| {
             a.factors == b.factors && {
                 let scale = a.coeff.abs().max(b.coeff.abs()).max(1.0);
                 (a.coeff - b.coeff).abs() <= 1e-9 * scale
@@ -374,12 +442,12 @@ impl NormExpr {
         if self.approx_eq(other) {
             return true;
         }
-        if self.terms.len() != other.terms.len() {
+        if self.terms().len() != other.terms().len() {
             return false;
         }
-        let mut used = vec![false; other.terms.len()];
-        'outer: for a in &self.terms {
-            for (k, b) in other.terms.iter().enumerate() {
+        let mut used = vec![false; other.terms().len()];
+        'outer: for a in self.terms() {
+            for (k, b) in other.terms().iter().enumerate() {
                 if used[k] {
                     continue;
                 }
@@ -398,19 +466,20 @@ impl NormExpr {
     }
 
     /// All pre-state load atoms occurring at the top level of monomials or
-    /// nested inside applications/quotients.
-    pub fn loads(&self) -> Vec<(String, Vec<Affine>)> {
+    /// nested inside applications/quotients. Returned as borrows of the
+    /// interned ('static) nodes — no index vectors are copied.
+    pub fn loads(self) -> Vec<(Symbol, &'static [Affine])> {
         let mut out = Vec::new();
         self.collect_loads(&mut out);
         out
     }
 
-    fn collect_loads(&self, out: &mut Vec<(String, Vec<Affine>)>) {
-        for term in &self.terms {
+    fn collect_loads(self, out: &mut Vec<(Symbol, &'static [Affine])>) {
+        for term in self.terms() {
             for atom in term.factors.keys() {
                 match atom {
                     NAtom::Load { array, indices } => {
-                        let entry = (array.clone(), indices.clone());
+                        let entry = (*array, indices.as_slice());
                         if !out.contains(&entry) {
                             out.push(entry);
                         }
@@ -431,24 +500,29 @@ impl NormExpr {
     }
 
     /// Replaces every occurrence of `target` (a load atom) with `value`,
-    /// including inside applications and quotients.
+    /// including inside applications and quotients. Memoized on the consed
+    /// identities of the expression and replacement.
     pub fn subst_atom(&self, target: &NAtom, value: &NormExpr) -> NormExpr {
+        let memo_key = (self.key(), target.clone(), value.key());
+        if let Some(cached) = MEMO_SUBST.get(&memo_key) {
+            return cached;
+        }
         let mut result = NormExpr::zero();
-        for term in &self.terms {
+        for term in self.terms() {
             let mut factor_expr = NormExpr::constant(term.coeff);
             for (atom, power) in &term.factors {
                 let replacement = if atom == target {
-                    value.clone()
+                    *value
                 } else {
                     // Recurse into composite atoms.
                     match atom {
                         NAtom::Apply { func, args } => NormExpr::atom(NAtom::Apply {
-                            func: func.clone(),
+                            func: *func,
                             args: args.iter().map(|a| a.subst_atom(target, value)).collect(),
                         }),
                         NAtom::Quot { num, den } => NormExpr::atom(NAtom::Quot {
-                            num: Box::new(num.subst_atom(target, value)),
-                            den: Box::new(den.subst_atom(target, value)),
+                            num: num.subst_atom(target, value),
+                            den: den.subst_atom(target, value),
                         }),
                         other => NormExpr::atom(other.clone()),
                     }
@@ -459,32 +533,21 @@ impl NormExpr {
             }
             result = result.add(&factor_expr);
         }
+        MEMO_SUBST.insert(memo_key, result);
         result
     }
 
-    fn normalized(mut self) -> NormExpr {
-        self.terms.sort();
-        let mut merged: Vec<NMono> = Vec::new();
-        for term in self.terms {
-            if let Some(last) = merged.last_mut() {
-                if last.key_cmp(&term) == Ordering::Equal {
-                    last.coeff += term.coeff;
-                    continue;
-                }
-            }
-            merged.push(term);
-        }
-        merged.retain(|m| m.coeff.abs() > 1e-12);
-        NormExpr { terms: merged }
+    fn normalized(terms: Vec<NMono>) -> NormExpr {
+        NormExpr::cons(sop::normalize(terms))
     }
 }
 
 impl fmt::Display for NormExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.terms.is_empty() {
+        if self.terms().is_empty() {
             return write!(f, "0");
         }
-        for (k, term) in self.terms.iter().enumerate() {
+        for (k, term) in self.terms().iter().enumerate() {
             if k > 0 {
                 write!(f, " + ")?;
             }
@@ -582,7 +645,7 @@ pub fn atom_eq_mod_ctx(a: &NAtom, b: &NAtom, ctx: &LinCtx) -> bool {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Store {
     /// Array written.
-    pub array: String,
+    pub array: Symbol,
     /// Affine index per dimension (over the VC's free integer variables).
     pub indices: Vec<Affine>,
     /// The stored value, normalized over the pre-state.
@@ -593,11 +656,14 @@ pub struct Store {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SymState {
     /// Integer scalars updated by the body, as affine functions of the
-    /// pre-state variables. Variables not present map to themselves.
-    pub int_env: BTreeMap<String, Affine>,
+    /// pre-state variables. Variables not present map to themselves. Keyed
+    /// by interned name.
+    pub int_env: BTreeMap<Symbol, Affine>,
     /// Real scalars with known symbolic values (from hypotheses or body
-    /// assignments), over the pre-state.
-    pub real_env: BTreeMap<String, NormExpr>,
+    /// assignments), over the pre-state. Keyed by interned name and shared
+    /// copy-on-write: forking a state for another proof attempt copies a
+    /// pointer, not strings and trees.
+    pub real_env: std::sync::Arc<BTreeMap<Symbol, NormExpr>>,
     /// Stores performed so far, in execution order.
     pub stores: Vec<Store>,
 }
@@ -606,7 +672,7 @@ impl SymState {
     /// The affine value of integer scalar `name` in the current state.
     pub fn int_value(&self, name: &str) -> Affine {
         self.int_env
-            .get(name)
+            .get(&Symbol::intern(name))
             .cloned()
             .unwrap_or_else(|| Affine::var(name.to_string()))
     }
@@ -650,9 +716,9 @@ impl SymState {
             IrExpr::Real(v) => Ok(NormExpr::constant(*v)),
             IrExpr::Int(v) => Ok(NormExpr::constant(*v as f64)),
             IrExpr::Var(name) => {
-                if let Some(v) = self.real_env.get(name) {
-                    Ok(v.clone())
-                } else if let Some(aff) = self.int_env.get(name) {
+                if let Some(v) = self.real_env.get(&Symbol::intern(name)) {
+                    Ok(*v)
+                } else if let Some(aff) = self.int_env.get(&Symbol::intern(name)) {
                     aff.as_constant()
                         .map(|c| NormExpr::constant(c as f64))
                         .ok_or_else(|| {
@@ -661,7 +727,7 @@ impl SymState {
                             ))
                         })
                 } else {
-                    Ok(NormExpr::var(name.clone()))
+                    Ok(NormExpr::var(name.as_str()))
                 }
             }
             IrExpr::Load { array, indices } => {
@@ -669,7 +735,7 @@ impl SymState {
                 let idx = idx.ok_or_else(|| {
                     NormErr::Unsupported(format!("non-affine index into '{array}'"))
                 })?;
-                self.resolve_load(array, &idx, ctx)
+                self.resolve_load(Symbol::intern(array), &idx, ctx)
             }
             IrExpr::Bin { op, lhs, rhs } => {
                 let l = self.norm_data(lhs, ctx)?;
@@ -687,7 +753,7 @@ impl SymState {
                     nargs.push(self.norm_data(a, ctx)?);
                 }
                 Ok(NormExpr::atom(NAtom::Apply {
-                    func: func.clone(),
+                    func: Symbol::intern(func),
                     args: nargs,
                 }))
             }
@@ -705,10 +771,11 @@ impl SymState {
     /// See [`SymState::norm_data`].
     pub fn resolve_load(
         &self,
-        array: &str,
+        array: impl Into<Symbol>,
         indices: &[Affine],
         ctx: &LinCtx,
     ) -> Result<NormExpr, NormErr> {
+        let array = array.into();
         for store in self.stores.iter().rev() {
             if store.array != array || store.indices.len() != indices.len() {
                 continue;
@@ -729,7 +796,7 @@ impl SymState {
                 ambiguous = Some((ri.clone(), si.clone()));
             }
             if all_equal {
-                return Ok(store.value.clone());
+                return Ok(store.value);
             }
             if any_unequal {
                 continue;
@@ -741,7 +808,7 @@ impl SymState {
                 });
             }
         }
-        Ok(NormExpr::load(array.to_string(), indices.to_vec()))
+        Ok(NormExpr::load(array, indices.to_vec()))
     }
 }
 
@@ -808,8 +875,7 @@ mod tests {
     #[test]
     fn norm_data_uses_real_env_and_int_env() {
         let mut state = SymState::default();
-        state
-            .real_env
+        std::sync::Arc::make_mut(&mut state.real_env)
             .insert("t".into(), NormExpr::load("b", vec![aff("i")]));
         state
             .int_env
@@ -843,6 +909,7 @@ mod tests {
             args: vec![NormExpr::atom(target.clone())],
         })
         .add(&NormExpr::atom(target.clone()));
+        assert_eq!(expr.loads().len(), 1);
         let replaced = expr.subst_atom(&target, &NormExpr::var("x"));
         assert!(replaced.loads().is_empty());
         assert!(replaced.to_string().contains("exp(1*x)") || replaced.to_string().contains("exp"));
@@ -860,5 +927,12 @@ mod tests {
         });
         assert_eq!(a1, a2);
         assert!(a1.sub(&a2).approx_eq(&NormExpr::zero()));
+    }
+
+    #[test]
+    fn consed_equality_is_pointer_equality() {
+        let a = NormExpr::var("x").add(&NormExpr::load("b", vec![aff("i")]));
+        let b = NormExpr::load("b", vec![aff("i")]).add(&NormExpr::var("x"));
+        assert!(std::ptr::eq(a.0, b.0));
     }
 }

@@ -24,6 +24,7 @@
 use crate::lin::{LinCtx, SplitCase, SPLIT_CASES};
 use crate::norm::{NAtom, NormErr, NormExpr, Store, SymState};
 use std::collections::BTreeMap;
+use stng_intern::Symbol;
 use stng_ir::ir::{Affine, IrExpr, IrStmt};
 use stng_pred::lang::{Pred, QuantClause};
 use stng_pred::vcgen::Vc;
@@ -96,10 +97,7 @@ impl SmtLite {
             let (verdict, spent) = self.verify_vc_counting(vc);
             attempts += spent;
             if let Verdict::Unknown(reason) = verdict {
-                return (
-                    Verdict::Unknown(format!("{}: {reason}", vc.name)),
-                    attempts,
-                );
+                return (Verdict::Unknown(format!("{}: {reason}", vc.name)), attempts);
             }
         }
         (Verdict::Valid, attempts)
@@ -116,10 +114,11 @@ impl SmtLite {
         let mut session = ProofSession {
             vc,
             hyp_clauses: Vec::new(),
-            hyp_real_env: BTreeMap::new(),
+            hyp_real_env: Default::default(),
             attempts: 0,
             max_attempts: self.max_attempts,
         };
+        let mut hyp_real_env = BTreeMap::new();
         // Partition hypotheses.
         let mut base_ctx = LinCtx::new();
         for hyp in &vc.hypotheses {
@@ -135,15 +134,16 @@ impl SmtLite {
                             // empty symbolic state (no stores yet).
                             let pre = SymState::default();
                             if let Ok(v) = pre.norm_data(rhs, &base_ctx) {
-                                session.hyp_real_env.insert(name.clone(), v);
+                                hyp_real_env.insert(Symbol::intern(name), v);
                             }
                         }
                     }
-                    Pred::Forall(clause) => session.hyp_clauses.push(clause.clone()),
+                    Pred::Forall(clause) => session.hyp_clauses.push(clause),
                     Pred::And(_) => unreachable!("conjuncts() flattens conjunctions"),
                 }
             }
         }
+        session.hyp_real_env = std::sync::Arc::new(hyp_real_env);
         let verdict = match session.prove(&base_ctx, self.max_split_depth) {
             Ok(()) => Verdict::Valid,
             Err(reason) => Verdict::Unknown(reason),
@@ -154,8 +154,8 @@ impl SmtLite {
 
 struct ProofSession<'a> {
     vc: &'a Vc,
-    hyp_clauses: Vec<QuantClause>,
-    hyp_real_env: BTreeMap<String, NormExpr>,
+    hyp_clauses: Vec<&'a QuantClause>,
+    hyp_real_env: std::sync::Arc<BTreeMap<Symbol, NormExpr>>,
     attempts: usize,
     max_attempts: usize,
 }
@@ -214,7 +214,7 @@ impl<'a> ProofSession<'a> {
     fn attempt(&mut self, ctx: &LinCtx) -> Result<(), Failure> {
         // 1. Execute the straight-line body symbolically.
         let mut state = SymState {
-            real_env: self.hyp_real_env.clone(),
+            real_env: std::sync::Arc::clone(&self.hyp_real_env),
             ..SymState::default()
         };
         for stmt in &self.vc.body {
@@ -222,21 +222,19 @@ impl<'a> ProofSession<'a> {
                 IrStmt::AssignScalar { name, value } => {
                     let is_int_update = self.vc.int_scalars.contains(name)
                         || (value_is_integer_shaped(value)
-                            && !state.real_env.contains_key(name)
+                            && !state.real_env.contains_key(&Symbol::intern(name))
                             && value
                                 .free_vars()
                                 .iter()
-                                .all(|v| !state.real_env.contains_key(v)));
+                                .all(|v| !state.real_env.contains_key(&Symbol::intern(v))));
                     if is_int_update {
                         if let Some(aff) = state.norm_int(value) {
-                            state.int_env.insert(name.clone(), aff);
+                            state.int_env.insert(Symbol::intern(name), aff);
                             continue;
                         }
                     }
-                    let v = state
-                        .norm_data(value, ctx)
-                        .map_err(|e| norm_err_to_failure(e))?;
-                    state.real_env.insert(name.clone(), v);
+                    let v = state.norm_data(value, ctx).map_err(norm_err_to_failure)?;
+                    std::sync::Arc::make_mut(&mut state.real_env).insert(Symbol::intern(name), v);
                 }
                 IrStmt::Store {
                     array,
@@ -248,11 +246,9 @@ impl<'a> ProofSession<'a> {
                     let idx = idx.ok_or_else(|| {
                         Failure::Hard(format!("non-affine store index into '{array}'"))
                     })?;
-                    let v = state
-                        .norm_data(value, ctx)
-                        .map_err(|e| norm_err_to_failure(e))?;
+                    let v = state.norm_data(value, ctx).map_err(norm_err_to_failure)?;
                     state.stores.push(Store {
-                        array: array.clone(),
+                        array: Symbol::intern(array),
                         indices: idx,
                         value: v,
                     });
@@ -271,18 +267,12 @@ impl<'a> ProofSession<'a> {
                 Pred::Bool(e) => {
                     let substituted = subst_int_env(e, &state);
                     if !ctx.entails_bool_expr(&substituted) {
-                        return Err(Failure::Hard(format!(
-                            "scalar condition not entailed: {e}"
-                        )));
+                        return Err(Failure::Hard(format!("scalar condition not entailed: {e}")));
                     }
                 }
                 Pred::DataEq { lhs, rhs } => {
-                    let l = state
-                        .norm_data(lhs, ctx)
-                        .map_err(|e| norm_err_to_failure(e))?;
-                    let r = state
-                        .norm_data(rhs, ctx)
-                        .map_err(|e| norm_err_to_failure(e))?;
+                    let l = state.norm_data(lhs, ctx).map_err(norm_err_to_failure)?;
+                    let r = state.norm_data(rhs, ctx).map_err(norm_err_to_failure)?;
                     if !self.data_eq(&l, &r, ctx) {
                         return Err(Failure::Hard(format!(
                             "scalar data equality not provable: {lhs} = {rhs}"
@@ -350,8 +340,9 @@ impl<'a> ProofSession<'a> {
         }
 
         // Left-hand side: the post-state content of the output array.
+        let goal_array = Symbol::intern(&clause.eq.array);
         let lhs = state
-            .resolve_load(&clause.eq.array, &target, &ctx2)
+            .resolve_load(goal_array, &target, &ctx2)
             .map_err(norm_err_to_failure)?;
         // Right-hand side: the defining expression in the post-state.
         let rhs = state
@@ -367,7 +358,7 @@ impl<'a> ProofSession<'a> {
         // hypothesis clauses describing the same array.
         let mut candidates: Vec<(Affine, Affine)> = Vec::new();
         for store in &state.stores {
-            if store.array == clause.eq.array && store.indices.len() == target.len() {
+            if store.array == goal_array && store.indices.len() == target.len() {
                 for (t, s) in target.iter().zip(&store.indices) {
                     if !ctx2.entails_eq(t, s) && !ctx2.entails_ne(t, s) {
                         candidates.push((t.clone(), s.clone()));
@@ -376,7 +367,7 @@ impl<'a> ProofSession<'a> {
             }
         }
         let pre = SymState {
-            real_env: self.hyp_real_env.clone(),
+            real_env: std::sync::Arc::clone(&self.hyp_real_env),
             ..SymState::default()
         };
         for hyp in &self.hyp_clauses {
@@ -410,17 +401,17 @@ impl<'a> ProofSession<'a> {
         if lhs.eq_mod_ctx(rhs, ctx) {
             return true;
         }
-        let mut l = lhs.clone();
-        let mut r = rhs.clone();
+        let mut l = *lhs;
+        let mut r = *rhs;
         for _ in 0..4 {
             let mut changed = false;
             for side in [&mut l, &mut r] {
                 let loads = side.loads();
                 for (array, indices) in loads {
-                    if let Some(replacement) = self.rewrite_via_hypotheses(&array, &indices, ctx) {
+                    if let Some(replacement) = self.rewrite_via_hypotheses(array, indices, ctx) {
                         let atom = NAtom::Load {
-                            array: array.clone(),
-                            indices: indices.clone(),
+                            array,
+                            indices: indices.to_vec(),
                         };
                         *side = side.subst_atom(&atom, &replacement);
                         changed = true;
@@ -443,16 +434,16 @@ impl<'a> ProofSession<'a> {
     /// by the context, and its right-hand side becomes the read's value.
     fn rewrite_via_hypotheses(
         &self,
-        array: &str,
+        array: Symbol,
         indices: &[Affine],
         ctx: &LinCtx,
     ) -> Option<NormExpr> {
         let pre = SymState {
-            real_env: self.hyp_real_env.clone(),
+            real_env: std::sync::Arc::clone(&self.hyp_real_env),
             ..SymState::default()
         };
         'clauses: for clause in &self.hyp_clauses {
-            if clause.eq.array != array
+            if clause.eq.array != array.as_str()
                 || clause.eq.indices.len() != indices.len()
                 || clause.bounds.len() != clause.eq.indices.len()
             {
@@ -461,12 +452,10 @@ impl<'a> ProofSession<'a> {
             // The clause's output indices must be exactly its quantified
             // variables, in order — which is how every predicate this system
             // builds is shaped.
-            let mut quant_vars = Vec::new();
+            let mut quant_vars: Vec<&String> = Vec::new();
             for (k, ix) in clause.eq.indices.iter().enumerate() {
                 match ix {
-                    IrExpr::Var(name) if *name == clause.bounds[k].var => {
-                        quant_vars.push(name.clone())
-                    }
+                    IrExpr::Var(name) if *name == clause.bounds[k].var => quant_vars.push(name),
                     _ => continue 'clauses,
                 }
             }
@@ -506,7 +495,10 @@ fn norm_err_to_failure(err: NormErr) -> Failure {
 fn value_is_integer_shaped(e: &IrExpr) -> bool {
     let mut integer = true;
     e.walk(&mut |x| {
-        if matches!(x, IrExpr::Real(_) | IrExpr::Load { .. } | IrExpr::Call { .. }) {
+        if matches!(
+            x,
+            IrExpr::Real(_) | IrExpr::Load { .. } | IrExpr::Call { .. }
+        ) {
             integer = false;
         }
     });
@@ -517,7 +509,7 @@ fn value_is_integer_shaped(e: &IrExpr) -> bool {
 fn subst_int_env(e: &IrExpr, state: &SymState) -> IrExpr {
     let mut out = e.clone();
     for (name, aff) in &state.int_env {
-        out = out.subst_var(name, &aff.to_expr());
+        out = out.subst_var(name.as_str(), &aff.to_expr());
     }
     out
 }
@@ -560,7 +552,10 @@ mod tests {
         let prover = SmtLite::new();
         let vc = vcs.iter().find(|vc| vc.name == "preservation(i)").unwrap();
         let verdict = prover.verify_vc(vc);
-        assert!(verdict.is_valid(), "preservation should be valid: {verdict:?}");
+        assert!(
+            verdict.is_valid(),
+            "preservation should be valid: {verdict:?}"
+        );
     }
 
     #[test]
@@ -628,6 +623,7 @@ mod tests {
             body: vec![],
             conclusion: Pred::truth(),
             int_scalars: vec![],
+            scope: stng_pred::vcgen::VcScope::Any,
         };
         assert!(SmtLite::new().verify_vc(&vc).is_valid());
     }

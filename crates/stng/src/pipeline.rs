@@ -6,7 +6,7 @@ use crate::translate::StencilSummary;
 use std::time::Duration;
 use stng_ir::identify::classify_loops;
 use stng_ir::ir::Kernel;
-use stng_ir::lower::{lower_fragment, liftability_check};
+use stng_ir::lower::{liftability_check, lower_fragment};
 use stng_ir::parser::parse_program;
 use stng_pred::lang::Postcondition;
 use stng_synth::cegis::{synthesize_with, SynthesisConfig};
@@ -166,8 +166,7 @@ impl Stng {
         }
         match synthesize_with(&kernel, &self.config) {
             Ok(outcome) => {
-                let summary =
-                    StencilSummary::from_postcondition(&kernel.name, &outcome.post);
+                let summary = StencilSummary::from_postcondition(&kernel.name, &outcome.post);
                 match summary {
                     Ok(summary) => KernelReport {
                         name: fragment.name.clone(),

@@ -120,7 +120,7 @@ impl TemplateExpr {
             return TemplateExpr::Const(c);
         }
         let mut terms = Vec::new();
-        for mono in &expr.terms {
+        for mono in expr.terms() {
             let mut factors = Vec::new();
             if (mono.coeff - 1.0).abs() > 1e-12 || mono.factors.is_empty() {
                 factors.push(TemplateExpr::Const(mono.coeff));
@@ -146,12 +146,12 @@ impl TemplateExpr {
     fn from_atom(atom: &Atom) -> TemplateExpr {
         match atom {
             Atom::Read { array, indices } => TemplateExpr::Read {
-                array: array.clone(),
+                array: array.as_str().to_string(),
                 index: indices.iter().map(|&v| IndexTemplate::Fixed(v)).collect(),
             },
-            Atom::Var(name) => TemplateExpr::Var(name.clone()),
+            Atom::Var(name) => TemplateExpr::Var(name.as_str().to_string()),
             Atom::Apply { func, args } => TemplateExpr::Apply {
-                func: func.clone(),
+                func: func.as_str().to_string(),
                 args: args.iter().map(TemplateExpr::from_sym).collect(),
             },
             Atom::Quot { num, den } => TemplateExpr::Quot(
@@ -225,10 +225,8 @@ impl TemplateExpr {
         let mut out = Vec::new();
         fn go(t: &TemplateExpr, out: &mut Vec<String>) {
             match t {
-                TemplateExpr::Read { array, .. } => {
-                    if !out.contains(array) {
-                        out.push(array.clone());
-                    }
+                TemplateExpr::Read { array, .. } if !out.contains(array) => {
+                    out.push(array.clone());
                 }
                 TemplateExpr::Apply { args, .. } => {
                     for a in args {
@@ -341,33 +339,29 @@ fn unify_t(a: &TemplateExpr, b: &TemplateExpr, alloc: &mut HoleAllocator) -> Tem
                 index,
             }
         }
-        (
+        (Apply { func: f1, args: x1 }, Apply { func: f2, args: x2 })
+            if f1 == f2 && x1.len() == x2.len() =>
+        {
             Apply {
-                func: f1,
-                args: x1,
-            },
-            Apply {
-                func: f2,
-                args: x2,
-            },
-        ) if f1 == f2 && x1.len() == x2.len() => Apply {
-            func: f1.clone(),
-            args: x1
-                .iter()
-                .zip(x2)
-                .map(|(p, q)| unify_t(p, q, alloc))
-                .collect(),
-        },
+                func: f1.clone(),
+                args: x1
+                    .iter()
+                    .zip(x2)
+                    .map(|(p, q)| unify_t(p, q, alloc))
+                    .collect(),
+            }
+        }
         (Sum(x1), Sum(x2)) if x1.len() == x2.len() => Sum(x1
             .iter()
             .zip(x2)
             .map(|(p, q)| unify_t(p, q, alloc))
             .collect()),
-        (Prod(x1), Prod(x2)) if x1.len() == x2.len() => Prod(x1
-            .iter()
-            .zip(x2)
-            .map(|(p, q)| unify_t(p, q, alloc))
-            .collect()),
+        (Prod(x1), Prod(x2)) if x1.len() == x2.len() => Prod(
+            x1.iter()
+                .zip(x2)
+                .map(|(p, q)| unify_t(p, q, alloc))
+                .collect(),
+        ),
         (Quot(n1, d1), Quot(n2, d2)) => Quot(
             Box::new(unify_t(n1, n2, alloc)),
             Box::new(unify_t(d1, d2, alloc)),
@@ -412,7 +406,7 @@ mod tests {
     #[test]
     fn equal_expressions_generalize_without_holes() {
         let e = b(1, 1).add(&SymExpr::constant(2.0));
-        let template = generalize(&[e.clone(), e.clone()]).unwrap();
+        let template = generalize(&[e, e]).unwrap();
         assert_eq!(template.holes, 0);
         assert_eq!(template.expr.hole_count(), 0);
     }

@@ -127,7 +127,8 @@ pub fn symbolic_execute(kernel: &Kernel, bounds: &HashMap<String, i64>) -> Resul
                 concrete.push((lo, hi));
             }
             let name = param.name.clone();
-            let array = ArrayData::from_fn(concrete, |idx| SymExpr::read(name.clone(), idx.to_vec()));
+            let array =
+                ArrayData::from_fn(concrete, |idx| SymExpr::read(name.clone(), idx.to_vec()));
             state.set_array(param.name.clone(), array);
         }
     }
@@ -155,7 +156,7 @@ pub fn symbolic_execute(kernel: &Kernel, bounds: &HashMap<String, i64>) -> Resul
         for (idx, value) in final_array.iter_indexed() {
             let untouched = SymExpr::read(array_name.clone(), idx.clone());
             if *value != untouched {
-                cells.push((idx, value.clone()));
+                cells.push((idx, *value));
             }
         }
         writes.insert(array_name, cells);
@@ -266,7 +267,7 @@ impl SymExecutor {
         let scalars: HashMap<String, SymExpr> = self
             .real_locals
             .iter()
-            .filter_map(|name| state.reals.get(name).map(|v| (name.clone(), v.clone())))
+            .filter_map(|name| state.reals.get(name).map(|v| (name.clone(), *v)))
             .collect();
         self.loop_heads
             .entry(loop_var.to_string())

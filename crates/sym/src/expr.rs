@@ -9,29 +9,53 @@
 //! commutativity, and distributivity over the reals) structurally equal,
 //! which is what both anti-unification and the verifier's equality checks
 //! rely on.
+//!
+//! Expressions are **hash-consed**: every distinct normal form is interned
+//! exactly once in a global arena, and [`SymExpr`] is a `Copy`able reference
+//! to the canonical node. Structural equality and hashing are therefore O(1)
+//! pointer operations, and the ring operations are memoized on node identity,
+//! so a subexpression shared by thousands of output cells (the common case in
+//! symbolic execution of stencils) is normalized once. Names are interned
+//! [`Symbol`]s, whose ordering matches string ordering, so the sorted factor
+//! multisets iterate exactly as the `String`-keyed originals did.
 
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
+use stng_intern::sop::{self, Mono};
+use stng_intern::{f64_key, ConsSet, Memo, Symbol};
 use stng_ir::value::DataValue;
 
 /// An atomic (non-arithmetic) factor of a monomial.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Atom {
     /// A read of an input array at concrete indices (symbolic execution runs
     /// with concrete loop bounds, so indices are always concrete integers).
-    Read { array: String, indices: Vec<i64> },
+    Read {
+        /// Array name.
+        array: Symbol,
+        /// Concrete index per dimension.
+        indices: Vec<i64>,
+    },
     /// A named symbolic scalar input.
-    Var(String),
+    Var(Symbol),
     /// An application of a pure (uninterpreted) function.
-    Apply { func: String, args: Vec<SymExpr> },
+    Apply {
+        /// Function name.
+        func: Symbol,
+        /// Argument expressions.
+        args: Vec<SymExpr>,
+    },
     /// A quotient `numerator / denominator`, kept opaque (no rational
     /// function simplification beyond constant folding).
-    Quot { num: Box<SymExpr>, den: Box<SymExpr> },
+    Quot {
+        /// Numerator.
+        num: SymExpr,
+        /// Denominator.
+        den: SymExpr,
+    },
 }
-
-impl Eq for Atom {}
 
 impl PartialOrd for Atom {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -61,16 +85,9 @@ impl Ord for Atom {
                 },
             ) => a1.cmp(a2).then_with(|| i1.cmp(i2)),
             (Atom::Var(a), Atom::Var(b)) => a.cmp(b),
-            (
-                Atom::Apply {
-                    func: f1,
-                    args: x1,
-                },
-                Atom::Apply {
-                    func: f2,
-                    args: x2,
-                },
-            ) => f1.cmp(f2).then_with(|| x1.cmp(x2)),
+            (Atom::Apply { func: f1, args: x1 }, Atom::Apply { func: f2, args: x2 }) => {
+                f1.cmp(f2).then_with(|| x1.cmp(x2))
+            }
             (Atom::Quot { num: n1, den: d1 }, Atom::Quot { num: n2, den: d2 }) => {
                 n1.cmp(n2).then_with(|| d1.cmp(d2))
             }
@@ -109,7 +126,7 @@ impl fmt::Display for Atom {
 }
 
 /// One monomial: a coefficient times a multiset of atoms (atom → power).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Monomial {
     /// Multiplicative coefficient.
     pub coeff: f64,
@@ -136,29 +153,46 @@ impl Monomial {
         }
     }
 
-    /// Product of two monomials.
+    /// Product of two monomials: one merge pass over the sorted factor maps.
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        let mut factors = self.factors.clone();
-        for (a, p) in &other.factors {
-            *factors.entry(a.clone()).or_insert(0) += p;
-        }
         Monomial {
             coeff: self.coeff * other.coeff,
-            factors,
+            factors: sop::merge_pow_maps(&self.factors, &other.factors),
+        }
+    }
+}
+
+impl Mono for Monomial {
+    fn coeff(&self) -> f64 {
+        self.coeff
+    }
+
+    fn with_coeff(&self, coeff: f64) -> Monomial {
+        Monomial {
+            coeff,
+            factors: self.factors.clone(),
         }
     }
 
-    /// The sorting/grouping key of the monomial (its factors, ignoring the
-    /// coefficient).
-    fn key(&self) -> Vec<(Atom, u32)> {
-        self.factors
-            .iter()
-            .map(|(a, p)| (a.clone(), *p))
-            .collect()
+    fn key_cmp(&self, other: &Monomial) -> Ordering {
+        self.factors.iter().cmp(other.factors.iter())
+    }
+}
+
+impl PartialEq for Monomial {
+    fn eq(&self, other: &Self) -> bool {
+        self.coeff == other.coeff && self.factors == other.factors
     }
 }
 
 impl Eq for Monomial {}
+
+impl std::hash::Hash for Monomial {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        f64_key(self.coeff).hash(state);
+        self.factors.hash(state);
+    }
+}
 
 impl PartialOrd for Monomial {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -168,77 +202,101 @@ impl PartialOrd for Monomial {
 
 impl Ord for Monomial {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.key()
-            .cmp(&other.key())
+        self.key_cmp(other)
             .then_with(|| self.coeff.total_cmp(&other.coeff))
     }
 }
 
-/// A symbolic expression in sum-of-products normal form.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct SymExpr {
-    /// The monomials of the sum, sorted by their factor keys. Zero-coefficient
-    /// monomials are removed.
-    pub terms: Vec<Monomial>,
+/// The interned payload of a [`SymExpr`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct Node {
+    /// The monomials of the sum, sorted by their factor keys.
+    /// Zero-coefficient monomials are removed.
+    terms: Vec<Monomial>,
 }
 
+/// The global hash-consing arena and the operation memo tables. Keys are the
+/// canonical node addresses, so a memo hit is two pointer reads.
+static EXPRS: ConsSet<Node> = ConsSet::new();
+static MEMO_ADD: Memo<(usize, usize), SymExpr> = Memo::new();
+static MEMO_MUL: Memo<(usize, usize), SymExpr> = Memo::new();
+static MEMO_DIV: Memo<(usize, usize), SymExpr> = Memo::new();
+static MEMO_NEG: Memo<usize, SymExpr> = Memo::new();
+
+/// A symbolic expression in sum-of-products normal form, hash-consed.
+///
+/// `SymExpr` is a `Copy`able reference to the canonical interned node:
+/// structural equality is pointer equality and hashing hashes the pointer,
+/// both O(1).
+#[derive(Clone, Copy)]
+pub struct SymExpr(&'static Node);
+
 impl SymExpr {
+    /// Interns a term vector that is already in normal form.
+    fn cons(terms: Vec<Monomial>) -> SymExpr {
+        SymExpr(EXPRS.intern(Node { terms }))
+    }
+
+    /// The canonical node address (memoization key).
+    fn key(self) -> usize {
+        self.0 as *const Node as usize
+    }
+
+    /// The monomials of the sum, sorted by their factor keys.
+    pub fn terms(self) -> &'static [Monomial] {
+        &self.0.terms
+    }
+
+    /// Number of distinct expressions interned process-wide (diagnostics).
+    pub fn arena_len() -> usize {
+        EXPRS.len()
+    }
+
     /// The zero expression.
     pub fn zero() -> SymExpr {
-        SymExpr { terms: Vec::new() }
+        SymExpr::cons(Vec::new())
     }
 
     /// A constant expression.
     pub fn constant(value: f64) -> SymExpr {
-        SymExpr {
-            terms: vec![Monomial::constant(value)],
-        }
-        .normalized()
+        SymExpr::normalized(vec![Monomial::constant(value)])
     }
 
     /// A named symbolic scalar.
-    pub fn var(name: impl Into<String>) -> SymExpr {
-        SymExpr {
-            terms: vec![Monomial::atom(Atom::Var(name.into()))],
-        }
+    pub fn var(name: impl Into<Symbol>) -> SymExpr {
+        SymExpr::cons(vec![Monomial::atom(Atom::Var(name.into()))])
     }
 
     /// A read of `array` at concrete `indices`.
-    pub fn read(array: impl Into<String>, indices: Vec<i64>) -> SymExpr {
-        SymExpr {
-            terms: vec![Monomial::atom(Atom::Read {
-                array: array.into(),
-                indices,
-            })],
-        }
+    pub fn read(array: impl Into<Symbol>, indices: Vec<i64>) -> SymExpr {
+        SymExpr::cons(vec![Monomial::atom(Atom::Read {
+            array: array.into(),
+            indices,
+        })])
     }
 
     /// An application of a pure function.
-    pub fn apply(func: impl Into<String>, args: Vec<SymExpr>) -> SymExpr {
-        SymExpr {
-            terms: vec![Monomial::atom(Atom::Apply {
-                func: func.into(),
-                args,
-            })],
-        }
+    pub fn apply(func: impl Into<Symbol>, args: Vec<SymExpr>) -> SymExpr {
+        SymExpr::cons(vec![Monomial::atom(Atom::Apply {
+            func: func.into(),
+            args,
+        })])
     }
 
     /// Returns `Some(c)` when the expression is the constant `c`.
-    pub fn as_constant(&self) -> Option<f64> {
-        match self.terms.len() {
+    pub fn as_constant(self) -> Option<f64> {
+        match self.terms().len() {
             0 => Some(0.0),
-            1 if self.terms[0].factors.is_empty() => Some(self.terms[0].coeff),
+            1 if self.terms()[0].factors.is_empty() => Some(self.terms()[0].coeff),
             _ => None,
         }
     }
 
     /// Returns the single atom when the expression is exactly `1 · atom`.
-    pub fn as_single_atom(&self) -> Option<&Atom> {
-        if self.terms.len() == 1
-            && (self.terms[0].coeff - 1.0).abs() < 1e-12
-            && self.terms[0].factors.len() == 1
-        {
-            let (atom, power) = self.terms[0].factors.iter().next().unwrap();
+    pub fn as_single_atom(self) -> Option<&'static Atom> {
+        let terms = self.terms();
+        if terms.len() == 1 && (terms[0].coeff - 1.0).abs() < 1e-12 && terms[0].factors.len() == 1 {
+            let (atom, power) = terms[0].factors.iter().next().expect("one factor");
             if *power == 1 {
                 return Some(atom);
             }
@@ -247,18 +305,18 @@ impl SymExpr {
     }
 
     /// All distinct array reads appearing (recursively) in the expression.
-    pub fn reads(&self) -> Vec<(String, Vec<i64>)> {
+    pub fn reads(self) -> Vec<(Symbol, Vec<i64>)> {
         let mut out = Vec::new();
         self.collect_reads(&mut out);
         out
     }
 
-    fn collect_reads(&self, out: &mut Vec<(String, Vec<i64>)>) {
-        for term in &self.terms {
+    fn collect_reads(self, out: &mut Vec<(Symbol, Vec<i64>)>) {
+        for term in self.terms() {
             for atom in term.factors.keys() {
                 match atom {
                     Atom::Read { array, indices } => {
-                        let entry = (array.clone(), indices.clone());
+                        let entry = (*array, indices.clone());
                         if !out.contains(&entry) {
                             out.push(entry);
                         }
@@ -278,25 +336,32 @@ impl SymExpr {
         }
     }
 
-    /// Re-sorts terms and merges monomials with identical factor keys.
-    fn normalized(mut self) -> SymExpr {
-        self.terms.sort_by(|a, b| a.key().cmp(&b.key()));
-        let mut merged: Vec<Monomial> = Vec::new();
-        for term in self.terms {
-            if let Some(last) = merged.last_mut() {
-                if last.key() == term.key() {
-                    last.coeff += term.coeff;
-                    continue;
-                }
-            }
-            merged.push(term);
-        }
-        merged.retain(|m| m.coeff.abs() > 1e-12);
-        SymExpr { terms: merged }
+    /// Sorts, merges monomials with identical factor keys, drops zeros, and
+    /// interns the result.
+    fn normalized(terms: Vec<Monomial>) -> SymExpr {
+        SymExpr::cons(sop::normalize(terms))
+    }
+}
+
+impl Default for SymExpr {
+    fn default() -> Self {
+        SymExpr::zero()
+    }
+}
+
+impl PartialEq for SymExpr {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
     }
 }
 
 impl Eq for SymExpr {}
+
+impl std::hash::Hash for SymExpr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
 
 impl PartialOrd for SymExpr {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -306,16 +371,27 @@ impl PartialOrd for SymExpr {
 
 impl Ord for SymExpr {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.terms.cmp(&other.terms)
+        if std::ptr::eq(self.0, other.0) {
+            Ordering::Equal
+        } else {
+            self.0.terms.cmp(&other.0.terms)
+        }
+    }
+}
+
+impl fmt::Debug for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymExpr({self})")
     }
 }
 
 impl fmt::Display for SymExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.terms.is_empty() {
+        let terms = self.terms();
+        if terms.is_empty() {
             return write!(f, "0");
         }
-        for (k, term) in self.terms.iter().enumerate() {
+        for (k, term) in terms.iter().enumerate() {
             if k > 0 {
                 write!(f, " + ")?;
             }
@@ -345,9 +421,20 @@ impl DataValue for SymExpr {
     }
 
     fn add(&self, other: &Self) -> Self {
-        let mut terms = self.terms.clone();
-        terms.extend(other.terms.clone());
-        SymExpr { terms }.normalized()
+        // Commutative: canonicalize the memo key order.
+        let (a, b) = if self.key() <= other.key() {
+            (*self, *other)
+        } else {
+            (*other, *self)
+        };
+        let memo_key = (a.key(), b.key());
+        if let Some(cached) = MEMO_ADD.get(&memo_key) {
+            return cached;
+        }
+        // Both sides are in normal form: one linear merge, no re-sort.
+        let result = SymExpr::cons(sop::merge_sum(a.terms(), b.terms()));
+        MEMO_ADD.insert(memo_key, result);
+        result
     }
 
     fn sub(&self, other: &Self) -> Self {
@@ -355,43 +442,74 @@ impl DataValue for SymExpr {
     }
 
     fn mul(&self, other: &Self) -> Self {
-        let mut terms = Vec::new();
-        for a in &self.terms {
-            for b in &other.terms {
-                terms.push(a.mul(b));
+        let (a, b) = if self.key() <= other.key() {
+            (*self, *other)
+        } else {
+            (*other, *self)
+        };
+        let memo_key = (a.key(), b.key());
+        if let Some(cached) = MEMO_MUL.get(&memo_key) {
+            return cached;
+        }
+        let mut terms = Vec::with_capacity(a.terms().len() * b.terms().len());
+        for x in a.terms() {
+            for y in b.terms() {
+                terms.push(x.mul(y));
             }
         }
-        SymExpr { terms }.normalized()
+        let result = SymExpr::normalized(terms);
+        MEMO_MUL.insert(memo_key, result);
+        result
     }
 
     fn div(&self, other: &Self) -> Self {
-        if let Some(c) = other.as_constant() {
+        let memo_key = (self.key(), other.key());
+        if let Some(cached) = MEMO_DIV.get(&memo_key) {
+            return cached;
+        }
+        let result = if let Some(c) = other.as_constant() {
             if c.abs() > 1e-12 {
-                let mut out = self.clone();
-                for term in &mut out.terms {
-                    term.coeff /= c;
-                }
-                return out.normalized();
+                SymExpr::normalized(
+                    self.terms()
+                        .iter()
+                        .map(|t| Monomial {
+                            coeff: t.coeff / c,
+                            factors: t.factors.clone(),
+                        })
+                        .collect(),
+                )
+            } else {
+                SymExpr::zero()
             }
-            return SymExpr::zero();
-        }
-        if self == other {
-            return SymExpr::constant(1.0);
-        }
-        SymExpr {
-            terms: vec![Monomial::atom(Atom::Quot {
-                num: Box::new(self.clone()),
-                den: Box::new(other.clone()),
-            })],
-        }
+        } else if self == other {
+            SymExpr::constant(1.0)
+        } else {
+            SymExpr::cons(vec![Monomial::atom(Atom::Quot {
+                num: *self,
+                den: *other,
+            })])
+        };
+        MEMO_DIV.insert(memo_key, result);
+        result
     }
 
     fn neg(&self) -> Self {
-        let mut out = self.clone();
-        for term in &mut out.terms {
-            term.coeff = -term.coeff;
+        if let Some(cached) = MEMO_NEG.get(&self.key()) {
+            return cached;
         }
-        out
+        // Negating coefficients keeps the key order, so the result is
+        // already canonical.
+        let terms = self
+            .terms()
+            .iter()
+            .map(|t| Monomial {
+                coeff: -t.coeff,
+                factors: t.factors.clone(),
+            })
+            .collect();
+        let result = SymExpr::cons(terms);
+        MEMO_NEG.insert(self.key(), result);
+        result
     }
 
     fn apply(func: &str, args: &[Self]) -> Self {
@@ -420,7 +538,9 @@ mod tests {
         let x = SymExpr::var("x");
         let y = SymExpr::var("y");
         let lhs = x.add(&y).mul(&SymExpr::constant(2.0));
-        let rhs = x.mul(&SymExpr::constant(2.0)).add(&y.mul(&SymExpr::constant(2.0)));
+        let rhs = x
+            .mul(&SymExpr::constant(2.0))
+            .add(&y.mul(&SymExpr::constant(2.0)));
         assert_eq!(lhs, rhs);
     }
 
@@ -443,7 +563,9 @@ mod tests {
 
     #[test]
     fn division_by_constant_scales() {
-        let e = b(0, 0).mul(&SymExpr::constant(4.0)).div(&SymExpr::constant(2.0));
+        let e = b(0, 0)
+            .mul(&SymExpr::constant(4.0))
+            .div(&SymExpr::constant(2.0));
         assert_eq!(e, b(0, 0).mul(&SymExpr::constant(2.0)));
         // x / x = 1.
         assert_eq!(b(0, 0).div(&b(0, 0)).as_constant(), Some(1.0));
@@ -455,16 +577,16 @@ mod tests {
         assert!(e.as_single_atom().is_some());
         let sum = e.add(&e);
         // exp(b) + exp(b) = 2 exp(b): one monomial with coefficient 2.
-        assert_eq!(sum.terms.len(), 1);
-        assert_eq!(sum.terms[0].coeff, 2.0);
+        assert_eq!(sum.terms().len(), 1);
+        assert_eq!(sum.terms()[0].coeff, 2.0);
     }
 
     #[test]
     fn reads_are_collected_recursively() {
         let e = SymExpr::apply("exp", vec![b(1, 2)]).add(&b(3, 4));
         let reads = e.reads();
-        assert!(reads.contains(&("b".to_string(), vec![1, 2])));
-        assert!(reads.contains(&("b".to_string(), vec![3, 4])));
+        assert!(reads.contains(&(Symbol::intern("b"), vec![1, 2])));
+        assert!(reads.contains(&(Symbol::intern("b"), vec![3, 4])));
     }
 
     #[test]
@@ -473,5 +595,16 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("b[1, 2]"));
         assert!(s.contains("2"));
+    }
+
+    #[test]
+    fn consing_makes_equality_pointer_equality() {
+        let a = b(1, 2).add(&b(3, 4));
+        let c = b(3, 4).add(&b(1, 2));
+        // Same normal form — same interned node.
+        assert!(std::ptr::eq(a.0, c.0));
+        // Memoized: repeating the op returns the identical node.
+        let again = b(1, 2).add(&b(3, 4));
+        assert!(std::ptr::eq(a.0, again.0));
     }
 }

@@ -56,6 +56,11 @@ pub struct SynthesisConfig {
     pub require_sound_proof: bool,
     /// Grid sizes used for the extended bounded validation fallback.
     pub validation_sizes: Vec<i64>,
+    /// Worker threads for checking independent CEGIS candidates (and
+    /// validation sizes) concurrently. Candidate checks are pure functions
+    /// over shared immutable data; the accepted candidate is deterministic
+    /// (lowest index) regardless of the thread count.
+    pub parallelism: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -69,6 +74,7 @@ impl Default for SynthesisConfig {
             },
             require_sound_proof: false,
             validation_sizes: vec![3, 4, 6],
+            parallelism: stng_intern::parallel::default_parallelism(),
         }
     }
 }
@@ -135,35 +141,55 @@ pub fn synthesize_with(
     let mut peak_candidates = 0usize;
     let nest = analyze_loop_nest(kernel);
     if let Ok(nest) = nest {
-        let run = symbolic_execute(kernel, &choose_small_bounds(kernel, config.postcond.sizes.0));
+        let run = symbolic_execute(
+            kernel,
+            &choose_small_bounds(kernel, config.postcond.sizes.0),
+        );
         if let Ok(run) = run {
             if let Ok(inv_candidates) = invariant_candidates(kernel, &nest, &post, &run) {
                 control_bits.merge(&inv_candidates.control_bits);
                 peak_candidates = inv_candidates.candidates.len();
-                for invariants in inv_candidates.candidates {
-                    iterations += 1;
-                    let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
-                    // Fast screen: bounded checking on reachable states.
-                    match config.bounded.find_counterexample(kernel, &vcs) {
-                        Ok(None) => {}
-                        Ok(Some(_)) | Err(_) => continue,
-                    }
-                    // Sound check.
-                    let (verdict, attempts) = config.prover.verify_all_counting(&vcs);
-                    if verdict.is_valid() {
-                        return Ok(SynthesisOutcome {
-                            post,
-                            invariants: Some(invariants),
-                            control_bits,
-                            postcond_nodes,
-                            cegis_iterations: iterations,
-                            prover_attempts: attempts,
-                            peak_candidates,
-                            soundly_verified: true,
-                            synthesis_time: start.elapsed(),
-                        });
-                    }
+                // Screen candidates concurrently: each check (VC generation,
+                // bounded screen, sound proof) is a pure function of shared
+                // immutable inputs. `find_first` keeps sequential semantics —
+                // the lowest-index candidate that proves sound wins. The
+                // bounded checker's own worker count is divided by the number
+                // of candidates in flight so the two levels of parallelism
+                // never multiply past the configured budget.
+                let in_flight = config.parallelism.clamp(1, peak_candidates);
+                let bounded = BoundedChecker {
+                    parallelism: (config.bounded.parallelism / in_flight).max(1),
+                    ..config.bounded.clone()
+                };
+                let accepted = stng_intern::parallel::find_first(
+                    &inv_candidates.candidates,
+                    config.parallelism,
+                    |_, invariants| {
+                        let vcs = generate_vcs(&nest, &kernel.assumptions, invariants, &post);
+                        // Fast screen: bounded checking on reachable states.
+                        match bounded.find_counterexample(kernel, &vcs) {
+                            Ok(None) => {}
+                            Ok(Some(_)) | Err(_) => return None,
+                        }
+                        // Sound check.
+                        let (verdict, attempts) = config.prover.verify_all_counting(&vcs);
+                        verdict.is_valid().then_some(attempts)
+                    },
+                );
+                if let Some((k, attempts)) = accepted {
+                    return Ok(SynthesisOutcome {
+                        post,
+                        invariants: Some(inv_candidates.candidates[k].clone()),
+                        control_bits,
+                        postcond_nodes,
+                        cegis_iterations: k + 1,
+                        prover_attempts: attempts,
+                        peak_candidates,
+                        soundly_verified: true,
+                        synthesis_time: start.elapsed(),
+                    });
                 }
+                iterations = peak_candidates;
             }
         }
     }
@@ -177,7 +203,7 @@ pub fn synthesize_with(
     // Step 3 (fallback): extended bounded validation of the postcondition
     // against full concrete executions. The result is flagged as not soundly
     // verified; callers surface that distinction (see DESIGN.md §6).
-    validate_post_bounded(kernel, &post, &config.validation_sizes)
+    validate_post_bounded(kernel, &post, &config.validation_sizes, config.parallelism)
         .map_err(SynthesisFailure::NotValidated)?;
     Ok(SynthesisOutcome {
         post,
@@ -198,38 +224,56 @@ fn validate_post_bounded(
     kernel: &Kernel,
     post: &Postcondition,
     sizes: &[i64],
+    parallelism: usize,
 ) -> Result<(), String> {
-    for (trial, &size) in sizes.iter().enumerate() {
-        let bounds = choose_small_bounds(kernel, size);
-        let mut state: State<ModInt> = State::new();
-        for (name, value) in &bounds {
-            state.set_int(name.clone(), *value);
-        }
-        for (k, name) in kernel.real_params().into_iter().enumerate() {
-            state.set_real(name, ModInt::new((trial as i64 + k as i64 + 2) % MOD_FIELD));
-        }
-        for param in &kernel.params {
-            if let ParamKind::Array { dims } = &param.kind {
-                let mut concrete = Vec::new();
-                for (lo, hi) in dims {
-                    let lo = stng_ir::interp::eval_int_expr(lo, &state).map_err(|e| e.to_string())?;
-                    let hi = stng_ir::interp::eval_int_expr(hi, &state).map_err(|e| e.to_string())?;
-                    concrete.push((lo, hi));
-                }
-                let seed = trial as i64;
-                let array = ArrayData::from_fn(concrete, |idx| {
-                    ModInt::new(idx.iter().enumerate().map(|(d, v)| (d as i64 + 2) * v).sum::<i64>() + seed)
-                });
-                state.set_array(param.name.clone(), array);
+    let indexed: Vec<(usize, i64)> = sizes.iter().copied().enumerate().collect();
+    let results = stng_intern::parallel::map(&indexed, parallelism, |&(trial, size)| {
+        validate_post_at_size(kernel, post, trial, size)
+    });
+    results.into_iter().collect()
+}
+
+/// One concrete validation execution at a given grid size.
+fn validate_post_at_size(
+    kernel: &Kernel,
+    post: &Postcondition,
+    trial: usize,
+    size: i64,
+) -> Result<(), String> {
+    let bounds = choose_small_bounds(kernel, size);
+    let mut state: State<ModInt> = State::new();
+    for (name, value) in &bounds {
+        state.set_int(name.clone(), *value);
+    }
+    for (k, name) in kernel.real_params().into_iter().enumerate() {
+        state.set_real(name, ModInt::new((trial as i64 + k as i64 + 2) % MOD_FIELD));
+    }
+    for param in &kernel.params {
+        if let ParamKind::Array { dims } = &param.kind {
+            let mut concrete = Vec::new();
+            for (lo, hi) in dims {
+                let lo = stng_ir::interp::eval_int_expr(lo, &state).map_err(|e| e.to_string())?;
+                let hi = stng_ir::interp::eval_int_expr(hi, &state).map_err(|e| e.to_string())?;
+                concrete.push((lo, hi));
             }
+            let seed = trial as i64;
+            let array = ArrayData::from_fn(concrete, |idx| {
+                ModInt::new(
+                    idx.iter()
+                        .enumerate()
+                        .map(|(d, v)| (d as i64 + 2) * v)
+                        .sum::<i64>()
+                        + seed,
+                )
+            });
+            state.set_array(param.name.clone(), array);
         }
-        run_kernel(kernel, &mut state).map_err(|e| e.to_string())?;
-        let mut state = state;
-        if !eval_pred(&post.to_pred(), &mut state).map_err(|e| e.to_string())? {
-            return Err(format!(
-                "postcondition fails on a concrete execution at size {size}"
-            ));
-        }
+    }
+    run_kernel(kernel, &mut state).map_err(|e| e.to_string())?;
+    if !eval_pred(&post.to_pred(), &mut state).map_err(|e| e.to_string())? {
+        return Err(format!(
+            "postcondition fails on a concrete execution at size {size}"
+        ));
     }
     Ok(())
 }

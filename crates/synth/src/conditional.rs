@@ -93,7 +93,12 @@ pub fn conditional_experiment(
                 dims_c.push((lo, hi));
             }
             let arr = ArrayData::from_fn(dims_c, |idx| {
-                ModInt::new(idx.iter().enumerate().map(|(d, v)| (2 * d as i64 + 3) * v).sum())
+                ModInt::new(
+                    idx.iter()
+                        .enumerate()
+                        .map(|(d, v)| (2 * d as i64 + 3) * v)
+                        .sum(),
+                )
             });
             concrete.set_array(param.name.clone(), arr);
         }
@@ -174,7 +179,14 @@ pub fn conditional_experiment(
 }
 
 fn enumerate_conditions(rank: &usize, grammar: ConditionalGrammar) -> Vec<CondCandidate> {
-    let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne];
+    let ops = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+        CmpOp::Eq,
+        CmpOp::Ne,
+    ];
     let mut out = Vec::new();
     match grammar {
         ConditionalGrammar::DataDependent => {

@@ -122,6 +122,7 @@ fn build_invariant_set(
 ) -> InvariantSet {
     let depth = nest.levels.len();
     let mut set = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for d in 0..depth {
         let mut inv = Invariant::empty();
         // Scalar conditions: every enclosing counter has passed its lower
@@ -225,13 +226,17 @@ fn scalar_equalities(run: &SymbolicRun, var: &str) -> Vec<(String, IrExpr)> {
 
     let mut out = Vec::new();
     'scalars: for name in names {
-        let values: Vec<_> = snapshots.iter().map(|s| s.scalars[&name].clone()).collect();
+        let values: Vec<_> = snapshots.iter().map(|s| s.scalars[&name]).collect();
         let Some(template) = generalize(&values) else {
             continue;
         };
         // Solve every index hole as `counter + offset`, consistent across all
         // snapshots.
-        let counters: Vec<String> = snapshots[0].counters.iter().map(|(v, _)| v.clone()).collect();
+        let counters: Vec<String> = snapshots[0]
+            .counters
+            .iter()
+            .map(|(v, _)| v.clone())
+            .collect();
         let mut hole_values: HashMap<usize, Vec<(Vec<i64>, i64)>> = HashMap::new();
         for snap in snapshots {
             let point: Vec<i64> = snap.counters.iter().map(|(_, v)| *v).collect();
@@ -411,8 +416,8 @@ mod tests {
         let run = symbolic_execute_small(&kernel, 4).unwrap();
         let result = invariant_candidates(&kernel, &nest, &post, &run).unwrap();
         assert_eq!(result.candidates.len(), 4); // 2 truncation choices × 2 levels
-        // Every candidate has one invariant per level and the inner one knows
-        // about the scalar temporary `t`.
+                                                // Every candidate has one invariant per level and the inner one knows
+                                                // about the scalar temporary `t`.
         for set in &result.candidates {
             assert_eq!(set.len(), 2);
             assert!(set[1].scalar_eqs.iter().any(|(name, _)| name == "t"));

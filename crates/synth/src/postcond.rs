@@ -37,6 +37,9 @@ pub struct PostcondSynthesizer {
     pub sizes: (i64, i64),
     /// Maximum |offset| considered when solving index holes.
     pub max_offset: i64,
+    /// Worker threads for synthesizing independent output arrays
+    /// concurrently.
+    pub parallelism: usize,
 }
 
 impl Default for PostcondSynthesizer {
@@ -44,6 +47,7 @@ impl Default for PostcondSynthesizer {
         PostcondSynthesizer {
             sizes: (4, 5),
             max_offset: 4,
+            parallelism: stng_intern::parallel::default_parallelism(),
         }
     }
 }
@@ -66,63 +70,23 @@ impl PostcondSynthesizer {
         let run_b = symbolic_execute(kernel, &choose_small_bounds(kernel, self.sizes.1))
             .map_err(|e| format!("symbolic execution failed: {e}"))?;
 
+        // Each output array is synthesized independently from the shared
+        // runs; check them concurrently and merge in array order.
+        let arrays = kernel.output_arrays();
+        let per_array = stng_intern::parallel::map(&arrays, self.parallelism, |array| {
+            self.synthesize_array(kernel, &run_a, &run_b, array)
+        });
+
         let mut clauses = Vec::new();
         let mut bits = ControlBits::default();
         let mut quant_vars = HashMap::new();
         let mut observations = 0usize;
-
-        for array in kernel.output_arrays() {
-            let writes_a = run_a.writes.get(&array).cloned().unwrap_or_default();
-            let writes_b = run_b.writes.get(&array).cloned().unwrap_or_default();
-            if writes_a.is_empty() || writes_b.is_empty() {
-                return Err(format!("output array '{array}' is never written"));
-            }
-            let rank = writes_a[0].0.len();
-            let vars: Vec<String> = (0..rank).map(|k| format!("v{k}")).collect();
-
-            // 1. Quantifier domain: match the written region against bound
-            //    expressions from the loop nest and the integer parameters.
-            let mut bounds = Vec::new();
-            for dim in 0..rank {
-                let (lo, lo_bits) =
-                    self.solve_region_bound(kernel, &run_a, &run_b, &writes_a, &writes_b, dim, true)?;
-                let (hi, hi_bits) =
-                    self.solve_region_bound(kernel, &run_a, &run_b, &writes_a, &writes_b, dim, false)?;
-                bits.bound_bits += lo_bits + hi_bits;
-                bounds.push(QuantBound::inclusive(vars[dim].clone(), lo, hi));
-            }
-
-            // 2. Template from anti-unification over all observations.
-            let all_values: Vec<SymExpr> = writes_a
-                .iter()
-                .chain(writes_b.iter())
-                .map(|(_, v)| v.clone())
-                .collect();
-            let template = generalize(&all_values)
-                .ok_or_else(|| format!("no observations for '{array}'"))?;
-
-            // 3. Solve the holes against the observations.
-            let mut all_obs: Vec<(&[i64], &SymExpr)> = Vec::new();
-            for (p, v) in writes_a.iter().chain(writes_b.iter()) {
-                all_obs.push((p.as_slice(), v));
-            }
-            let rhs = self.solve_template(&template.expr, &all_obs, &vars, &mut bits)?;
-
-            // 4. Inductive check: the instantiated right-hand side must
-            //    reproduce every observation in both runs.
-            for run in [&run_a, &run_b] {
-                observations += self.check_against_run(kernel, run, &array, &vars, &rhs)?;
-            }
-
-            quant_vars.insert(array.clone(), vars.clone());
-            clauses.push(QuantClause {
-                bounds,
-                eq: OutEq {
-                    array,
-                    indices: vars.iter().map(|v| IrExpr::var(v.clone())).collect(),
-                    rhs,
-                },
-            });
+        for result in per_array {
+            let (clause, array_bits, array_obs, vars) = result?;
+            bits.merge(&array_bits);
+            observations += array_obs;
+            quant_vars.insert(clause.eq.array.clone(), vars);
+            clauses.push(clause);
         }
 
         Ok(PostcondCandidate {
@@ -131,6 +95,71 @@ impl PostcondSynthesizer {
             observations_checked: observations,
             quant_vars,
         })
+    }
+
+    /// Synthesizes the clause for one output array from the two runs.
+    fn synthesize_array(
+        &self,
+        kernel: &Kernel,
+        run_a: &SymbolicRun,
+        run_b: &SymbolicRun,
+        array: &str,
+    ) -> Result<(QuantClause, ControlBits, usize, Vec<String>), String> {
+        let mut bits = ControlBits::default();
+        let mut observations = 0usize;
+        let array = array.to_string();
+        let writes_a = run_a.writes.get(&array).cloned().unwrap_or_default();
+        let writes_b = run_b.writes.get(&array).cloned().unwrap_or_default();
+        if writes_a.is_empty() || writes_b.is_empty() {
+            return Err(format!("output array '{array}' is never written"));
+        }
+        let rank = writes_a[0].0.len();
+        let vars: Vec<String> = (0..rank).map(|k| format!("v{k}")).collect();
+
+        // 1. Quantifier domain: match the written region against bound
+        //    expressions from the loop nest and the integer parameters.
+        let mut bounds = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for dim in 0..rank {
+            let (lo, lo_bits) =
+                self.solve_region_bound(kernel, run_a, run_b, &writes_a, &writes_b, dim, true)?;
+            let (hi, hi_bits) =
+                self.solve_region_bound(kernel, run_a, run_b, &writes_a, &writes_b, dim, false)?;
+            bits.bound_bits += lo_bits + hi_bits;
+            bounds.push(QuantBound::inclusive(vars[dim].clone(), lo, hi));
+        }
+
+        // 2. Template from anti-unification over all observations.
+        let all_values: Vec<SymExpr> = writes_a
+            .iter()
+            .chain(writes_b.iter())
+            .map(|(_, v)| *v)
+            .collect();
+        let template =
+            generalize(&all_values).ok_or_else(|| format!("no observations for '{array}'"))?;
+
+        // 3. Solve the holes against the observations.
+        let mut all_obs: Vec<(&[i64], &SymExpr)> = Vec::new();
+        for (p, v) in writes_a.iter().chain(writes_b.iter()) {
+            all_obs.push((p.as_slice(), v));
+        }
+        let rhs = self.solve_template(&template.expr, &all_obs, &vars, &mut bits)?;
+
+        // 4. Inductive check: the instantiated right-hand side must
+        //    reproduce every observation in both runs.
+        for run in [&run_a, &run_b] {
+            observations += self.check_against_run(kernel, run, &array, &vars, &rhs)?;
+        }
+
+        let clause = QuantClause {
+            bounds,
+            eq: OutEq {
+                array,
+                indices: vars.iter().map(|v| IrExpr::var(v.clone())).collect(),
+                rhs,
+            },
+        };
+        Ok((clause, bits, observations, vars))
     }
 
     /// Finds an expression over the integer parameters matching the written
@@ -348,16 +377,7 @@ fn extract_holes(
             }
             true
         }
-        (
-            Apply {
-                func: f1,
-                args: x1,
-            },
-            Apply {
-                func: f2,
-                args: x2,
-            },
-        ) => {
+        (Apply { func: f1, args: x1 }, Apply { func: f2, args: x2 }) => {
             f1 == f2
                 && x1.len() == x2.len()
                 && x1

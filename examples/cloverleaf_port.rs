@@ -1,7 +1,7 @@
 //! Port a mini-app to the DSL: lift every CloverLeaf-style kernel of the
-//! corpus, report which ones translate, and measure the speedup of the lifted
-//! + scheduled version of one of them against the original interpreted loop
-//! nest — the §6.2/§6.3 workflow in miniature.
+//! corpus, report which ones translate, and measure the speedup of the
+//! lifted-and-scheduled version of one of them against the original
+//! interpreted loop nest — the §6.2/§6.3 workflow in miniature.
 //!
 //! Run with `cargo run --release --example cloverleaf_port`.
 
@@ -33,7 +33,11 @@ fn main() {
                     println!(
                         "  {:<10} translated ({}, {} control bits, {} AST nodes)",
                         corpus_kernel.name,
-                        if *soundly_verified { "verified" } else { "bounded" },
+                        if *soundly_verified {
+                            "verified"
+                        } else {
+                            "bounded"
+                        },
                         kernel.control_bits.total(),
                         kernel.postcond_nodes
                     );

@@ -14,22 +14,33 @@ use stng_sym::choose_small_bounds;
 
 fn main() {
     let kernels = suite_kernels(Suite::Challenge);
-    let tiled = kernels.iter().find(|k| k.name == "heat27t").expect("heat27t exists");
-    let report = Stng::new().lift_source(&tiled.source).expect("heat27t parses");
+    let tiled = kernels
+        .iter()
+        .find(|k| k.name == "heat27t")
+        .expect("heat27t exists");
+    let report = Stng::new()
+        .lift_source(&tiled.source)
+        .expect("heat27t parses");
     let kernel_report = &report.kernels[0];
     let kernel = kernel_report.kernel.as_ref().expect("kernel lowered");
 
     let model = AutoParModel::default();
     let before = model.analyze(kernel);
     println!("original hand-tiled kernel: {:?}", before.verdict);
-    println!("  modelled auto-parallelizer speedup: {:.4}x", before.speedup);
+    println!(
+        "  modelled auto-parallelizer speedup: {:.4}x",
+        before.speedup
+    );
 
     match &kernel_report.outcome {
         KernelOutcome::Translated { summary, post, .. } => {
             println!("\nlifted summary:\n  {post}\n");
             let int_params: HashMap<String, i64> = choose_small_bounds(kernel, 16);
             let region = summary.region(0, &int_params).unwrap_or_default();
-            println!("regenerated (de-optimized) serial C:\n{}", serial_c(&summary.funcs[0].0, &region));
+            println!(
+                "regenerated (de-optimized) serial C:\n{}",
+                serial_c(&summary.funcs[0].0, &region)
+            );
             let after = model.cores as f64 * model.efficiency
                 / (1.0 + model.overhead_fraction * model.cores as f64 * model.efficiency);
             println!("modelled auto-parallelizer speedup on the regenerated code: {after:.2}x");

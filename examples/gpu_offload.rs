@@ -14,8 +14,13 @@ use stng_sym::choose_small_bounds;
 
 fn main() {
     let kernels = suite_kernels(Suite::StencilMark);
-    let heat0 = kernels.iter().find(|k| k.name == "heat0").expect("heat0 exists");
-    let report = Stng::new().lift_source(&heat0.source).expect("heat0 parses");
+    let heat0 = kernels
+        .iter()
+        .find(|k| k.name == "heat0")
+        .expect("heat0 exists");
+    let report = Stng::new()
+        .lift_source(&heat0.source)
+        .expect("heat0 parses");
     let kernel_report = &report.kernels[0];
     let KernelOutcome::Translated { summary, .. } = &kernel_report.outcome else {
         panic!("heat0 should lift: {:?}", kernel_report.outcome);
@@ -26,7 +31,10 @@ fn main() {
     let int_params: HashMap<String, i64> = choose_small_bounds(kernel, 48);
     let (func, _) = &summary.funcs[0];
     let region = summary.region(0, &int_params).expect("region evaluates");
-    let extent: Vec<usize> = region.iter().map(|(lo, hi)| (hi - lo + 3) as usize).collect();
+    let extent: Vec<usize> = region
+        .iter()
+        .map(|(lo, hi)| (hi - lo + 3) as usize)
+        .collect();
     let origin: Vec<i64> = region.iter().map(|(lo, _)| lo - 1).collect();
     let input = Buffer::from_fn(origin, extent, |ix| {
         (ix.iter().sum::<i64>() as f64 * 0.37).sin() + 1.0
@@ -38,7 +46,13 @@ fn main() {
     let params = HashMap::new();
 
     let start = std::time::Instant::now();
-    let out = realize(func, &Schedule::default_tuned(3, 4), &region, &inputs, &params);
+    let out = realize(
+        func,
+        &Schedule::default_tuned(3, 4),
+        &region,
+        &inputs,
+        &params,
+    );
     let cpu = start.elapsed();
 
     let gpu = GpuModel::default().run(func, out.len(), &inputs);

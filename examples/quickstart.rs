@@ -35,7 +35,10 @@ fn main() {
                     kernel.postcond_nodes,
                     kernel.synthesis_time
                 );
-                println!("--- generated Halide C++ generator ---\n{}", summary.halide_cpp());
+                println!(
+                    "--- generated Halide C++ generator ---\n{}",
+                    summary.halide_cpp()
+                );
             }
             KernelOutcome::Untranslated { reason } => {
                 println!("  not translated: {reason}");

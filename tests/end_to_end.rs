@@ -92,7 +92,11 @@ fn build_state(kernel: &Kernel, grid: i64) -> State<f64> {
                 concrete.push((lo, hi));
             }
             let array = stng_ir::interp::ArrayData::from_fn(concrete, |idx| {
-                (idx.iter().enumerate().map(|(d, v)| (d as i64 + 1) * v).sum::<i64>() as f64 * 0.31)
+                (idx.iter()
+                    .enumerate()
+                    .map(|(d, v)| (d as i64 + 1) * v)
+                    .sum::<i64>() as f64
+                    * 0.31)
                     .cos()
                     + 1.5
             });
