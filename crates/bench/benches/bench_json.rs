@@ -1,16 +1,21 @@
 //! Machine-readable benchmark emitter: lifts every corpus kernel, times the
-//! end-to-end pipeline, and writes `BENCH_1.json` at the workspace root so
+//! end-to-end pipeline, and writes `BENCH_2.json` at the workspace root so
 //! the performance trajectory is tracked from PR to PR.
 //!
 //! Usage:
 //!
 //! * `cargo bench --bench bench_json` — measures the current tree and writes
-//!   `BENCH_1.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   `BENCH_2.json`. When `BENCH_baseline.json` exists at the workspace root,
 //!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
 //!   computed.
 //! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
 //!   snapshots the measurements to `BENCH_baseline.json` (run this before a
 //!   perf change to freeze the comparison point).
+//!
+//! The run doubles as the lifting **regression gate**: every kernel recorded
+//! as translated in the frozen `BENCH_1.json` (the previous PR's snapshot)
+//! must still translate; otherwise the process exits non-zero, which fails
+//! the CI bench-smoke job.
 //!
 //! The JSON is emitted by hand (no serde in the offline build environment);
 //! the schema is flat and stable on purpose.
@@ -127,6 +132,23 @@ fn parse_total(json: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Names of the kernels recorded as translated in a previous snapshot (one
+/// `"name": {… "translated": true …}` entry per line, as this emitter
+/// writes them).
+fn previously_lifting(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim_start();
+        if !line.starts_with('"') || !line.contains("\"translated\": true") {
+            continue;
+        }
+        if let Some(name) = line[1..].split('"').next() {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
 fn workspace_root() -> std::path::PathBuf {
     // benches run with the crate as cwd; the workspace root is two levels up.
     let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -182,6 +204,26 @@ fn main() {
         println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
     }
     out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
-    std::fs::write(root.join("BENCH_1.json"), out).expect("BENCH_1.json is writable");
-    println!("wrote BENCH_1.json");
+    std::fs::write(root.join("BENCH_2.json"), out).expect("BENCH_2.json is writable");
+    println!("wrote BENCH_2.json");
+
+    // Regression gate: everything that lifted in the previous PR's frozen
+    // snapshot must still lift.
+    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_1.json")) {
+        let must_lift = previously_lifting(&prior);
+        let regressed: Vec<&String> = must_lift
+            .iter()
+            .filter(|name| !rows.iter().any(|r| &&r.name == name && r.translated))
+            .collect();
+        if !regressed.is_empty() {
+            eprintln!(
+                "LIFTING REGRESSION: previously-lifting kernels no longer lift: {regressed:?}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "lifting regression gate: all {} previously-lifting kernels still lift",
+            must_lift.len()
+        );
+    }
 }

@@ -135,6 +135,7 @@ pub fn measure_halide(
             let origin: Vec<i64> = arr.dims.iter().map(|d| d.0).collect();
             let extent: Vec<usize> = arr.dims.iter().map(|d| (d.1 - d.0 + 1) as usize).collect();
             let buffer = Buffer {
+                step: vec![1; origin.len()],
                 origin,
                 extent,
                 data: arr.data.clone(),

@@ -667,6 +667,53 @@ end procedure
         .to_string(),
     ));
 
+    // ---- Strided challenge kernels: step-N iteration domains (§6.5). -----
+    // A half-resolution 1D sweep: only every other point is updated, so the
+    // lifted summary must quantify over the strided domain `1 + 2k`.
+    out.push(entry(
+        Suite::Challenge,
+        "heat1s2",
+        24,
+        true,
+        r#"
+procedure heat1s2(n, a, b, c0)
+  integer :: n
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  real :: c0
+  integer :: i
+  do i = 1, n-1, 2
+    a(i) = c0 * b(i) + b(i-1) + b(i+1)
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+    // A 2D plane sweep strided in the row dimension (red-black-style half
+    // sweep): dense columns, step-2 rows.
+    out.push(entry(
+        Suite::Challenge,
+        "jac2s2",
+        16,
+        true,
+        r#"
+procedure jac2s2(n, m, a, b)
+  integer :: n
+  integer :: m
+  real, dimension(0:n, 0:m) :: a
+  real, dimension(0:n, 0:m) :: b
+  integer :: i
+  integer :: j
+  do j = 1, m-1, 2
+    do i = 1, n-1
+      a(i, j) = 0.25 * (b(i-1, j) + b(i+1, j) + b(i, j-1) + b(i, j+1))
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
+
     out
 }
 

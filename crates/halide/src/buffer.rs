@@ -2,30 +2,51 @@
 //! between generated stencil code and its caller (the paper's "glue code"
 //! converts Fortran arrays into exactly this shape).
 
-/// A dense, row-major buffer of `f64` values with a logical origin per
-/// dimension (so Fortran-style `imin:imax` arrays map directly).
+/// A row-major buffer of `f64` values with a logical origin per dimension
+/// (so Fortran-style `imin:imax` arrays map directly). A dimension may carry
+/// a logical *step*: the buffer then stores only the points of the
+/// arithmetic progression `origin, origin+step, …` (densely packed), which
+/// is how the realization of a strided `Func` is represented — element
+/// `(origin + k·step)` lives at packed index `k`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Buffer {
     /// Logical origin (minimum index) of each dimension.
     pub origin: Vec<i64>,
-    /// Extent of each dimension.
+    /// Extent (number of stored points) of each dimension.
     pub extent: Vec<usize>,
+    /// Logical distance between consecutive stored points, per dimension
+    /// (`1` = dense).
+    pub step: Vec<i64>,
     /// Element storage, last dimension fastest.
     pub data: Vec<f64>,
 }
 
 impl Buffer {
-    /// Creates a zero-filled buffer.
+    /// Creates a zero-filled dense buffer.
     pub fn new(origin: Vec<i64>, extent: Vec<usize>) -> Buffer {
+        let step = vec![1; origin.len()];
+        Buffer::strided(origin, extent, step)
+    }
+
+    /// Creates a zero-filled buffer over a strided logical domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the step vector's length does not match the rank or any
+    /// step is not positive.
+    pub fn strided(origin: Vec<i64>, extent: Vec<usize>, step: Vec<i64>) -> Buffer {
+        assert_eq!(step.len(), origin.len(), "one step per dimension");
+        assert!(step.iter().all(|s| *s > 0), "steps must be positive");
         let len = extent.iter().product();
         Buffer {
             origin,
             extent,
+            step,
             data: vec![0.0; len],
         }
     }
 
-    /// Creates a buffer with contents produced by `f(logical indices)`.
+    /// Creates a dense buffer with contents produced by `f(logical indices)`.
     pub fn from_fn(
         origin: Vec<i64>,
         extent: Vec<usize>,
@@ -68,7 +89,8 @@ impl Buffer {
         self.data.len() * std::mem::size_of::<f64>()
     }
 
-    /// Flat offset for a logical index, or `None` when out of range.
+    /// Flat offset for a logical index, or `None` when out of range or (for
+    /// a strided dimension) not a stored point of the progression.
     pub fn offset(&self, indices: &[i64]) -> Option<usize> {
         if indices.len() != self.rank() {
             return None;
@@ -76,10 +98,15 @@ impl Buffer {
         let mut off = 0usize;
         for (d, &ix) in indices.iter().enumerate() {
             let rel = ix - self.origin[d];
-            if rel < 0 || rel as usize >= self.extent[d] {
+            let step = self.step[d];
+            if rel < 0 || rel % step != 0 {
                 return None;
             }
-            off = off * self.extent[d] + rel as usize;
+            let packed = (rel / step) as usize;
+            if packed >= self.extent[d] {
+                return None;
+            }
+            off = off * self.extent[d] + packed;
         }
         Some(off)
     }
@@ -91,13 +118,17 @@ impl Buffer {
 
     /// Reads without bounds checks beyond clamping (used by the runtime on
     /// halo reads; lifted kernels never read out of range by construction).
+    /// On a strided buffer the index is additionally snapped down to the
+    /// nearest stored progression point, so halo reads never miss.
     pub fn get_clamped(&self, indices: &[i64]) -> f64 {
         let clamped: Vec<i64> = indices
             .iter()
             .enumerate()
             .map(|(d, &ix)| {
-                ix.max(self.origin[d])
-                    .min(self.origin[d] + self.extent[d] as i64 - 1)
+                let step = self.step[d];
+                let hi = self.origin[d] + (self.extent[d] as i64 - 1) * step;
+                let ix = ix.max(self.origin[d]).min(hi);
+                self.origin[d] + ((ix - self.origin[d]) / step) * step
             })
             .collect();
         self.get(&clamped).unwrap_or(0.0)
@@ -128,6 +159,27 @@ mod tests {
         assert_eq!(buf.get(&[1, 5]), Some(15.0));
         assert_eq!(buf.get(&[2, 2]), None);
         assert_eq!(buf.get_clamped(&[5, 5]), 15.0);
+    }
+
+    #[test]
+    fn strided_buffers_store_only_progression_points() {
+        let mut buf = Buffer::strided(vec![2], vec![4], vec![2]);
+        // Logical points 2, 4, 6, 8 are stored; odd points are not.
+        assert!(buf.set(&[2], 1.0));
+        assert!(buf.set(&[8], 4.0));
+        assert!(!buf.set(&[3], 9.0));
+        assert!(!buf.set(&[10], 9.0));
+        assert_eq!(buf.get(&[2]), Some(1.0));
+        assert_eq!(buf.get(&[8]), Some(4.0));
+        assert_eq!(buf.get(&[5]), None);
+        assert_eq!(buf.len(), 4);
+        // Clamping lands on the last stored point.
+        assert_eq!(buf.get_clamped(&[100]), 4.0);
+        // An in-range but unaligned index snaps down to the stored point
+        // below it instead of silently reading 0.
+        assert_eq!(buf.get_clamped(&[3]), 1.0);
+        assert_eq!(buf.get_clamped(&[9]), 4.0);
+        assert_eq!(buf.get_clamped(&[1]), 1.0);
     }
 
     #[test]

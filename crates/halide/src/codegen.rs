@@ -8,6 +8,13 @@ use crate::schedule::Region;
 /// Emits the Halide C++ generator program for a stencil function, in the
 /// style of Fig. 1(d): an `ImageParam` per input, a `Func` definition, and a
 /// `compile_to_file` call.
+///
+/// A strided function is emitted over *packed* coordinates: each strided
+/// dimension gets an integer `Param` for its base (`x_base`), the variable
+/// counts progression points, and every input access maps through
+/// `x_base + step·x`. Realizing the packed Func over `0 ..
+/// trip_count` computes exactly the strided points, matching the runtime's
+/// packed [`crate::buffer::Buffer`] layout.
 pub fn halide_cpp(func: &Func, scalar_params: &[String]) -> String {
     let vars = var_names(func.rank);
     let mut out = String::new();
@@ -21,14 +28,22 @@ pub fn halide_cpp(func: &Func, scalar_params: &[String]) -> String {
     for p in scalar_params {
         out.push_str(&format!("  Param<double> {p};\n"));
     }
+    let mut base_params = Vec::new();
+    for (v, s) in vars.iter().zip(&func.steps) {
+        if *s != 1 {
+            out.push_str(&format!("  Param<int> {v}_base;\n"));
+            base_params.push(format!("{v}_base"));
+        }
+    }
     out.push_str(&format!("  Func {}; Var {};\n", func.name, vars.join(", ")));
     out.push_str(&format!(
         "  {}({}) = {};\n",
         func.name,
         vars.join(", "),
-        cpp_expr(&func.expr, &vars)
+        cpp_expr_strided(&func.expr, &vars, &func.steps)
     ));
     let mut args: Vec<String> = func.expr.images();
+    args.extend(base_params);
     args.extend(scalar_params.iter().cloned());
     out.push_str(&format!(
         "  {}.compile_to_file(\"{}\", {{{}}});\n",
@@ -53,15 +68,22 @@ pub fn serial_c(func: &Func, region: &Region) -> String {
     let mut indent = String::from("  ");
     for (d, var) in vars.iter().enumerate() {
         let (lo, hi) = region[d];
-        out.push_str(&format!(
-            "{indent}for (long {var} = {lo}; {var} <= {hi}; ++{var}) {{\n"
-        ));
+        let step = func.steps.get(d).copied().unwrap_or(1);
+        if step == 1 {
+            out.push_str(&format!(
+                "{indent}for (long {var} = {lo}; {var} <= {hi}; ++{var}) {{\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{indent}for (long {var} = {lo}; {var} <= {hi}; {var} += {step}) {{\n"
+            ));
+        }
         indent.push_str("  ");
     }
     out.push_str(&format!(
         "{indent}{}_out[{}] = {};\n",
         func.name,
-        flat_index(&vars, region),
+        flat_index(&vars, region, &func.steps),
         c_expr(&func.expr, &vars, region)
     ));
     for d in (0..vars.len()).rev() {
@@ -96,21 +118,71 @@ fn index_str(ix: &HIndex, vars: &[String]) -> String {
 }
 
 fn cpp_expr(e: &HExpr, vars: &[String]) -> String {
+    let dense = vec![1; vars.len()];
+    cpp_expr_strided(e, vars, &dense)
+}
+
+/// Like [`cpp_expr`] but maps accesses through packed coordinates: an index
+/// on a strided grid variable emits `v_base + step*v + offset`.
+fn cpp_expr_strided(e: &HExpr, vars: &[String], steps: &[i64]) -> String {
     match e {
         HExpr::Const(v) => format!("{v:?}"),
         HExpr::Param(p) => p.clone(),
         HExpr::Input { image, index } => {
-            let idx: Vec<String> = index.iter().map(|ix| index_str(ix, vars)).collect();
+            let idx: Vec<String> = index
+                .iter()
+                .map(|ix| strided_index_str(ix, vars, steps))
+                .collect();
             format!("{image}({})", idx.join(", "))
         }
-        HExpr::Add(a, b) => format!("({} + {})", cpp_expr(a, vars), cpp_expr(b, vars)),
-        HExpr::Sub(a, b) => format!("({} - {})", cpp_expr(a, vars), cpp_expr(b, vars)),
-        HExpr::Mul(a, b) => format!("({} * {})", cpp_expr(a, vars), cpp_expr(b, vars)),
-        HExpr::Div(a, b) => format!("({} / {})", cpp_expr(a, vars), cpp_expr(b, vars)),
+        HExpr::Add(a, b) => format!(
+            "({} + {})",
+            cpp_expr_strided(a, vars, steps),
+            cpp_expr_strided(b, vars, steps)
+        ),
+        HExpr::Sub(a, b) => format!(
+            "({} - {})",
+            cpp_expr_strided(a, vars, steps),
+            cpp_expr_strided(b, vars, steps)
+        ),
+        HExpr::Mul(a, b) => format!(
+            "({} * {})",
+            cpp_expr_strided(a, vars, steps),
+            cpp_expr_strided(b, vars, steps)
+        ),
+        HExpr::Div(a, b) => format!(
+            "({} / {})",
+            cpp_expr_strided(a, vars, steps),
+            cpp_expr_strided(b, vars, steps)
+        ),
         HExpr::Call { name, args } => {
-            let args: Vec<String> = args.iter().map(|a| cpp_expr(a, vars)).collect();
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| cpp_expr_strided(a, vars, steps))
+                .collect();
             format!("{name}({})", args.join(", "))
         }
+    }
+}
+
+/// Index string for the packed-coordinate emission: a strided variable's
+/// access becomes `v_base + step*v + offset`.
+fn strided_index_str(ix: &HIndex, vars: &[String], steps: &[i64]) -> String {
+    match ix {
+        HIndex::VarOffset { var, offset } => {
+            let step = steps.get(*var).copied().unwrap_or(1);
+            if step == 1 {
+                return index_str(ix, vars);
+            }
+            let name = vars.get(*var).cloned().unwrap_or_else(|| "t".into());
+            let base = format!("{name}_base + {step}*{name}");
+            match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => base,
+                std::cmp::Ordering::Greater => format!("{base} + {offset}"),
+                std::cmp::Ordering::Less => format!("{base} - {}", -offset),
+            }
+        }
+        HIndex::Const(_) => index_str(ix, vars),
     }
 }
 
@@ -149,15 +221,21 @@ fn c_expr(e: &HExpr, vars: &[String], region: &Region) -> String {
     }
 }
 
-fn flat_index(vars: &[String], region: &Region) -> String {
+fn flat_index(vars: &[String], region: &Region, steps: &[i64]) -> String {
     let mut expr = String::new();
     for (d, var) in vars.iter().enumerate() {
         let (lo, hi) = region[d];
-        let extent = hi - lo + 1;
-        if d == 0 {
-            expr = format!("({var} - {lo})");
+        let step = steps.get(d).copied().unwrap_or(1);
+        let extent = if lo > hi { 0 } else { (hi - lo) / step + 1 };
+        let packed = if step == 1 {
+            format!("({var} - {lo})")
         } else {
-            expr = format!("({expr} * {extent} + ({var} - {lo}))");
+            format!("(({var} - {lo}) / {step})")
+        };
+        if d == 0 {
+            expr = packed;
+        } else {
+            expr = format!("({expr} * {extent} + {packed})");
         }
     }
     expr
@@ -205,5 +283,30 @@ mod tests {
         assert!(c.contains("for (long x = 1; x <= 8; ++x)"));
         assert!(c.contains("for (long y = 0; y <= 9; ++y)"));
         assert!(c.contains("ex1_out["));
+    }
+
+    fn strided_two_point() -> Func {
+        let Func { rank, expr, .. } = two_point();
+        Func::strided("ex1", rank, vec![2, 1], expr)
+    }
+
+    #[test]
+    fn strided_halide_cpp_defines_packed_coordinates() {
+        let cpp = halide_cpp(&strided_two_point(), &[]);
+        // The strided dimension gets a base parameter and every access maps
+        // through x_base + 2*x; the dense dimension is untouched.
+        assert!(cpp.contains("Param<int> x_base;"), "{cpp}");
+        assert!(
+            cpp.contains("ex1(x, y) = (b(x_base + 2*x - 1, y) + b(x_base + 2*x, y));"),
+            "{cpp}"
+        );
+        assert!(cpp.contains("{b, x_base}"), "{cpp}");
+    }
+
+    #[test]
+    fn strided_serial_c_steps_and_packs() {
+        let c = serial_c(&strided_two_point(), &vec![(1, 8), (0, 9)]);
+        assert!(c.contains("for (long x = 1; x <= 8; x += 2)"), "{c}");
+        assert!(c.contains("((x - 1) / 2)"), "{c}");
     }
 }

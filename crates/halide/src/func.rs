@@ -206,25 +206,44 @@ impl fmt::Display for HExpr {
     }
 }
 
-/// A pure stencil function: `name(x, y, …) = expr`.
+/// A pure stencil function: `name(x, y, …) = expr`, optionally defined over
+/// a strided grid. A per-dimension step of `s > 1` means the function is
+/// realized only at the points `lo, lo+s, …` of its region in that
+/// dimension — the §6.5 extension that lets summaries of strided loops
+/// translate to runnable definitions instead of being rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Func {
     /// Function (and output buffer) name.
     pub name: String,
     /// Number of pure grid variables (output dimensionality).
     pub rank: usize,
+    /// Realization step per grid variable (`1` = dense).
+    pub steps: Vec<i64>,
     /// Defining expression.
     pub expr: HExpr,
 }
 
 impl Func {
-    /// Creates a function.
+    /// Creates a dense function.
     pub fn new(name: impl Into<String>, rank: usize, expr: HExpr) -> Func {
+        let steps = vec![1; rank];
+        Func::strided(name, rank, steps, expr)
+    }
+
+    /// Creates a function over a strided grid.
+    pub fn strided(name: impl Into<String>, rank: usize, steps: Vec<i64>, expr: HExpr) -> Func {
+        assert_eq!(steps.len(), rank, "one step per grid variable");
         Func {
             name: name.into(),
             rank,
+            steps,
             expr,
         }
+    }
+
+    /// Returns `true` when every dimension is dense.
+    pub fn is_dense(&self) -> bool {
+        self.steps.iter().all(|s| *s == 1)
     }
 
     /// Arithmetic intensity proxy used by the cost models.

@@ -60,10 +60,23 @@ impl Schedule {
 }
 
 /// The region to realize: per output dimension, the inclusive `(min, max)`
-/// logical bounds.
+/// logical bounds. For a strided [`Func`] the points actually realized in a
+/// dimension are `min, min + step, … ≤ max`.
 pub type Region = Vec<(i64, i64)>;
 
+/// Number of realized points of one region dimension under a step.
+fn trip_count(lo: i64, hi: i64, step: i64) -> usize {
+    if lo > hi {
+        0
+    } else {
+        ((hi - lo) / step + 1) as usize
+    }
+}
+
 /// Realizes `func` over `region` into a new buffer, honouring the schedule.
+/// The iteration runs in *counter space* (packed trip indices), mapping to
+/// logical coordinates through the function's per-dimension steps, so
+/// strided functions write exactly their progression points.
 ///
 /// `inputs` maps image names to buffers and `params` maps scalar parameter
 /// names to values.
@@ -82,9 +95,10 @@ pub fn realize(
     let origin: Vec<i64> = region.iter().map(|(lo, _)| *lo).collect();
     let extent: Vec<usize> = region
         .iter()
-        .map(|(lo, hi)| (hi - lo + 1).max(0) as usize)
+        .zip(&func.steps)
+        .map(|((lo, hi), step)| trip_count(*lo, *hi, *step))
         .collect();
-    let mut output = Buffer::new(origin.clone(), extent.clone());
+    let mut output = Buffer::strided(origin.clone(), extent.clone(), func.steps.clone());
     if output.is_empty() {
         return output;
     }
@@ -127,11 +141,12 @@ pub fn realize(
                 continue;
             }
             let mut band_origin = origin.clone();
-            band_origin[0] += start as i64;
+            band_origin[0] += start as i64 * func.steps[0];
             let mut band_extent = extent.clone();
             band_extent[0] = end - start;
+            let steps = func.steps.clone();
             let handle = scope.spawn(move || {
-                let mut local = Buffer::new(band_origin, band_extent);
+                let mut local = Buffer::strided(band_origin, band_extent, steps);
                 realize_chunk(
                     func, schedule, region, inputs, params, start, end, &mut local,
                 );
@@ -151,8 +166,10 @@ pub fn realize(
     output
 }
 
-/// Fills rows `outer_start..outer_end` (relative to the region origin) of the
-/// output, iterating tiles in the remaining dimensions.
+/// Fills trip-index rows `outer_start..outer_end` of the output, iterating
+/// tiles in the remaining dimensions. All iteration happens in counter
+/// space; logical coordinates are recovered through the function's steps
+/// only at the evaluation site.
 #[allow(clippy::too_many_arguments)]
 fn realize_chunk(
     func: &Func,
@@ -166,30 +183,39 @@ fn realize_chunk(
 ) {
     let rank = func.rank;
     let lo: Vec<i64> = region.iter().map(|(l, _)| *l).collect();
-    let hi: Vec<i64> = region.iter().map(|(_, h)| *h).collect();
+    // Inclusive trip-count bound per dimension.
+    let trip_hi: Vec<i64> = region
+        .iter()
+        .zip(&func.steps)
+        .map(|((l, h), s)| trip_count(*l, *h, *s) as i64 - 1)
+        .collect();
     let tile: Vec<i64> = (0..rank)
         .map(|d| schedule.tile.get(d).copied().unwrap_or(1).max(1) as i64)
         .collect();
 
-    // Iterate tile origins; the outermost dimension is restricted to the
-    // worker's band.
-    let band_lo = lo[0] + outer_start as i64;
-    let band_hi = lo[0] + outer_end as i64 - 1;
-    let mut tile_origin: Vec<i64> = lo.clone();
+    // Iterate tile origins in counter space; the outermost dimension is
+    // restricted to the worker's band.
+    let band_lo = outer_start as i64;
+    let band_hi = outer_end as i64 - 1;
+    let mut tile_origin: Vec<i64> = vec![0; rank];
     tile_origin[0] = band_lo;
     if band_lo > band_hi {
         return;
     }
+    let mut point = vec![0i64; rank];
     loop {
         // Execute one tile.
         let tile_hi: Vec<i64> = (0..rank)
             .map(|d| {
-                let top = if d == 0 { band_hi } else { hi[d] };
+                let top = if d == 0 { band_hi } else { trip_hi[d] };
                 (tile_origin[d] + tile[d] - 1).min(top)
             })
             .collect();
-        let mut point = tile_origin.clone();
+        let mut t = tile_origin.clone();
         loop {
+            for d in 0..rank {
+                point[d] = lo[d] + t[d] * func.steps[d];
+            }
             let value = func.expr.eval(&point, inputs, params);
             output.set(&point, value);
             // Advance within the tile, innermost fastest (vectorize/unroll
@@ -201,17 +227,17 @@ fn realize_chunk(
                     break;
                 }
                 d -= 1;
-                point[d] += 1;
-                if point[d] <= tile_hi[d] {
+                t[d] += 1;
+                if t[d] <= tile_hi[d] {
                     break;
                 }
-                point[d] = tile_origin[d];
+                t[d] = tile_origin[d];
                 if d == 0 {
                     // Tile finished.
                     break;
                 }
             }
-            if point == tile_origin {
+            if t == tile_origin {
                 break;
             }
         }
@@ -225,11 +251,11 @@ fn realize_chunk(
             }
             d -= 1;
             tile_origin[d] += tile[d];
-            let top = if d == 0 { band_hi } else { hi[d] };
+            let top = if d == 0 { band_hi } else { trip_hi[d] };
             if tile_origin[d] <= top {
                 break;
             }
-            tile_origin[d] = if d == 0 { band_lo } else { lo[d] };
+            tile_origin[d] = if d == 0 { band_lo } else { 0 };
             if d == 0 {
                 done = true;
                 break;
@@ -322,6 +348,50 @@ mod tests {
             &params,
         );
         assert_eq!(parallel, expected);
+    }
+
+    #[test]
+    fn strided_funcs_realize_only_their_progression_points() {
+        // f(x) = b(x-1) + b(x) realized at x = 1, 3, 5, … ≤ 18.
+        let expr = HExpr::Add(
+            Box::new(HExpr::Input {
+                image: "b".into(),
+                index: vec![HIndex::VarOffset { var: 0, offset: -1 }],
+            }),
+            Box::new(HExpr::Input {
+                image: "b".into(),
+                index: vec![HIndex::VarOffset { var: 0, offset: 0 }],
+            }),
+        );
+        let func = Func::strided("half", 1, vec![2], expr);
+        let b = Buffer::from_fn(vec![0], vec![20], |ix| (ix[0] * ix[0]) as f64);
+        let mut inputs = HashMap::new();
+        inputs.insert("b".to_string(), &b);
+        let params = HashMap::new();
+        let region: Region = vec![(1, 18)];
+
+        for schedule in [
+            Schedule::naive(1),
+            Schedule {
+                tile: vec![4],
+                parallel: true,
+                threads: 3,
+                vectorize: 2,
+                unroll: 1,
+            },
+        ] {
+            let out = realize(&func, &schedule, &region, &inputs, &params);
+            // Points 1, 3, …, 17: nine stored values.
+            assert_eq!(out.len(), 9, "schedule {schedule:?}");
+            assert_eq!(out.step, vec![2]);
+            for k in 0..9i64 {
+                let x = 1 + 2 * k;
+                let expected = ((x - 1) * (x - 1) + x * x) as f64;
+                assert_eq!(out.get(&[x]), Some(expected), "x = {x}");
+            }
+            // Unrealized (even) points are not addressable.
+            assert_eq!(out.get(&[2]), None);
+        }
     }
 
     #[test]

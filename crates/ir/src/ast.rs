@@ -115,6 +115,8 @@ pub enum Stmt {
         hi: Expr,
         step: Option<Expr>,
         body: Vec<Stmt>,
+        /// 1-based source line of the `do` keyword (0 = synthetic).
+        line: usize,
     },
     /// An `if`/`else` statement.
     If {
@@ -433,6 +435,7 @@ mod tests {
                 target: LValue::Scalar("t".into()),
                 value: Expr::Int(0),
             }],
+            line: 0,
         };
         let mut names = Vec::new();
         walk::visit_exprs(std::slice::from_ref(&stmt), &mut |e| {

@@ -46,19 +46,18 @@ pub enum DependenceReason {
 
 /// Analyzes the outermost loop of `kernel`.
 pub fn analyze_outer_loop(kernel: &Kernel) -> ParallelizationVerdict {
-    let Some(IrStmt::Loop {
-        var, lo, hi, body, ..
-    }) = kernel
+    let Some(IrStmt::Loop { domain, body }) = kernel
         .body
         .iter()
         .find(|s| matches!(s, IrStmt::Loop { .. }))
     else {
         return ParallelizationVerdict::Serial(DependenceReason::NoLoop);
     };
+    let var = &domain.var;
 
     // 1. All loop bounds in the nest must be affine for the analysis to model
     //    the iteration space.
-    if lo.as_affine().is_none() || hi.as_affine().is_none() {
+    if domain.lo.as_affine().is_none() || domain.hi.as_affine().is_none() {
         return ParallelizationVerdict::NotAnalyzable(
             "outer loop bounds are not affine".to_string(),
         );
@@ -172,9 +171,9 @@ fn scalar_access_order(body: &[IrStmt]) -> Vec<ScalarAccess> {
                     }
                     expr_reads(value, out);
                 }
-                IrStmt::Loop { body, var, .. } => {
+                IrStmt::Loop { domain, body } => {
                     // The loop counter is defined by the loop itself.
-                    out.push(ScalarAccess::Write(var.clone()));
+                    out.push(ScalarAccess::Write(domain.var.clone()));
                     go(body, out);
                 }
                 IrStmt::If {
@@ -222,9 +221,9 @@ fn collect_outer_offsets(
                 }
                 visit_expr(value, array, outer_var, out);
             }
-            IrStmt::Loop { body, lo, hi, .. } => {
-                visit_expr(lo, array, outer_var, out);
-                visit_expr(hi, array, outer_var, out);
+            IrStmt::Loop { domain, body } => {
+                visit_expr(&domain.lo, array, outer_var, out);
+                visit_expr(&domain.hi, array, outer_var, out);
                 collect_outer_offsets(body, array, outer_var, out);
             }
             IrStmt::If {
@@ -264,7 +263,7 @@ fn record_indices(indices: &[IrExpr], outer_var: &str, out: &mut Vec<Option<i64>
                 // Offset is the rest of the expression; only constant
                 // remainders are considered equal across accesses.
                 let mut rest = aff.clone();
-                rest.terms.remove(outer_var);
+                rest.terms.remove(&stng_intern::Symbol::intern(outer_var));
                 if rest.terms.is_empty() {
                     found = Some(rest.constant);
                     break;

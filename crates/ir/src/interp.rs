@@ -435,16 +435,13 @@ fn exec_stmts<V: DataValue>(
                 }
                 *stores += 1;
             }
-            IrStmt::Loop {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => {
-                let lo = eval_int_expr(lo, state)?;
-                let hi = eval_int_expr(hi, state)?;
-                let step = *step;
+            IrStmt::Loop { domain, body } => {
+                let lo = eval_int_expr(&domain.lo, state)?;
+                let hi = eval_int_expr(&domain.hi, state)?;
+                let step = domain.step;
+                // Lowering rejects zero steps, but IR built by hand (the
+                // §6.6 experiments construct statements directly) can bypass
+                // `IterDomain::new`; fail crisply instead of spinning.
                 if step == 0 {
                     return Err(Error::interp("loop with zero step"));
                 }
@@ -454,12 +451,12 @@ fn exec_stmts<V: DataValue>(
                     if !in_range {
                         break;
                     }
-                    state.ints.insert(var.clone(), cur);
+                    state.ints.insert(domain.var.clone(), cur);
                     exec_stmts(body, state, stores, steps, max_steps)?;
                     cur += step;
                 }
                 // Fortran leaves the loop variable one step past the bound.
-                state.ints.insert(var.clone(), cur);
+                state.ints.insert(domain.var.clone(), cur);
             }
             IrStmt::If {
                 cond,

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use stng_intern::Symbol;
 
 /// Kind of a symbol appearing in a kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -359,10 +360,16 @@ impl fmt::Display for IrExpr {
 }
 
 /// An affine integer expression: `constant + Σ coefficient·variable`.
+///
+/// Variable names are interned [`Symbol`]s: cloning an affine form copies a
+/// map of `Copy` keys instead of allocating strings, which keeps the prover's
+/// entailment queries (which clone and combine these constantly) off the
+/// allocator. `Symbol` orders by string content, so iteration order is the
+/// same as with `String` keys.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Affine {
     /// Per-variable coefficients (zero coefficients are not stored).
-    pub terms: BTreeMap<String, i64>,
+    pub terms: BTreeMap<Symbol, i64>,
     /// The constant term.
     pub constant: i64,
 }
@@ -377,9 +384,9 @@ impl Affine {
     }
 
     /// The affine expression `1·name`.
-    pub fn var(name: String) -> Affine {
+    pub fn var(name: impl Into<Symbol>) -> Affine {
         let mut terms = BTreeMap::new();
-        terms.insert(name, 1);
+        terms.insert(name.into(), 1);
         Affine { terms, constant: 0 }
     }
 
@@ -388,7 +395,7 @@ impl Affine {
         let mut out = self.clone();
         out.constant += other.constant;
         for (v, c) in &other.terms {
-            *out.terms.entry(v.clone()).or_insert(0) += c;
+            *out.terms.entry(*v).or_insert(0) += c;
         }
         out.normalize()
     }
@@ -402,7 +409,7 @@ impl Affine {
     pub fn scale(&self, factor: i64) -> Affine {
         let mut out = Affine::constant(self.constant * factor);
         for (v, c) in &self.terms {
-            out.terms.insert(v.clone(), c * factor);
+            out.terms.insert(*v, c * factor);
         }
         out.normalize()
     }
@@ -422,8 +429,21 @@ impl Affine {
     }
 
     /// The coefficient of `name` (zero if absent).
-    pub fn coeff(&self, name: &str) -> i64 {
-        self.terms.get(name).copied().unwrap_or(0)
+    pub fn coeff(&self, name: impl Into<Symbol>) -> i64 {
+        self.terms.get(&name.into()).copied().unwrap_or(0)
+    }
+
+    /// Substitutes `replacement` for variable `name`:
+    /// `self[name := replacement]`.
+    pub fn subst(&self, name: impl Into<Symbol>, replacement: &Affine) -> Affine {
+        let name = name.into();
+        let c = self.coeff(name);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&name);
+        out.add(&replacement.scale(c))
     }
 
     /// Evaluates the expression given integer variable bindings.
@@ -431,7 +451,7 @@ impl Affine {
     pub fn eval(&self, env: &dyn Fn(&str) -> Option<i64>) -> i64 {
         let mut total = self.constant;
         for (v, c) in &self.terms {
-            total += c * env(v).unwrap_or(0);
+            total += c * env(v.as_str()).unwrap_or(0);
         }
         total
     }
@@ -445,9 +465,9 @@ impl Affine {
         };
         for (v, c) in &self.terms {
             let term = if *c == 1 {
-                IrExpr::var(v.clone())
+                IrExpr::var(v.as_str())
             } else {
-                IrExpr::mul(IrExpr::Int(*c), IrExpr::var(v.clone()))
+                IrExpr::mul(IrExpr::Int(*c), IrExpr::var(v.as_str()))
             };
             expr = Some(match expr {
                 Some(e) => IrExpr::add(e, term),
@@ -455,6 +475,122 @@ impl Affine {
             });
         }
         expr.unwrap_or(IrExpr::Int(0))
+    }
+}
+
+/// Greatest common divisor of two non-negative integers (`gcd(0, n) = n`).
+/// Shared by the stride-inference and integer-tightening layers.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The iteration domain of one counted loop: the arithmetic progression
+/// `{ lo, lo + step, lo + 2·step, … }` clipped at `hi` (inclusive), walked in
+/// order by the counter `var`.
+///
+/// This is the canonical, first-class representation of "how a loop
+/// iterates": lowering produces it, the interpreter and symbolic executor
+/// walk it, verification-condition generation derives loop-head invariants
+/// (including the divisibility fact `step | var − lo`) from it, and the
+/// synthesis grammar quantifies over it. A unit-step domain (`step == 1`) is
+/// the dense special case that all pre-§6.5 kernels use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterDomain {
+    /// Loop counter variable.
+    pub var: String,
+    /// First iterate (inclusive lower bound for positive steps).
+    pub lo: IrExpr,
+    /// Inclusive clip bound: iteration stops once the counter passes it.
+    pub hi: IrExpr,
+    /// Constant step; positive for incrementing loops, negative for
+    /// decrementing ones, never zero.
+    pub step: i64,
+}
+
+impl IterDomain {
+    /// A dense unit-step domain `var = lo ..= hi`.
+    pub fn unit(var: impl Into<String>, lo: IrExpr, hi: IrExpr) -> IterDomain {
+        IterDomain::new(var, lo, hi, 1)
+    }
+
+    /// A domain with an explicit step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero step (lowering rejects those before building IR).
+    pub fn new(var: impl Into<String>, lo: IrExpr, hi: IrExpr, step: i64) -> IterDomain {
+        assert!(step != 0, "iteration domain with zero step");
+        IterDomain {
+            var: var.into(),
+            lo,
+            hi,
+            step,
+        }
+    }
+
+    /// Returns `true` for the dense `step == 1` case.
+    pub fn is_unit(&self) -> bool {
+        self.step == 1
+    }
+
+    /// The last value the counter actually takes for concrete bounds, or
+    /// `None` when the domain is empty. For `lo=1, hi=10, step=4` this is `9`.
+    pub fn last_iterate(lo: i64, hi: i64, step: i64) -> Option<i64> {
+        if step > 0 {
+            (lo <= hi).then(|| lo + step * ((hi - lo) / step))
+        } else {
+            (lo >= hi).then(|| lo + step * ((lo - hi) / (-step)))
+        }
+    }
+
+    /// Number of iterations for concrete bounds.
+    pub fn trip_count(lo: i64, hi: i64, step: i64) -> i64 {
+        if step > 0 {
+            if lo > hi {
+                0
+            } else {
+                (hi - lo) / step + 1
+            }
+        } else if lo < hi {
+            0
+        } else {
+            (lo - hi) / (-step) + 1
+        }
+    }
+
+    /// Canonicalizes the domain: when both bounds are integer literals, the
+    /// clip bound is tightened to the exact last iterate, so that
+    /// `do i = 1, 10, 4` and `do i = 1, 9, 4` have identical canonical form
+    /// (and `step | hi − lo` holds exactly). Symbolic bounds are left as
+    /// written. Negative-step domains canonicalize the same way (the clip
+    /// bound rises to the last iterate).
+    pub fn canonicalize(mut self) -> IterDomain {
+        if self.step != 1 && self.step != -1 {
+            if let (IrExpr::Int(lo), IrExpr::Int(hi)) = (&self.lo, &self.hi) {
+                if let Some(last) = IterDomain::last_iterate(*lo, *hi, self.step) {
+                    self.hi = IrExpr::Int(last);
+                }
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for IterDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == 1 {
+            write!(f, "{} = {}..{}", self.var, self.lo, self.hi)
+        } else {
+            write!(
+                f,
+                "{} = {}..{} step {}",
+                self.var, self.lo, self.hi, self.step
+            )
+        }
     }
 }
 
@@ -469,12 +605,9 @@ pub enum IrStmt {
         indices: Vec<IrExpr>,
         value: IrExpr,
     },
-    /// A counted loop `for var = lo ..= hi step step`.
+    /// A counted loop walking its iteration domain in order.
     Loop {
-        var: String,
-        lo: IrExpr,
-        hi: IrExpr,
-        step: i64,
+        domain: IterDomain,
         body: Vec<IrStmt>,
     },
     /// A two-way conditional. Present so the §6.6 experiments can build IR
@@ -511,18 +644,22 @@ impl IrStmt {
 }
 
 /// Describes one loop of a (possibly imperfect) loop nest, outermost first.
+/// Dereferences to its [`IterDomain`], so `info.var`, `info.lo`, `info.hi`,
+/// and `info.step` read through.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopInfo {
-    /// Loop counter variable.
-    pub var: String,
-    /// Inclusive lower bound.
-    pub lo: IrExpr,
-    /// Inclusive upper bound.
-    pub hi: IrExpr,
-    /// Step (always `1` for lifted kernels).
-    pub step: i64,
+    /// The loop's iteration domain.
+    pub domain: IterDomain,
     /// Nesting depth, `0` for the outermost loop.
     pub depth: usize,
+}
+
+impl std::ops::Deref for LoopInfo {
+    type Target = IterDomain;
+
+    fn deref(&self) -> &IterDomain {
+        &self.domain
+    }
 }
 
 /// Kind of a scalar or array symbol, as reported by [`Kernel::var_kind`].
@@ -613,9 +750,9 @@ impl Kernel {
                     }
                     record(value);
                 }
-                IrStmt::Loop { lo, hi, .. } => {
-                    record(lo);
-                    record(hi);
+                IrStmt::Loop { domain, .. } => {
+                    record(&domain.lo);
+                    record(&domain.hi);
                 }
                 IrStmt::If { cond, .. } => record(cond),
             });
@@ -627,19 +764,9 @@ impl Kernel {
     pub fn loops(&self) -> Vec<LoopInfo> {
         fn collect(stmts: &[IrStmt], depth: usize, out: &mut Vec<LoopInfo>) {
             for stmt in stmts {
-                if let IrStmt::Loop {
-                    var,
-                    lo,
-                    hi,
-                    step,
-                    body,
-                } = stmt
-                {
+                if let IrStmt::Loop { domain, body } = stmt {
                     out.push(LoopInfo {
-                        var: var.clone(),
-                        lo: lo.clone(),
-                        hi: hi.clone(),
-                        step: *step,
+                        domain: domain.clone(),
                         depth,
                     });
                     collect(body, depth + 1, out);
@@ -658,7 +785,7 @@ impl Kernel {
 
     /// Names of loop counter variables in nesting order.
     pub fn loop_vars(&self) -> Vec<String> {
-        self.loops().into_iter().map(|l| l.var).collect()
+        self.loops().into_iter().map(|l| l.domain.var).collect()
     }
 
     /// Names of integer scalar parameters (loop bounds, grid sizes).
@@ -731,17 +858,15 @@ mod tests {
             ),
         };
         let inner = IrStmt::Loop {
-            var: "i".into(),
-            lo: IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
-            hi: IrExpr::var("imax"),
-            step: 1,
+            domain: IterDomain::unit(
+                "i",
+                IrExpr::add(IrExpr::var("imin"), IrExpr::Int(1)),
+                IrExpr::var("imax"),
+            ),
             body: vec![store],
         };
         let outer = IrStmt::Loop {
-            var: "j".into(),
-            lo: IrExpr::var("jmin"),
-            hi: IrExpr::var("jmax"),
-            step: 1,
+            domain: IterDomain::unit("j", IrExpr::var("jmin"), IrExpr::var("jmax")),
             body: vec![inner],
         };
         Kernel {
@@ -866,6 +991,59 @@ mod tests {
             panic!()
         };
         assert_eq!(value.to_string(), "(b[(i - 1), j] + b[i, j])");
+    }
+
+    #[test]
+    fn iter_domain_arithmetic() {
+        assert_eq!(IterDomain::last_iterate(1, 10, 4), Some(9));
+        assert_eq!(IterDomain::last_iterate(1, 1, 4), Some(1));
+        assert_eq!(IterDomain::last_iterate(5, 4, 2), None);
+        assert_eq!(IterDomain::last_iterate(10, 1, -4), Some(2));
+        assert_eq!(IterDomain::last_iterate(1, 10, -1), None);
+        assert_eq!(IterDomain::trip_count(1, 10, 4), 3);
+        assert_eq!(IterDomain::trip_count(1, 10, 1), 10);
+        assert_eq!(IterDomain::trip_count(5, 4, 2), 0);
+        assert_eq!(IterDomain::trip_count(10, 1, -4), 3);
+    }
+
+    #[test]
+    fn iter_domain_canonicalization_clamps_constant_bounds() {
+        let d = IterDomain::new("i", IrExpr::Int(1), IrExpr::Int(10), 4).canonicalize();
+        assert_eq!(d.hi, IrExpr::Int(9));
+        let d = IterDomain::new("i", IrExpr::Int(10), IrExpr::Int(1), -4).canonicalize();
+        assert_eq!(d.hi, IrExpr::Int(2));
+        // Symbolic bounds are left alone.
+        let d = IterDomain::new("i", IrExpr::Int(1), IrExpr::var("n"), 4).canonicalize();
+        assert_eq!(d.hi, IrExpr::var("n"));
+        // Unit steps need no clamping.
+        let d = IterDomain::unit("i", IrExpr::Int(1), IrExpr::Int(10)).canonicalize();
+        assert_eq!(d.hi, IrExpr::Int(10));
+        assert!(d.is_unit());
+    }
+
+    #[test]
+    fn iter_domain_display_shows_stride() {
+        let d = IterDomain::new("kk", IrExpr::Int(1), IrExpr::var("n"), 4);
+        assert_eq!(d.to_string(), "kk = 1..n step 4");
+        let u = IterDomain::unit("i", IrExpr::Int(0), IrExpr::var("n"));
+        assert_eq!(u.to_string(), "i = 0..n");
+    }
+
+    #[test]
+    fn affine_substitution() {
+        // (2i + j + 3)[i := 1 + 2k] = 4k + j + 5
+        let aff = Affine::var("i".to_string())
+            .scale(2)
+            .add(&Affine::var("j".to_string()))
+            .add(&Affine::constant(3));
+        let repl = Affine::var("k".to_string())
+            .scale(2)
+            .add(&Affine::constant(1));
+        let out = aff.subst("i", &repl);
+        assert_eq!(out.coeff("k"), 4);
+        assert_eq!(out.coeff("j"), 1);
+        assert_eq!(out.coeff("i"), 0);
+        assert_eq!(out.constant, 5);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::ast::{BinOpKind, CmpOpKind, Expr, LValue, Procedure, Stmt, Type};
 use crate::error::{Error, Result};
 use crate::identify::{identify_candidates, CandidateFragment};
-use crate::ir::{BinOp, CmpOp, IrExpr, IrStmt, Kernel, Param, ParamKind};
+use crate::ir::{BinOp, CmpOp, IrExpr, IrStmt, IterDomain, Kernel, Param, ParamKind};
 use crate::parser::is_intrinsic;
 use std::collections::BTreeSet;
 
@@ -162,39 +162,45 @@ impl<'a> LowerCtx<'a> {
                 hi,
                 step,
                 body,
+                line,
             } => {
                 self.referenced.insert(var.clone());
                 let lo = self.lower_expr(lo)?;
                 let hi = self.lower_expr(hi)?;
+                // Canonicalize the step: any constant step (positive or
+                // negative) becomes part of the loop's iteration domain.
+                // Only genuinely non-constant and zero steps are rejected
+                // here; whether a *negative* step is liftable is decided
+                // later by `liftability_check`, with a distinct message.
                 let step = match step {
                     None => 1,
                     Some(Expr::Int(v)) => *v,
                     Some(Expr::Neg(inner)) => match inner.as_ref() {
                         Expr::Int(v) => -*v,
-                        _ => {
-                            return Err(Error::unsupported(
-                                "loop with non-constant step".to_string(),
-                            ))
+                        other => {
+                            return Err(Error::unsupported(format!(
+                                "loop over '{var}' at line {line} has a non-constant step \
+                                 (-{other:?})"
+                            )))
                         }
                     },
-                    Some(_) => {
-                        return Err(Error::unsupported(
-                            "loop with non-constant step".to_string(),
-                        ))
+                    Some(other) => {
+                        return Err(Error::unsupported(format!(
+                            "loop over '{var}' at line {line} has a non-constant step ({other:?})"
+                        )))
                     }
                 };
                 if step == 0 {
-                    return Err(Error::lower("loop with zero step"));
+                    return Err(Error::lower(format!(
+                        "loop over '{var}' at line {line} has a zero step"
+                    )));
                 }
                 let body = body
                     .iter()
                     .map(|s| self.lower_stmt(s))
                     .collect::<Result<Vec<_>>>()?;
                 Ok(IrStmt::Loop {
-                    var: var.clone(),
-                    lo,
-                    hi,
-                    step,
+                    domain: IterDomain::new(var.clone(), lo, hi, step).canonicalize(),
                     body,
                 })
             }
@@ -325,17 +331,17 @@ impl<'a> LowerCtx<'a> {
 }
 
 /// Checks the constraints the lifter places on a lowered kernel beyond plain
-/// lowering (§5.4): no conditionals and only unit-step (monotonically
-/// increasing) loops. Returns a human-readable reason when the kernel is not
-/// liftable.
+/// lowering (§5.4): no conditionals and only incrementing loops (any
+/// constant positive step — strided/tiled domains are first-class, §6.5).
+/// Returns a human-readable reason when the kernel is not liftable.
 pub fn liftability_check(kernel: &Kernel) -> std::result::Result<(), String> {
     if kernel.has_conditionals() {
         return Err("kernel contains conditional statements".to_string());
     }
     for info in kernel.loops() {
-        if info.step != 1 {
+        if info.step < 0 {
             return Err(format!(
-                "loop over '{}' has step {} (only unit-step incrementing loops are supported)",
+                "loop over '{}' is decrementing (step {}); only incrementing loops are liftable",
                 info.var, info.step
             ));
         }
@@ -453,6 +459,121 @@ end procedure
         assert!(!kernel.all_unit_steps());
         let reason = liftability_check(&kernel).unwrap_err();
         assert!(reason.contains("step"));
+    }
+
+    #[test]
+    fn strided_loop_lowers_and_passes_liftability() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  integer :: i
+  do i = 2, n, 2
+    a(i) = b(i)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert!(!kernel.all_unit_steps());
+        let info = &kernel.loops()[0];
+        assert_eq!(info.step, 2);
+        assert!(liftability_check(&kernel).is_ok());
+    }
+
+    #[test]
+    fn constant_step_domains_are_canonicalized() {
+        let src = r#"
+procedure p(a, b)
+  real, dimension(0:12) :: a
+  real, dimension(0:12) :: b
+  integer :: i
+  do i = 1, 10, 4
+    a(i) = b(i)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let info = &kernel.loops()[0];
+        // hi is clamped to the last iterate: 1, 5, 9.
+        assert_eq!(info.hi, IrExpr::Int(9));
+    }
+
+    #[test]
+    fn non_constant_step_rejected_with_location() {
+        let src = r#"
+procedure p(n, s, a)
+  integer :: s
+  real, dimension(1:n) :: a
+  integer :: i
+  do i = 1, n, s
+    a(i) = 1.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let results = lower_procedure_loops(&program.procedures[0]);
+        let err = results[0].as_ref().unwrap_err().to_string();
+        assert!(err.contains("non-constant step"), "message: {err}");
+        assert!(err.contains("line 6"), "message: {err}");
+        assert!(err.contains("'i'"), "message: {err}");
+    }
+
+    #[test]
+    fn non_constant_negated_step_rejected_with_location() {
+        let src = r#"
+procedure p(n, s, a)
+  integer :: s
+  real, dimension(1:n) :: a
+  integer :: i
+  do i = n, 1, -s
+    a(i) = 1.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let results = lower_procedure_loops(&program.procedures[0]);
+        let err = results[0].as_ref().unwrap_err().to_string();
+        assert!(err.contains("non-constant step"), "message: {err}");
+        assert!(err.contains("line 6"), "message: {err}");
+    }
+
+    #[test]
+    fn zero_step_rejected_with_location() {
+        let src = r#"
+procedure p(n, a)
+  real, dimension(1:n) :: a
+  integer :: i
+  do i = 1, n, 0
+    a(i) = 1.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let results = lower_procedure_loops(&program.procedures[0]);
+        let err = results[0].as_ref().unwrap_err().to_string();
+        assert!(err.contains("zero step"), "message: {err}");
+        assert!(err.contains("line 5"), "message: {err}");
+    }
+
+    #[test]
+    fn negative_step_message_is_distinct_from_non_constant() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(1:n) :: a
+  real, dimension(1:n) :: b
+  integer :: i
+  do i = n, 1, -2
+    a(i) = b(i)
+  enddo
+end procedure
+"#;
+        // Negative constant steps lower fine (the domain is first-class)…
+        let kernel = kernel_from_source(src, 0).unwrap();
+        assert_eq!(kernel.loops()[0].step, -2);
+        // …but liftability rejects them with a decrementing-specific message.
+        let reason = liftability_check(&kernel).unwrap_err();
+        assert!(reason.contains("decrementing"), "message: {reason}");
+        assert!(!reason.contains("non-constant"), "message: {reason}");
     }
 
     #[test]

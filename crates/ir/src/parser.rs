@@ -360,6 +360,7 @@ impl Parser {
     }
 
     fn do_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
         self.expect_keyword("do")?;
         let var = self.expect_ident()?;
         self.expect(&Token::Assign)?;
@@ -404,6 +405,7 @@ impl Parser {
             hi,
             step,
             body,
+            line,
         })
     }
 
@@ -750,6 +752,48 @@ end procedure
                 assert!(matches!(step, Some(Expr::Neg(_))));
                 assert!(matches!(body[0], Stmt::If { .. }));
             }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strided_do_round_trips_through_the_ast() {
+        // `do i = lo, hi, s` keeps all three control expressions and the
+        // source line of the `do` keyword.
+        let src = r#"
+procedure k(n, a)
+  real, dimension(1:n) :: a
+  integer :: i
+  do i = 2, n-1, 4
+    a(i) = 1.0
+  enddo
+end procedure
+"#;
+        let program = parse_program(src).unwrap();
+        let proc = &program.procedures[0];
+        match &proc.body[0] {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                line,
+                ..
+            } => {
+                assert_eq!(var, "i");
+                assert_eq!(*lo, Expr::Int(2));
+                assert!(matches!(hi, Expr::Bin { .. }));
+                assert_eq!(*step, Some(Expr::Int(4)));
+                assert_eq!(*line, 5);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        // A symbolic step also round-trips (lowering, not parsing, rejects
+        // it).
+        let src2 = src.replace(", 4", ", n");
+        let program2 = parse_program(&src2).unwrap();
+        match &program2.procedures[0].body[0] {
+            Stmt::Do { step, .. } => assert_eq!(*step, Some(Expr::var("n"))),
             other => panic!("expected loop, got {other:?}"),
         }
     }

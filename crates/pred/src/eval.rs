@@ -58,6 +58,13 @@ pub fn eval_pred<V: ValueEq>(pred: &Pred, state: &mut State<V>) -> Result<bool> 
             Ok(l.value_eq(&r))
         }
         Pred::Forall(clause) => eval_quant_clause(clause, state),
+        Pred::Stride { var, lo, step } => {
+            let v = state.int(var).ok_or_else(|| {
+                stng_ir::error::Error::interp(format!("unbound loop counter '{var}'"))
+            })?;
+            let lo = eval_int_expr(lo, state)?;
+            Ok(v >= lo && (v - lo).rem_euclid(*step) == 0)
+        }
         Pred::And(ps) => {
             for p in ps {
                 if !eval_pred(p, state)? {
@@ -76,28 +83,29 @@ pub fn eval_pred<V: ValueEq>(pred: &Pred, state: &mut State<V>) -> Result<bool> 
 ///
 /// Propagates interpreter errors from bound or body evaluation.
 pub fn eval_quant_clause<V: ValueEq>(clause: &QuantClause, state: &mut State<V>) -> Result<bool> {
-    // Resolve the concrete range of every quantified variable.
+    // Resolve the concrete range of every quantified variable. Strided
+    // bounds enumerate the arithmetic progression lo, lo+step, … ≤ hi.
     let mut ranges = Vec::new();
     for bound in &clause.bounds {
         let lo = eval_int_expr(&bound.inclusive_lo(), state)?;
         let hi = eval_int_expr(&bound.inclusive_hi(), state)?;
-        ranges.push((bound.var.clone(), lo, hi));
+        ranges.push((bound.var.clone(), lo, hi, bound.step.max(1)));
     }
     // Empty ranges make the clause vacuously true.
-    if ranges.iter().any(|(_, lo, hi)| lo > hi) {
+    if ranges.iter().any(|(_, lo, hi, _)| lo > hi) {
         return Ok(true);
     }
     // Save previous bindings of the quantified variables so evaluation does
     // not clobber the caller's state.
     let saved: Vec<(String, Option<i64>)> = ranges
         .iter()
-        .map(|(var, _, _)| (var.clone(), state.int(var)))
+        .map(|(var, _, _, _)| (var.clone(), state.int(var)))
         .collect();
 
-    let mut current: Vec<i64> = ranges.iter().map(|(_, lo, _)| *lo).collect();
+    let mut current: Vec<i64> = ranges.iter().map(|(_, lo, _, _)| *lo).collect();
     let mut ok = true;
     'outer: loop {
-        for (k, (var, _, _)) in ranges.iter().enumerate() {
+        for (k, (var, _, _, _)) in ranges.iter().enumerate() {
             state.set_int(var.clone(), current[k]);
         }
         // Evaluate out[indices] = rhs at this point.
@@ -121,14 +129,15 @@ pub fn eval_quant_clause<V: ValueEq>(clause: &QuantClause, state: &mut State<V>)
             ok = false;
             break 'outer;
         }
-        // Advance the multi-index (last variable fastest).
+        // Advance the multi-index (last variable fastest), stepping each
+        // dimension by its domain stride.
         let mut dim = ranges.len();
         loop {
             if dim == 0 {
                 break 'outer;
             }
             dim -= 1;
-            current[dim] += 1;
+            current[dim] += ranges[dim].3;
             if current[dim] <= ranges[dim].2 {
                 break;
             }

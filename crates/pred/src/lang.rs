@@ -10,7 +10,10 @@ use std::fmt;
 use stng_ir::ir::{CmpOp, IrExpr};
 
 /// The bounds of one universally quantified index variable:
-/// `lo (<|≤) var (<|≤) hi`.
+/// `lo (<|≤) var (<|≤) hi`, optionally restricted to the arithmetic
+/// progression `var ∈ { lo, lo + step, lo + 2·step, … }` when `step > 1`
+/// (the §6.5 extension: index variables range over `lo + step·k` for a fresh
+/// bound counter `k ≥ 0`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantBound {
     /// The quantified variable.
@@ -23,6 +26,9 @@ pub struct QuantBound {
     pub hi: IrExpr,
     /// `true` when the upper bound is strict (`var < hi`), `false` for `≤`.
     pub hi_strict: bool,
+    /// Domain stride: `1` for the dense case, otherwise the variable only
+    /// takes values congruent to the inclusive lower bound modulo `step`.
+    pub step: i64,
 }
 
 impl QuantBound {
@@ -34,7 +40,21 @@ impl QuantBound {
             lo_strict: false,
             hi,
             hi_strict: false,
+            step: 1,
         }
+    }
+
+    /// An inclusive strided bound: `var ∈ { lo, lo+step, … } ∩ [lo, hi]`.
+    pub fn strided(var: impl Into<String>, lo: IrExpr, hi: IrExpr, step: i64) -> QuantBound {
+        QuantBound {
+            step,
+            ..QuantBound::inclusive(var, lo, hi)
+        }
+    }
+
+    /// Returns `true` for a dense (`step == 1`) domain.
+    pub fn is_dense(&self) -> bool {
+        self.step == 1
     }
 
     /// The inclusive lower bound as an expression (`lo` or `lo + 1`).
@@ -80,7 +100,11 @@ impl fmt::Display for QuantBound {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let lo_op = if self.lo_strict { "<" } else { "<=" };
         let hi_op = if self.hi_strict { "<" } else { "<=" };
-        write!(f, "{} {lo_op} {} {hi_op} {}", self.lo, self.var, self.hi)
+        write!(f, "{} {lo_op} {} {hi_op} {}", self.lo, self.var, self.hi)?;
+        if self.step != 1 {
+            write!(f, " step {}", self.step)?;
+        }
+        Ok(())
     }
 }
 
@@ -166,6 +190,19 @@ pub enum Pred {
     },
     /// A universally quantified output equation.
     Forall(QuantClause),
+    /// The structural alignment fact of a strided loop counter:
+    /// `∃ k ≥ 0. var = lo + step·k` (equivalently `var ≥ lo` and
+    /// `step | var − lo`). Verification-condition generation emits this at
+    /// the loop heads of non-unit-step domains; it is what lets the prover
+    /// reason about which cells a strided loop has actually visited.
+    Stride {
+        /// The loop counter.
+        var: String,
+        /// The first iterate.
+        lo: IrExpr,
+        /// The (positive) stride.
+        step: i64,
+    },
     /// Conjunction of predicates.
     And(Vec<Pred>),
 }
@@ -200,6 +237,7 @@ impl Pred {
             Pred::Bool(e) => e.node_count(),
             Pred::DataEq { lhs, rhs } => 1 + lhs.node_count() + rhs.node_count(),
             Pred::Forall(clause) => clause.node_count(),
+            Pred::Stride { lo, .. } => 2 + lo.node_count(),
             Pred::And(ps) => 1 + ps.iter().map(Pred::node_count).sum::<usize>(),
         }
     }
@@ -211,6 +249,9 @@ impl fmt::Display for Pred {
             Pred::Bool(e) => write!(f, "{e}"),
             Pred::DataEq { lhs, rhs } => write!(f, "{lhs} = {rhs}"),
             Pred::Forall(clause) => write!(f, "{clause}"),
+            Pred::Stride { var, lo, step } => {
+                write!(f, "{var} == {lo} (mod {step})")
+            }
             Pred::And(ps) => {
                 if ps.is_empty() {
                     return write!(f, "true");
@@ -373,12 +414,27 @@ mod tests {
             lo_strict: true,
             hi: IrExpr::var("hi"),
             hi_strict: false,
+            step: 1,
         };
         assert_eq!(b.inclusive_lo().to_string(), "(lo + 1)");
         assert_eq!(b.inclusive_hi().to_string(), "hi");
         let [lower, upper] = b.to_constraints();
         assert!(lower.to_string().contains("<="));
         assert!(upper.to_string().contains("<="));
+    }
+
+    #[test]
+    fn strided_bound_display_and_node_count() {
+        let b = QuantBound::strided("v", IrExpr::Int(2), IrExpr::var("n"), 2);
+        assert!(!b.is_dense());
+        assert_eq!(b.to_string(), "2 <= v <= n step 2");
+        let p = Pred::Stride {
+            var: "i".into(),
+            lo: IrExpr::Int(1),
+            step: 4,
+        };
+        assert_eq!(p.to_string(), "i == 1 (mod 4)");
+        assert!(p.node_count() > 0);
     }
 
     #[test]

@@ -15,22 +15,41 @@
 //! simple and uniform.
 
 use crate::lang::{Invariant, Postcondition, Pred};
-use stng_ir::ir::{CmpOp, IrExpr, IrStmt, Kernel};
+use stng_ir::ir::{CmpOp, IrExpr, IrStmt, IterDomain, Kernel};
 
-/// One level of a (possibly imperfect) loop nest.
+/// One level of a (possibly imperfect) loop nest. Dereferences to its
+/// [`IterDomain`], so `level.var`, `level.lo`, `level.hi`, and `level.step`
+/// read through.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopLevel {
-    /// Loop counter variable.
-    pub var: String,
-    /// Inclusive lower bound.
-    pub lo: IrExpr,
-    /// Inclusive upper bound.
-    pub hi: IrExpr,
+    /// The level's iteration domain (counter, bounds, and stride).
+    pub domain: IterDomain,
     /// Straight-line statements executed before the nested loop (for the
     /// innermost level: the whole body).
     pub pre: Vec<IrStmt>,
     /// Straight-line statements executed after the nested loop.
     pub post: Vec<IrStmt>,
+}
+
+impl std::ops::Deref for LoopLevel {
+    type Target = IterDomain;
+
+    fn deref(&self) -> &IterDomain {
+        &self.domain
+    }
+}
+
+impl LoopLevel {
+    /// The structural alignment fact of this level's counter: for a strided
+    /// domain, `step | var − lo`; `None` for dense levels (where it is
+    /// trivially true).
+    pub fn stride_fact(&self) -> Option<Pred> {
+        (self.step != 1).then(|| Pred::Stride {
+            var: self.var.clone(),
+            lo: self.lo.clone(),
+            step: self.step,
+        })
+    }
 }
 
 /// A decomposed loop nest: levels from outermost to innermost.
@@ -83,18 +102,15 @@ pub fn analyze_loop_nest(kernel: &Kernel) -> Result<LoopNest, String> {
 }
 
 fn decompose(stmt: &IrStmt, levels: &mut Vec<LoopLevel>) -> Result<(), String> {
-    let IrStmt::Loop {
-        var,
-        lo,
-        hi,
-        step,
-        body,
-    } = stmt
-    else {
+    let IrStmt::Loop { domain, body } = stmt else {
         return Err("expected a loop".to_string());
     };
-    if *step != 1 {
-        return Err(format!("loop over '{var}' has non-unit step {step}"));
+    let var = &domain.var;
+    if domain.step < 0 {
+        return Err(format!(
+            "loop over '{var}' is decrementing (step {})",
+            domain.step
+        ));
     }
     let mut pre = Vec::new();
     let mut post = Vec::new();
@@ -122,9 +138,7 @@ fn decompose(stmt: &IrStmt, levels: &mut Vec<LoopLevel>) -> Result<(), String> {
         }
     }
     levels.push(LoopLevel {
-        var: var.clone(),
-        lo: lo.clone(),
-        hi: hi.clone(),
+        domain: domain.clone(),
         pre,
         post,
     });
@@ -246,9 +260,23 @@ pub fn generate_vcs(
         name: var.to_string(),
         value,
     };
-    let increment = |var: &str| IrStmt::AssignScalar {
-        name: var.to_string(),
-        value: IrExpr::add(IrExpr::var(var.to_string()), IrExpr::Int(1)),
+    // Counters advance by their domain's step.
+    let increment = |level: &LoopLevel| IrStmt::AssignScalar {
+        name: level.var.clone(),
+        value: IrExpr::add(IrExpr::var(level.var.clone()), IrExpr::Int(level.step)),
+    };
+    // Structural alignment facts for the counters of strided levels
+    // `0..=upto`: at any program point where those loops are "in flight"
+    // (loop head, or just past their exit), the counter is `lo + step·k` by
+    // construction — it starts at `lo` and only ever advances by `step`.
+    // These are hypotheses the prover may rely on, exactly like the loop
+    // guard `var ≤ hi`; they are established by `var := lo` and preserved by
+    // `var := var + step`, so they need no synthesized invariant.
+    let stride_facts = |upto: usize| -> Vec<Pred> {
+        nest.levels[0..=upto]
+            .iter()
+            .filter_map(LoopLevel::stride_fact)
+            .collect()
     };
 
     // Initiation of the outermost invariant: counters start at the lower
@@ -272,6 +300,7 @@ pub fn generate_vcs(
         let mut hyps = assume_preds.clone();
         hyps.push(invariants[d].to_pred());
         hyps.push(in_range(outer));
+        hyps.extend(stride_facts(d));
         let mut body = outer.pre.clone();
         body.push(set_counter(&inner.var, inner.lo.clone()));
         vcs.push(Vc {
@@ -290,9 +319,10 @@ pub fn generate_vcs(
         let mut hyps = assume_preds.clone();
         hyps.push(invariants[depth - 1].to_pred());
         hyps.push(in_range(level));
+        hyps.extend(stride_facts(depth - 1));
         let mut body = level.pre.clone();
         body.extend(level.post.clone());
-        body.push(increment(&level.var));
+        body.push(increment(level));
         vcs.push(Vc {
             name: format!("preservation({})", level.var),
             hypotheses: hyps,
@@ -313,10 +343,12 @@ pub fn generate_vcs(
         hyps.push(past_range(inner));
         // The iteration guard of the outer level still held when the inner
         // loop started; keep it as a hypothesis so the ascend step can reason
-        // about the outer counter's range.
+        // about the outer counter's range. The inner counter is one step past
+        // its last iterate, still aligned to its stride.
         hyps.push(in_range(outer));
+        hyps.extend(stride_facts(d + 1));
         let mut body = outer.post.clone();
-        body.push(increment(&outer.var));
+        body.push(increment(outer));
         vcs.push(Vc {
             name: format!("ascend({}->{})", inner.var, outer.var),
             hypotheses: hyps,
@@ -333,6 +365,7 @@ pub fn generate_vcs(
         let mut hyps = assume_preds.clone();
         hyps.push(invariants[0].to_pred());
         hyps.push(past_range(level));
+        hyps.extend(stride_facts(0));
         vcs.push(Vc {
             name: "exit".to_string(),
             hypotheses: hyps,
@@ -432,6 +465,101 @@ end procedure
             Some(IrStmt::AssignScalar { name, .. }) if name == "i"
         ));
         assert!(pres.quantified_vars().contains(&"vi".to_string()));
+    }
+
+    #[test]
+    fn strided_nest_decomposes_and_keeps_steps() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  integer :: i
+  do i = 2, n, 2
+    a(i) = b(i-1)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        assert_eq!(nest.depth(), 1);
+        assert_eq!(nest.levels[0].step, 2);
+        assert_eq!(nest.levels[0].var, "i");
+    }
+
+    #[test]
+    fn strided_loop_head_vcs_carry_the_divisibility_invariant() {
+        // The loop-head hypotheses of a strided loop must include the
+        // structural fact `step | (i - lo)` (as a Pred::Stride), and the
+        // preservation body must advance the counter by the step.
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  integer :: i
+  do i = 2, n, 4
+    a(i) = b(i-1)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let post = Postcondition { clauses: vec![] };
+        let vcs = generate_vcs(&nest, &[], &[Invariant::empty()], &post);
+
+        let pres = vcs
+            .iter()
+            .find(|vc| vc.name == "preservation(i)")
+            .expect("preservation VC exists");
+        let has_stride = pres.hypotheses.iter().any(|h| {
+            h.conjuncts().iter().any(|c| {
+                matches!(
+                    c,
+                    Pred::Stride { var, lo, step: 4 }
+                        if var == "i" && *lo == IrExpr::Int(2)
+                )
+            })
+        });
+        assert!(has_stride, "preservation hypotheses: {:?}", pres.hypotheses);
+        // Counter update is i := i + 4.
+        let Some(IrStmt::AssignScalar { name, value }) = pres.body.last() else {
+            panic!("preservation body must end in the counter update")
+        };
+        assert_eq!(name, "i");
+        assert_eq!(value.to_string(), "(i + 4)");
+
+        // The exit VC carries the stride fact too (the counter is one step
+        // past its last iterate, still aligned).
+        let exit = vcs.iter().find(|vc| vc.name == "exit").unwrap();
+        assert!(exit
+            .hypotheses
+            .iter()
+            .any(|h| matches!(h, Pred::Stride { .. })));
+
+        // The initiation VC does not assume alignment — it establishes it by
+        // setting the counter to the lower bound.
+        let init = vcs.iter().find(|vc| vc.name == "initiation(i)").unwrap();
+        assert!(!init
+            .hypotheses
+            .iter()
+            .any(|h| matches!(h, Pred::Stride { .. })));
+    }
+
+    #[test]
+    fn unit_step_vcs_have_no_stride_hypotheses() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let invariants = fixtures::running_example_invariants();
+        let post = fixtures::running_example_post();
+        let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+        for vc in &vcs {
+            assert!(
+                !vc.hypotheses
+                    .iter()
+                    .any(|h| matches!(h, Pred::Stride { .. })),
+                "{} should not carry stride facts",
+                vc.name
+            );
+        }
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! infeasible. Feasibility is decided over the rationals, which is sound for
 //! proving integer entailments (every integer model is a rational model);
 //! strict integer inequalities are converted to non-strict ones with a `±1`
-//! adjustment before encoding, which recovers most of the lost precision.
+//! adjustment before encoding, and every constraint is *integer-tightened*
+//! (coefficients divided by their gcd with the constant rounded up), which
+//! recovers most of the precision lost to rational relaxation. The
+//! tightening step is what makes stride reasoning work: after the prover
+//! substitutes `i = lo + step·k`, facts like `step·t ≤ step·k − 1` tighten
+//! to `t ≤ k − 1`, i.e. two aligned counters that differ must differ by a
+//! whole stride.
 
 use std::collections::BTreeSet;
-use stng_intern::Memo;
+use stng_intern::{Memo, Symbol};
 use stng_ir::ir::{Affine, CmpOp, IrExpr};
 
 /// Maximum number of constraints Fourier–Motzkin is allowed to generate
@@ -22,9 +28,10 @@ const FM_CONSTRAINT_CAP: usize = 4000;
 /// of times; a hit here replaces a full elimination with one table lookup.
 static FM_MEMO: Memo<Vec<Affine>, bool> = Memo::new();
 
-/// Canonicalizes (sort + dedup) and checks feasibility through the memo.
+/// Canonicalizes (tighten + sort + dedup) and checks feasibility through the
+/// memo.
 fn fm_infeasible_cached(constraints: &[Affine]) -> bool {
-    let mut key: Vec<Affine> = constraints.to_vec();
+    let mut key: Vec<Affine> = constraints.iter().map(|c| tighten(c.clone())).collect();
     key.sort();
     key.dedup();
     if let Some(hit) = FM_MEMO.get(&key) {
@@ -35,10 +42,47 @@ fn fm_infeasible_cached(constraints: &[Affine]) -> bool {
     verdict
 }
 
-/// A conjunction of linear integer constraints of the form `affine ≤ 0`.
+use stng_ir::ir::gcd;
+
+/// `⌈a / b⌉` for positive `b`.
+fn ceil_div(a: i64, b: i64) -> i64 {
+    -((-a).div_euclid(b))
+}
+
+/// Integer tightening of one `affine ≤ 0` constraint: with `g` the gcd of the
+/// variable coefficients, `Σ ci·vi ≤ −c` implies `Σ (ci/g)·vi ≤ ⌊−c/g⌋` for
+/// integer-valued variables (the left side is `g` times an integer). All
+/// variables in a [`LinCtx`] are integers (loop counters, bounds, quantified
+/// indices, stride witnesses), so this strengthening is sound and strictly
+/// increases the set of provable entailments.
+fn tighten(mut c: Affine) -> Affine {
+    let mut g: i64 = 0;
+    for coeff in c.terms.values() {
+        g = gcd(g, coeff.abs());
+    }
+    if g > 1 {
+        for coeff in c.terms.values_mut() {
+            *coeff /= g;
+        }
+        c.constant = ceil_div(c.constant, g);
+    }
+    c
+}
+
+/// A conjunction of linear integer constraints of the form `affine ≤ 0`,
+/// plus a substitution layer of exact variable *definitions*
+/// (`var = affine`), used for stride witnesses: defining `i = lo + step·k`
+/// eliminates `i` from the linear system up front, so Fourier–Motzkin works
+/// directly on the witness variables and the gcd tightening can exploit the
+/// `step`-multiples structurally (adding the equality as two inequalities
+/// instead would let elimination order erase the alignment information).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinCtx {
     constraints: Vec<Affine>,
+    /// Exact definitions `var = value`, applied (in order) to every affine
+    /// entering the context. Values are fully reduced (they mention no
+    /// defined variable).
+    defs: Vec<(Symbol, Affine)>,
 }
 
 impl LinCtx {
@@ -57,14 +101,67 @@ impl LinCtx {
         self.constraints.is_empty()
     }
 
+    /// Applies the definition layer to an affine expression.
+    pub fn reduce(&self, aff: &Affine) -> Affine {
+        self.reduced(aff.clone())
+    }
+
+    /// Owned variant of [`LinCtx::reduce`]; free when no definitions exist
+    /// (the dense-kernel fast path).
+    fn reduced(&self, mut aff: Affine) -> Affine {
+        for (v, val) in &self.defs {
+            if aff.coeff(*v) != 0 {
+                aff = aff.subst(*v, val);
+            }
+        }
+        aff
+    }
+
+    /// Records the exact definition `var = value` and folds it into the
+    /// existing constraints and definitions. Sound only for genuine
+    /// equalities (the stride facts `i = lo + step·k` with a fresh witness
+    /// `k`). A second definition of the same variable is ignored (the first
+    /// one has already eliminated it).
+    pub fn define(&mut self, var: impl Into<Symbol>, value: &Affine) {
+        let var = var.into();
+        if self.defs.iter().any(|(v, _)| *v == var) {
+            return;
+        }
+        let value = self.reduce(value);
+        for c in &mut self.constraints {
+            if c.coeff(var) != 0 {
+                *c = c.subst(var, &value);
+            }
+        }
+        for (_, v) in &mut self.defs {
+            if v.coeff(var) != 0 {
+                *v = v.subst(var, &value);
+            }
+        }
+        self.defs.push((var, value));
+    }
+
+    /// Decides `m | aff` syntactically under the definition layer: after
+    /// reduction, the expression is a provable multiple of `m` when every
+    /// coefficient and the constant are. (Sound but incomplete — unaligned
+    /// expressions simply fail the test.)
+    pub fn divisible(&self, aff: &Affine, m: i64) -> bool {
+        if m == 1 {
+            return true;
+        }
+        let r = self.reduce(aff);
+        r.constant % m == 0 && r.terms.values().all(|c| c % m == 0)
+    }
+
     /// Adds `lhs ≤ rhs`.
     pub fn assume_le(&mut self, lhs: &Affine, rhs: &Affine) {
-        self.constraints.push(lhs.sub(rhs));
+        let c = self.reduced(lhs.sub(rhs));
+        self.constraints.push(c);
     }
 
     /// Adds `lhs < rhs` (integer semantics: `lhs ≤ rhs − 1`).
     pub fn assume_lt(&mut self, lhs: &Affine, rhs: &Affine) {
-        let mut c = lhs.sub(rhs);
+        let mut c = self.reduced(lhs.sub(rhs));
         c.constant += 1;
         self.constraints.push(c);
     }
@@ -118,7 +215,7 @@ impl LinCtx {
     /// Checks whether the context entails `lhs ≤ rhs`.
     pub fn entails_le(&self, lhs: &Affine, rhs: &Affine) -> bool {
         // Negation over the integers: lhs ≥ rhs + 1, i.e. rhs + 1 − lhs ≤ 0.
-        let mut neg = rhs.sub(lhs);
+        let mut neg = self.reduced(rhs.sub(lhs));
         neg.constant += 1;
         let mut cs = self.constraints.clone();
         cs.push(neg);
@@ -142,7 +239,7 @@ impl LinCtx {
 
     fn entails_constraint(&self, c: &Affine) -> bool {
         // c ≤ 0 entailed iff context ∧ (c ≥ 1) infeasible.
-        let mut neg = c.scale(-1);
+        let mut neg = self.reduced(c.scale(-1));
         neg.constant += 1;
         let mut cs = self.constraints.clone();
         cs.push(neg);
@@ -215,19 +312,19 @@ fn fm_infeasible(constraints: &[Affine]) -> bool {
         }
         // Pick the variable occurring in the fewest constraints to limit
         // blow-up.
-        let vars: BTreeSet<String> = cs.iter().flat_map(|c| c.terms.keys().cloned()).collect();
+        let vars: BTreeSet<Symbol> = cs.iter().flat_map(|c| c.terms.keys().copied()).collect();
         let Some(var) = vars
             .iter()
-            .min_by_key(|v| cs.iter().filter(|c| c.coeff(v) != 0).count())
+            .min_by_key(|v| cs.iter().filter(|c| c.coeff(**v) != 0).count())
         else {
             return false;
         };
-        let var = var.clone();
+        let var = *var;
         let mut uppers = Vec::new(); // a·v + p ≤ 0 with a > 0  → v ≤ −p/a
         let mut lowers = Vec::new(); // −b·v + q ≤ 0 with b > 0 → v ≥ q/b
         let mut rest = Vec::new();
         for c in cs {
-            let a = c.coeff(&var);
+            let a = c.coeff(var);
             if a > 0 {
                 uppers.push(c);
             } else if a < 0 {
@@ -238,11 +335,12 @@ fn fm_infeasible(constraints: &[Affine]) -> bool {
         }
         for up in &uppers {
             for lo in &lowers {
-                let a = up.coeff(&var);
-                let b = -lo.coeff(&var);
-                // b·up + a·lo eliminates v.
-                let combined = up.scale(b).add(&lo.scale(a));
-                debug_assert_eq!(combined.coeff(&var), 0);
+                let a = up.coeff(var);
+                let b = -lo.coeff(var);
+                // b·up + a·lo eliminates v; the combination is re-tightened
+                // so derived constraints keep integer precision.
+                let combined = tighten(up.scale(b).add(&lo.scale(a)));
+                debug_assert_eq!(combined.coeff(var), 0);
                 rest.push(combined);
                 if rest.len() > FM_CONSTRAINT_CAP {
                     // Give up: treat as (possibly) feasible, which is sound.
@@ -348,6 +446,70 @@ mod tests {
         assert!(eq_case.entails_eq(&var("vi"), &var("i")));
         let lt_case = ctx.with_case(&var("vi"), &var("i"), SplitCase::Less);
         assert!(lt_case.entails_ne(&var("vi"), &var("i")));
+    }
+
+    #[test]
+    fn integer_tightening_recovers_stride_gaps() {
+        // Two counters aligned to stride 2 from the same base:
+        // q = 2 + 2t, i = 2 + 2k (t, k ≥ 0). From q ≤ i − 1 (strictly below)
+        // integer reasoning must conclude q ≤ i − 2: aligned counters that
+        // differ, differ by a whole stride. Rational Fourier–Motzkin alone
+        // cannot see this; the definition layer plus gcd tightening makes it
+        // derivable.
+        let mut ctx = LinCtx::new();
+        let q = var("q");
+        let i = var("i");
+        let t = var("t");
+        let k = var("k");
+        let base = constant(2);
+        ctx.define("q", &base.add(&t.scale(2)));
+        ctx.define("i", &base.add(&k.scale(2)));
+        ctx.assume_le(&constant(0), &t);
+        ctx.assume_le(&constant(0), &k);
+        ctx.assume_lt(&q, &i); // q ≤ i − 1
+        let mut i_minus_2 = i.clone();
+        i_minus_2.constant -= 2;
+        assert!(ctx.entails_le(&q, &i_minus_2));
+        // And alignment alone must not entail the gap without the order.
+        let mut ctx2 = LinCtx::new();
+        ctx2.define("q", &base.add(&t.scale(2)));
+        ctx2.define("i", &base.add(&k.scale(2)));
+        assert!(!ctx2.entails_le(&q, &i_minus_2));
+    }
+
+    #[test]
+    fn definition_layer_decides_divisibility() {
+        let mut ctx = LinCtx::new();
+        let t = var("t");
+        ctx.define("i", &constant(2).add(&t.scale(4)));
+        // i − 2 = 4t: divisible by 4 and 2, not by 3.
+        let mut i_minus_2 = var("i");
+        i_minus_2.constant -= 2;
+        assert!(ctx.divisible(&i_minus_2, 4));
+        assert!(ctx.divisible(&i_minus_2, 2));
+        assert!(!ctx.divisible(&i_minus_2, 3));
+        // i − 1 = 4t + 1: not divisible by 4.
+        let mut i_minus_1 = var("i");
+        i_minus_1.constant -= 1;
+        assert!(!ctx.divisible(&i_minus_1, 4));
+        // Definitions fold into constraints added before them.
+        let mut late = LinCtx::new();
+        late.assume_le(&var("i"), &constant(10));
+        late.define("i", &constant(2).add(&t.scale(4)));
+        late.assume_le(&constant(3), &t);
+        assert!(late.is_infeasible()); // i = 2+4t ≥ 14 > 10
+    }
+
+    #[test]
+    fn tightening_handles_mixed_signs_and_negative_constants() {
+        // 2x − 2y + 1 ≤ 0 tightens to x − y + 1 ≤ 0, so x < y entails x ≤ y−1.
+        let mut ctx = LinCtx::new();
+        let two_x = var("x").scale(2);
+        let two_y_minus_1 = var("y").scale(2).add(&constant(-1));
+        ctx.assume_le(&two_x, &two_y_minus_1);
+        let mut y_minus_1 = var("y");
+        y_minus_1.constant -= 1;
+        assert!(ctx.entails_le(&var("x"), &y_minus_1));
     }
 
     #[test]

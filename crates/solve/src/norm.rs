@@ -671,10 +671,11 @@ pub struct SymState {
 impl SymState {
     /// The affine value of integer scalar `name` in the current state.
     pub fn int_value(&self, name: &str) -> Affine {
+        let sym = Symbol::intern(name);
         self.int_env
-            .get(&Symbol::intern(name))
+            .get(&sym)
             .cloned()
-            .unwrap_or_else(|| Affine::var(name.to_string()))
+            .unwrap_or_else(|| Affine::var(sym))
     }
 
     /// Normalizes an integer expression to an affine form over the pre-state

@@ -138,6 +138,21 @@ impl SmtLite {
                             }
                         }
                     }
+                    Pred::Stride { var, lo, step } => {
+                        // The counter is lo + step·k for a fresh witness
+                        // k ≥ 0. Installing it as an exact *definition*
+                        // substitutes `var` out of all linear reasoning up
+                        // front — the ISSUE's "i = lo + step·k before linear
+                        // reasoning" — so Fourier–Motzkin works on the
+                        // witness and the gcd tightening sees the stride.
+                        let pre = SymState::default();
+                        if let Some(lo_aff) = pre.norm_int(lo) {
+                            let witness = Affine::var(format!("k!{var}"));
+                            base_ctx
+                                .define(Symbol::intern(var), &lo_aff.add(&witness.scale(*step)));
+                            base_ctx.assume_le(&Affine::constant(0), &witness);
+                        }
+                    }
                     Pred::Forall(clause) => session.hyp_clauses.push(clause),
                     Pred::And(_) => unreachable!("conjuncts() flattens conjunctions"),
                 }
@@ -279,6 +294,19 @@ impl<'a> ProofSession<'a> {
                         )));
                     }
                 }
+                Pred::Stride { var, lo, step } => {
+                    // The post-state value of the counter must stay aligned:
+                    // `step | value − lo` under the known stride facts.
+                    let value = state.int_value(var);
+                    let lo_aff = state
+                        .norm_int(lo)
+                        .ok_or_else(|| Failure::Hard(format!("non-affine stride base {lo}")))?;
+                    if !ctx.divisible(&value.sub(&lo_aff), *step) {
+                        return Err(Failure::Hard(format!(
+                            "stride fact not provable: {var} == {lo} (mod {step})"
+                        )));
+                    }
+                }
                 Pred::Forall(clause) => {
                     self.prove_forall(clause, ctx, &state)?;
                 }
@@ -312,16 +340,26 @@ impl<'a> ProofSession<'a> {
         };
 
         // Assume the bounds of the quantified variables in an extended
-        // context (bounds are evaluated in the post-state).
+        // context (bounds are evaluated in the post-state). Strided bounds
+        // additionally pin the variable to its arithmetic progression:
+        // `q = lo + step·t` is installed as an exact definition with a fresh
+        // witness `t ≥ 0`, so both the linear reasoning and divisibility
+        // questions about `q` resolve through the substitution.
         let mut ctx2 = ctx.clone();
         for bound in &clause.bounds {
-            let qvar = Affine::var(format!("q!{}", bound.var));
+            let qname = format!("q!{}", bound.var);
+            let qvar = Affine::var(qname.as_str());
             let lo = state
                 .norm_int(&rename(&bound.inclusive_lo()))
                 .ok_or_else(|| Failure::Hard(format!("non-affine bound {}", bound.lo)))?;
             let hi = state
                 .norm_int(&rename(&bound.inclusive_hi()))
                 .ok_or_else(|| Failure::Hard(format!("non-affine bound {}", bound.hi)))?;
+            if bound.step > 1 {
+                let witness = Affine::var(format!("t!{qname}"));
+                ctx2.define(Symbol::intern(&qname), &lo.add(&witness.scale(bound.step)));
+                ctx2.assume_le(&Affine::constant(0), &witness);
+            }
             ctx2.assume_le(&lo, &qvar);
             ctx2.assume_le(&qvar, &hi);
         }
@@ -431,7 +469,10 @@ impl<'a> ProofSession<'a> {
     /// Attempts to rewrite a pre-state read `array[indices]` using one of the
     /// quantified hypothesis clauses: the clause is instantiated at exactly
     /// this index vector (partial Skolemization), its bounds must be entailed
-    /// by the context, and its right-hand side becomes the read's value.
+    /// by the context, and its right-hand side becomes the read's value. For
+    /// strided clause bounds the instantiation point must additionally be
+    /// *aligned*: `step | index − lo`, decided under the stride facts in
+    /// scope.
     fn rewrite_via_hypotheses(
         &self,
         array: Symbol,
@@ -464,6 +505,9 @@ impl<'a> ProofSession<'a> {
                 let lo = pre.norm_int(&bound.inclusive_lo())?;
                 let hi = pre.norm_int(&bound.inclusive_hi())?;
                 if !ctx.entails_le(&lo, &indices[k]) || !ctx.entails_le(&indices[k], &hi) {
+                    continue 'clauses;
+                }
+                if bound.step > 1 && !ctx.divisible(&indices[k].sub(&lo), bound.step) {
                     continue 'clauses;
                 }
             }

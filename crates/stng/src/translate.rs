@@ -67,7 +67,10 @@ impl StencilSummary {
             } else {
                 format!("{kernel_name}_halide_{k}")
             };
-            funcs.push((Func::new(name, vars.len(), expr), clause.clone()));
+            // The quantifier domain's strides become the Func's realization
+            // steps: a strided summary runs only over its progression points.
+            let steps: Vec<i64> = clause.bounds.iter().map(|b| b.step).collect();
+            funcs.push((Func::strided(name, vars.len(), steps, expr), clause.clone()));
         }
         Ok(StencilSummary {
             funcs,
@@ -162,7 +165,7 @@ fn translate_index(e: &IrExpr, vars: &[String]) -> Result<HIndex, TranslationErr
     let affine = e
         .as_affine()
         .ok_or_else(|| TranslationError::BadIndex(e.to_string()))?;
-    let mentioned: Vec<&String> = affine.terms.keys().collect();
+    let mentioned: Vec<stng_intern::Symbol> = affine.terms.keys().copied().collect();
     match mentioned.len() {
         0 => Ok(HIndex::Const(affine.constant)),
         1 => {
@@ -170,7 +173,7 @@ fn translate_index(e: &IrExpr, vars: &[String]) -> Result<HIndex, TranslationErr
             let coeff = affine.coeff(name);
             let var = vars
                 .iter()
-                .position(|v| v == name)
+                .position(|v| v == name.as_str())
                 .ok_or_else(|| TranslationError::BadIndex(e.to_string()))?;
             if coeff != 1 {
                 return Err(TranslationError::BadIndex(e.to_string()));

@@ -216,21 +216,17 @@ impl SymExecutor {
                         )));
                     }
                 }
-                IrStmt::Loop {
-                    var,
-                    lo,
-                    hi,
-                    step,
-                    body,
-                } => {
-                    let lo = eval_int_expr(lo, state)?;
-                    let hi = eval_int_expr(hi, state)?;
-                    if *step == 0 {
+                IrStmt::Loop { domain, body } => {
+                    let lo = eval_int_expr(&domain.lo, state)?;
+                    let hi = eval_int_expr(&domain.hi, state)?;
+                    let step = domain.step;
+                    if step == 0 {
                         return Err(Error::interp("loop with zero step"));
                     }
+                    let var = &domain.var;
                     let mut cur = lo;
                     loop {
-                        let in_range = if *step > 0 { cur <= hi } else { cur >= hi };
+                        let in_range = if step > 0 { cur <= hi } else { cur >= hi };
                         if !in_range {
                             break;
                         }

@@ -63,14 +63,16 @@ pub fn invariant_candidates(
     }
 
     // Truncation choices per level: the completed region in the driven
-    // dimension stops at counter−1 (the common case) or at the counter
-    // itself; CEGIS discriminates between them.
+    // dimension stops at counter−step (the common case: everything strictly
+    // before the current iterate, which for strided domains is a whole
+    // stride back) or at the counter itself; CEGIS discriminates between
+    // them.
     let truncations: Vec<Vec<IrExpr>> = nest
         .levels
         .iter()
         .map(|level| {
             vec![
-                IrExpr::sub(IrExpr::var(level.var.clone()), IrExpr::Int(1)),
+                IrExpr::sub(IrExpr::var(level.var.clone()), IrExpr::Int(level.step)),
                 IrExpr::var(level.var.clone()),
             ]
         })
@@ -157,12 +159,14 @@ fn build_invariant_set(
                         );
                     }
                 }
-                // Level `e` truncates its driven dimension.
+                // Level `e` truncates its driven dimension, keeping the
+                // postcondition domain's stride.
                 let full = &clause.bounds[dim_e];
-                bounds[dim_e] = QuantBound::inclusive(
+                bounds[dim_e] = QuantBound::strided(
                     full.var.clone(),
                     full.inclusive_lo(),
                     truncation[e].clone(),
+                    full.step,
                 );
                 if empty_region {
                     continue;

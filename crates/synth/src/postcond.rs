@@ -118,15 +118,27 @@ impl PostcondSynthesizer {
 
         // 1. Quantifier domain: match the written region against bound
         //    expressions from the loop nest and the integer parameters.
+        //    Each dimension's stride is inferred from the gaps between the
+        //    written indices (gcd across both runs), so strided kernels get
+        //    domains of the form `lo + step·k` instead of failing to match.
         let mut bounds = Vec::new();
         #[allow(clippy::needless_range_loop)]
         for dim in 0..rank {
-            let (lo, lo_bits) =
-                self.solve_region_bound(kernel, run_a, run_b, &writes_a, &writes_b, dim, true)?;
-            let (hi, hi_bits) =
-                self.solve_region_bound(kernel, run_a, run_b, &writes_a, &writes_b, dim, false)?;
+            let stride_a = observed_stride(&writes_a, dim);
+            let stride_b = observed_stride(&writes_b, dim);
+            let stride = gcd(stride_a, stride_b).max(1);
+            if stride > 1 {
+                // One extra structural choice: the domain's stride.
+                bits.bound_bits += bits_for_choices(2);
+            }
+            let (lo, lo_bits) = self.solve_region_bound(
+                kernel, run_a, run_b, &writes_a, &writes_b, dim, true, stride,
+            )?;
+            let (hi, hi_bits) = self.solve_region_bound(
+                kernel, run_a, run_b, &writes_a, &writes_b, dim, false, stride,
+            )?;
             bits.bound_bits += lo_bits + hi_bits;
-            bounds.push(QuantBound::inclusive(vars[dim].clone(), lo, hi));
+            bounds.push(QuantBound::strided(vars[dim].clone(), lo, hi, stride));
         }
 
         // 2. Template from anti-unification over all observations.
@@ -165,6 +177,11 @@ impl PostcondSynthesizer {
     /// Finds an expression over the integer parameters matching the written
     /// region's lower (`want_lo`) or upper bound in dimension `dim` of both
     /// runs. Returns the expression and the bits spent choosing it.
+    ///
+    /// For a strided dimension the upper bound need not be the last written
+    /// index itself: a candidate expression matches when the last iterate of
+    /// the progression `lo, lo+stride, … ≤ candidate` is the observed
+    /// maximum (exactly how a `do i = lo, hi, s` loop treats its bound).
     #[allow(clippy::too_many_arguments)]
     fn solve_region_bound(
         &self,
@@ -175,17 +192,24 @@ impl PostcondSynthesizer {
         writes_b: &[(Vec<i64>, SymExpr)],
         dim: usize,
         want_lo: bool,
+        stride: i64,
     ) -> Result<(IrExpr, usize), String> {
-        let observed = |writes: &[(Vec<i64>, SymExpr)]| -> i64 {
-            let it = writes.iter().map(|(p, _)| p[dim]);
-            if want_lo {
-                it.min().unwrap()
-            } else {
-                it.max().unwrap()
+        let observed = |writes: &[(Vec<i64>, SymExpr)]| -> (i64, i64) {
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            for (p, _) in writes {
+                min = min.min(p[dim]);
+                max = max.max(p[dim]);
             }
+            (min, max)
         };
-        let target_a = observed(writes_a);
-        let target_b = observed(writes_b);
+        let (min_a, max_a) = observed(writes_a);
+        let (min_b, max_b) = observed(writes_b);
+        let (target_a, target_b) = if want_lo {
+            (min_a, min_b)
+        } else {
+            (max_a, max_b)
+        };
 
         // Candidate bound expressions: loop bounds of the nest, integer
         // parameters with small offsets, and plain constants.
@@ -214,10 +238,22 @@ impl PostcondSynthesizer {
             }
             eval_int_expr(expr, &state).ok()
         };
+        // A candidate matches a target when it evaluates to it exactly —
+        // or, for the upper bound of a strided dimension, when clipping the
+        // progression from the observed minimum at the candidate lands on
+        // the target.
+        let matches = |value: i64, target: i64, min: i64| -> bool {
+            if value == target {
+                return true;
+            }
+            !want_lo
+                && stride > 1
+                && stng_ir::ir::IterDomain::last_iterate(min, value, stride) == Some(target)
+        };
         for cand in candidates {
-            if eval_in(&cand, &run_a.bounds) == Some(target_a)
-                && eval_in(&cand, &run_b.bounds) == Some(target_b)
-            {
+            let hit_a = eval_in(&cand, &run_a.bounds).is_some_and(|v| matches(v, target_a, min_a));
+            let hit_b = eval_in(&cand, &run_b.bounds).is_some_and(|v| matches(v, target_b, min_b));
+            if hit_a && hit_b {
                 return Ok((cand, bits_for_choices(total)));
             }
         }
@@ -325,6 +361,21 @@ impl PostcondSynthesizer {
         }
         Ok(writes.len())
     }
+}
+
+use stng_ir::ir::gcd;
+
+/// The stride of the written indices of one run in dimension `dim`: the gcd
+/// of all gaps from the smallest written index. Densely written dimensions
+/// (and dimensions with a single written index) report `1`... a stride of
+/// `g > 1` means every written index is congruent to the minimum mod `g`.
+fn observed_stride(writes: &[(Vec<i64>, SymExpr)], dim: usize) -> i64 {
+    let min = writes.iter().map(|(p, _)| p[dim]).min().unwrap_or(0);
+    let mut g = 0i64;
+    for (p, _) in writes {
+        g = gcd(g, p[dim] - min);
+    }
+    g.max(1)
 }
 
 /// Walks a template against the (hole-free) template form of one observation,
@@ -543,6 +594,39 @@ end procedure
         let text = candidate.post.to_string();
         assert!(text.contains("0.25"), "rhs: {text}");
         assert!(text.contains('w'), "rhs: {text}");
+    }
+
+    #[test]
+    fn strided_kernel_gets_a_strided_quantifier_domain() {
+        let src = r#"
+procedure p(n, a, b)
+  real, dimension(0:n) :: a
+  real, dimension(0:n) :: b
+  integer :: i
+  do i = 2, n, 2
+    a(i) = b(i-1) + b(i)
+  enddo
+end procedure
+"#;
+        let kernel = kernel_from_source(src, 0).unwrap();
+        let candidate = PostcondSynthesizer::new().synthesize(&kernel).unwrap();
+        let clause = &candidate.post.clauses[0];
+        assert_eq!(clause.bounds.len(), 1);
+        let bound = &clause.bounds[0];
+        assert_eq!(bound.step, 2, "domain: {bound}");
+        assert_eq!(bound.lo.to_string(), "2");
+        let text = clause.to_string();
+        assert!(text.contains("step 2"), "clause: {text}");
+        assert!(text.contains("b[(v0 - 1)]"), "clause: {text}");
+    }
+
+    #[test]
+    fn dense_kernels_keep_unit_stride_domains() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let candidate = PostcondSynthesizer::new().synthesize(&kernel).unwrap();
+        for bound in &candidate.post.clauses[0].bounds {
+            assert!(bound.is_dense());
+        }
     }
 
     #[test]
