@@ -1,21 +1,26 @@
 //! Machine-readable benchmark emitter: lifts every corpus kernel, times the
-//! end-to-end pipeline, and writes `BENCH_2.json` at the workspace root so
+//! end-to-end pipeline, and writes `BENCH_3.json` at the workspace root so
 //! the performance trajectory is tracked from PR to PR.
 //!
 //! Usage:
 //!
 //! * `cargo bench --bench bench_json` — measures the current tree and writes
-//!   `BENCH_2.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   `BENCH_3.json`. When `BENCH_baseline.json` exists at the workspace root,
 //!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
 //!   computed.
 //! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
 //!   snapshots the measurements to `BENCH_baseline.json` (run this before a
 //!   perf change to freeze the comparison point).
 //!
-//! The run doubles as the lifting **regression gate**: every kernel recorded
-//! as translated in the frozen `BENCH_1.json` (the previous PR's snapshot)
-//! must still translate; otherwise the process exits non-zero, which fails
-//! the CI bench-smoke job.
+//! Besides the per-kernel (uncached) timings, the run measures the
+//! fingerprint-keyed lifting cache: a cold and a warm full-corpus batch pass
+//! (`stng-service`), the warm hit rate, and **cache-hit parity** — a warm
+//! hit must reproduce the cold pass's report exactly.
+//!
+//! The run doubles as the **regression gate**: every kernel recorded as
+//! translated in the frozen `BENCH_2.json` (the previous PR's snapshot) must
+//! still translate, the warm pass must hit on every lookup, and parity must
+//! hold; otherwise the process exits non-zero, which fails the CI jobs.
 //!
 //! The JSON is emitted by hand (no serde in the offline build environment);
 //! the schema is flat and stable on purpose.
@@ -24,6 +29,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use stng_bench::bench_stng;
 use stng_corpus::all_kernels;
+use stng_service::batch::{run_batch, BatchOptions};
 
 /// One measured kernel.
 struct KernelMeasurement {
@@ -149,6 +155,43 @@ fn previously_lifting(json: &str) -> Vec<String> {
     out
 }
 
+/// Cold-vs-warm measurement of the fingerprint cache over the full corpus.
+struct CacheMeasurement {
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_hit_rate: f64,
+    /// Cache hits during the *cold* pass: the corpus's alpha-variant
+    /// kernels deduplicating against their originals.
+    cold_dedup_hits: u64,
+    /// Every warm-pass report reproduced its cold-pass counterpart.
+    parity: bool,
+}
+
+fn measure_cache() -> CacheMeasurement {
+    let sources = stng_service::batch::corpus_sources();
+    let options = BatchOptions {
+        passes: 2,
+        config: bench_stng().config,
+        ..BatchOptions::default()
+    };
+    let report = run_batch(&sources, &options).expect("memory-only batch cannot fail on IO");
+    let cold = &report.passes[0];
+    let warm = &report.passes[1];
+    let parity = cold.kernels.len() == warm.kernels.len()
+        && cold
+            .kernels
+            .iter()
+            .zip(&warm.kernels)
+            .all(|(c, w)| c.report.outcome == w.report.outcome);
+    CacheMeasurement {
+        cold_ms: cold.wall_ms,
+        warm_ms: warm.wall_ms,
+        warm_hit_rate: warm.cache.hit_rate(),
+        cold_dedup_hits: cold.cache.hits,
+        parity,
+    }
+}
+
 fn workspace_root() -> std::path::PathBuf {
     // benches run with the crate as cwd; the workspace root is two levels up.
     let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -176,6 +219,18 @@ fn main() {
         println!("wrote BENCH_baseline.json (total {total_ms:.1} ms)");
     }
 
+    let cache = measure_cache();
+    println!(
+        "cache: cold {:.1} ms -> warm {:.1} ms ({:.1}x), warm hit rate {:.1}%, \
+         {} cold dedup hit(s), parity {}",
+        cache.cold_ms,
+        cache.warm_ms,
+        cache.cold_ms / cache.warm_ms,
+        cache.warm_hit_rate * 100.0,
+        cache.cold_dedup_hits,
+        if cache.parity { "ok" } else { "BROKEN" },
+    );
+
     let baseline = std::fs::read_to_string(root.join("BENCH_baseline.json")).ok();
     let mut out = String::from("{\n  \"schema\": 1,\n");
     write!(
@@ -184,6 +239,18 @@ fn main() {
         total_ms,
         rows.iter().filter(|r| r.translated).count(),
         kernels_json(&rows)
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "  \"cache\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.1}, \
+         \"warm_hit_rate\": {:.4}, \"cold_dedup_hits\": {}, \"parity\": {}}},",
+        cache.cold_ms,
+        cache.warm_ms,
+        cache.cold_ms / cache.warm_ms,
+        cache.warm_hit_rate,
+        cache.cold_dedup_hits,
+        cache.parity,
     )
     .expect("writing to a String cannot fail");
     if let Some(base) = &baseline {
@@ -204,12 +271,13 @@ fn main() {
         println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
     }
     out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
-    std::fs::write(root.join("BENCH_2.json"), out).expect("BENCH_2.json is writable");
-    println!("wrote BENCH_2.json");
+    std::fs::write(root.join("BENCH_3.json"), out).expect("BENCH_3.json is writable");
+    println!("wrote BENCH_3.json");
 
+    let mut failed = false;
     // Regression gate: everything that lifted in the previous PR's frozen
     // snapshot must still lift.
-    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_1.json")) {
+    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_2.json")) {
         let must_lift = previously_lifting(&prior);
         let regressed: Vec<&String> = must_lift
             .iter()
@@ -219,11 +287,28 @@ fn main() {
             eprintln!(
                 "LIFTING REGRESSION: previously-lifting kernels no longer lift: {regressed:?}"
             );
-            std::process::exit(1);
+            failed = true;
+        } else {
+            println!(
+                "lifting regression gate: all {} previously-lifting kernels still lift",
+                must_lift.len()
+            );
         }
-        println!(
-            "lifting regression gate: all {} previously-lifting kernels still lift",
-            must_lift.len()
+    }
+    // Cache gate: a warm full-corpus pass must hit on every lookup and
+    // reproduce the cold reports exactly.
+    if cache.warm_hit_rate < 1.0 {
+        eprintln!(
+            "CACHE REGRESSION: warm hit rate {:.1}% < 100%",
+            cache.warm_hit_rate * 100.0
         );
+        failed = true;
+    }
+    if !cache.parity {
+        eprintln!("CACHE REGRESSION: a warm hit did not reproduce the cold report");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

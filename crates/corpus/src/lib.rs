@@ -208,6 +208,37 @@ end procedure
 "#
         .to_string(),
     ));
+    // An alpha-renamed duplicate of heat0: every identifier is different,
+    // the structure is byte-for-byte the same after canonical renaming. It
+    // must fingerprint-collide with heat0 (pinned by a test below), so the
+    // lifting cache dedups it — the situation hierarchical lifting of legacy
+    // HPC suites hits constantly.
+    out.push(entry(
+        Suite::StencilMark,
+        "heat0_renamed",
+        28,
+        true,
+        r#"
+procedure heat0_renamed(mx, my, mz, bnext, bprev)
+  integer :: mx
+  integer :: my
+  integer :: mz
+  real, dimension(0:mx, 0:my, 0:mz) :: bnext
+  real, dimension(0:mx, 0:my, 0:mz) :: bprev
+  integer :: p
+  integer :: q
+  integer :: r
+  do r = 1, mz-1
+    do q = 1, my-1
+      do p = 1, mx-1
+        bnext(p, q, r) = bprev(p-1, q, r) + bprev(p+1, q, r) + bprev(p, q-1, r) + bprev(p, q+1, r) + bprev(p, q, r-1) + bprev(p, q, r+1) - 6.0 * bprev(p, q, r)
+      enddo
+    enddo
+  enddo
+end procedure
+"#
+        .to_string(),
+    ));
     out.push(entry(
         Suite::StencilMark,
         "div0",
@@ -713,6 +744,35 @@ end procedure
 "#
         .to_string(),
     ));
+    // A whitespace/formatting variant of jac2s2 (same identifiers, different
+    // indentation, spacing, and blank lines): formatting never reaches the
+    // lowered IR, so it must fingerprint-collide with jac2s2 and exercise
+    // cache dedup on the strided path.
+    out.push(entry(
+        Suite::Challenge,
+        "jac2s2_ws",
+        16,
+        true,
+        r#"
+
+procedure jac2s2_ws( n, m, a, b )
+    integer ::    n
+    integer :: m
+    real, dimension( 0 : n, 0 : m ) :: a
+    real, dimension(0:n, 0:m) :: b
+    integer :: i
+    integer :: j
+
+    do j = 1,  m - 1,  2
+          do i = 1, n-1
+      a(i, j) = 0.25 * ( b(i-1, j) + b(i+1, j) + b(i, j-1) + b(i, j+1) )
+          enddo
+    enddo
+
+end procedure
+"#
+        .to_string(),
+    ));
 
     out
 }
@@ -758,5 +818,22 @@ mod tests {
         assert!(kernels.iter().any(|k| !k.is_stencil));
         assert!(kernels.iter().any(|k| k.name == "akl_rev"));
         assert!(kernels.iter().any(|k| k.name == "akl_bc"));
+    }
+
+    #[test]
+    fn alpha_variants_fingerprint_collide_with_their_originals() {
+        let kernels = all_kernels();
+        let fingerprint = |name: &str| {
+            let k = kernels
+                .iter()
+                .find(|k| k.name == name)
+                .unwrap_or_else(|| panic!("corpus kernel {name}"));
+            stng_ir::canon::canonicalize(&k.kernel().expect("kernel lowers")).fingerprint
+        };
+        assert_eq!(fingerprint("heat0"), fingerprint("heat0_renamed"));
+        assert_eq!(fingerprint("jac2s2"), fingerprint("jac2s2_ws"));
+        // The collisions are not vacuous: distinct kernels differ.
+        assert_ne!(fingerprint("heat0"), fingerprint("jac2s2"));
+        assert_ne!(fingerprint("heat0"), fingerprint("heat27"));
     }
 }

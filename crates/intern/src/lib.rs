@@ -18,14 +18,74 @@
 //!   crates.io access, so this stands in for rayon on embarrassingly parallel
 //!   CEGIS workloads).
 //!
-//! Interned data is leaked deliberately: arenas are global, append-only, and
-//! deduplicated, so the resident set is bounded by the number of *distinct*
-//! values ever built, which the consing itself keeps small.
+//! Interned data is leaked deliberately, so a handle is a plain `&'static`
+//! reference — but the tables themselves are **not** append-only: every entry
+//! carries the [`epoch`] in which it was last interned (arenas also re-tag on
+//! lookup hits), and [`ConsSet::retain_epoch`] / [`Memo::retain_epoch`] sweep
+//! entries older than a cutoff. A long-running service advances the epoch and
+//! sweeps between batches; within an epoch all `Copy` handles stay canonical.
+//! See `docs/service.md` for the eviction contract.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{OnceLock, RwLock};
+
+pub mod epoch {
+    //! The global arena epoch: a monotone generation counter used to tag
+    //! interned entries for eviction.
+    //!
+    //! The contract: `Copy` handles (`SymExpr`, `NormExpr`, …) obtained
+    //! during one epoch are canonical for that whole epoch. After
+    //! [`advance`] + a `retain_epoch` sweep, handles from earlier epochs
+    //! remain *valid* (nodes are never freed, so no dangling references)
+    //! but may stop being canonical: a structurally equal value interned
+    //! later gets a fresh node, so pointer equality across a sweep boundary
+    //! is meaningless. Callers therefore sweep only at quiescent points
+    //! (between batches), when no expression handles are live.
+    use super::{AtomicOrdering, AtomicU64};
+
+    static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+    /// The current epoch (starts at 1).
+    pub fn current() -> u64 {
+        EPOCH.load(AtomicOrdering::Acquire)
+    }
+
+    /// Advances to the next epoch and returns it. Entries tagged before the
+    /// returned value are eligible for `retain_epoch(returned)` sweeps.
+    pub fn advance() -> u64 {
+        EPOCH.fetch_add(1, AtomicOrdering::AcqRel) + 1
+    }
+}
+
+/// Occupancy snapshot of one arena or memo table (the observable the batch
+/// driver prints so eviction is auditable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Table name (e.g. `"sym.exprs"`, `"solve.fm_memo"`).
+    pub name: &'static str,
+    /// Number of live entries.
+    pub entries: usize,
+    /// Shallow resident-size estimate in bytes: entry payload size plus
+    /// per-entry table overhead. Heap data owned by entries (vectors, maps)
+    /// is not traversed, so this is a lower bound.
+    pub approx_bytes: usize,
+}
+
+impl ArenaStats {
+    /// Builds a snapshot from an entry count and a per-entry shallow size.
+    pub fn new(name: &'static str, entries: usize, entry_bytes: usize) -> ArenaStats {
+        // Two words of hash-table overhead per entry plus the epoch tag.
+        let overhead = 2 * std::mem::size_of::<usize>() + std::mem::size_of::<u64>();
+        ArenaStats {
+            name,
+            entries,
+            approx_bytes: entries * (entry_bytes + overhead),
+        }
+    }
+}
 
 /// A globally interned, copyable string.
 ///
@@ -57,6 +117,26 @@ impl Symbol {
     /// The interned string.
     pub fn as_str(self) -> &'static str {
         self.0
+    }
+
+    /// Occupancy snapshot of the global symbol table. Symbols are tiny,
+    /// shared by every layer, and embedded in long-lived structures
+    /// (`Affine` keys, cached reports), so they are never swept; this exists
+    /// so the batch driver can report them alongside the sweepable arenas.
+    pub fn table_stats() -> ArenaStats {
+        let Some(lock) = SYMBOLS.get() else {
+            return ArenaStats::new("intern.symbols", 0, 0);
+        };
+        let table = lock.read().expect("symbol table poisoned");
+        let bytes: usize = table
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<&str>())
+            .sum();
+        ArenaStats {
+            name: "intern.symbols",
+            entries: table.len(),
+            approx_bytes: bytes,
+        }
     }
 }
 
@@ -124,9 +204,15 @@ impl From<String> for Symbol {
 /// `&'static T` for each distinct value, so two interned references are
 /// structurally equal iff they are pointer-equal.
 ///
+/// Every entry carries the [`epoch`] in which it was last interned (initial
+/// insert or lookup hit); [`ConsSet::retain_epoch`] evicts entries last used
+/// before a cutoff. Evicted nodes are *removed from the table but never
+/// freed* — outstanding `&'static T` handles stay valid — so the first
+/// re-intern of an equal value after a sweep produces a fresh canonical node.
+///
 /// Declare as a `static`: `static ARENA: ConsSet<Node> = ConsSet::new();`
 pub struct ConsSet<T: 'static> {
-    inner: OnceLock<RwLock<HashSet<&'static T>>>,
+    inner: OnceLock<RwLock<HashMap<&'static T, AtomicU64>>>,
 }
 
 impl<T: Hash + Eq> ConsSet<T> {
@@ -137,18 +223,29 @@ impl<T: Hash + Eq> ConsSet<T> {
         }
     }
 
-    /// Interns `value`, returning its canonical leaked reference.
+    /// Interns `value`, returning its canonical leaked reference. Re-tags the
+    /// entry with the current epoch on every call (touch-on-hit), so values
+    /// still in use survive `retain_epoch` sweeps with older cutoffs.
     pub fn intern(&self, value: T) -> &'static T {
         let lock = self.inner.get_or_init(Default::default);
-        if let Some(&found) = lock.read().expect("cons arena poisoned").get(&value) {
+        let now = epoch::current();
+        if let Some((&found, tag)) = lock
+            .read()
+            .expect("cons arena poisoned")
+            .get_key_value(&value)
+        {
+            // The tag is atomic precisely so a lookup hit can re-tag under
+            // the shared read lock.
+            tag.store(now, AtomicOrdering::Relaxed);
             return found;
         }
         let mut set = lock.write().expect("cons arena poisoned");
-        if let Some(&found) = set.get(&value) {
+        if let Some((&found, tag)) = set.get_key_value(&value) {
+            tag.store(now, AtomicOrdering::Relaxed);
             return found;
         }
         let leaked: &'static T = Box::leak(Box::new(value));
-        set.insert(leaked);
+        set.insert(leaked, AtomicU64::new(now));
         leaked
     }
 
@@ -164,6 +261,25 @@ impl<T: Hash + Eq> ConsSet<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Evicts every entry last interned before `cutoff` (keeps entries with
+    /// tag ≥ `cutoff`) and returns the number evicted. Node allocations are
+    /// intentionally not reclaimed — see the type-level contract.
+    pub fn retain_epoch(&self, cutoff: u64) -> usize {
+        let Some(lock) = self.inner.get() else {
+            return 0;
+        };
+        let mut set = lock.write().expect("cons arena poisoned");
+        let before = set.len();
+        set.retain(|_, tag| tag.load(AtomicOrdering::Relaxed) >= cutoff);
+        set.shrink_to_fit();
+        before - set.len()
+    }
+
+    /// Occupancy snapshot under `name` (shallow bytes, see [`ArenaStats`]).
+    pub fn stats(&self, name: &'static str) -> ArenaStats {
+        ArenaStats::new(name, self.len(), std::mem::size_of::<T>())
+    }
 }
 
 impl<T: Hash + Eq> Default for ConsSet<T> {
@@ -176,8 +292,16 @@ impl<T: Hash + Eq> Default for ConsSet<T> {
 ///
 /// Values must be `Copy` (they are consed references or small ids in
 /// practice), which keeps lookups allocation-free.
+///
+/// Entries are tagged with the [`epoch`] of their *insertion* and are **not**
+/// re-tagged on hits. This ordering discipline is what makes sweeping sound:
+/// a memo value handle is interned (and therefore arena-tagged) at the moment
+/// its entry is inserted, and arena tags only move forward, so an entry's tag
+/// is always ≤ the tag of the node its value points to. Sweeping memos and
+/// arenas with the same cutoff can then never leave a memo entry whose value
+/// node was evicted — the entry always dies first.
 pub struct Memo<K: 'static, V: 'static> {
-    inner: OnceLock<RwLock<HashMap<K, V>>>,
+    inner: OnceLock<RwLock<HashMap<K, (V, u64)>>>,
 }
 
 impl<K: Hash + Eq, V: Copy> Memo<K, V> {
@@ -195,16 +319,16 @@ impl<K: Hash + Eq, V: Copy> Memo<K, V> {
             .read()
             .expect("memo table poisoned")
             .get(key)
-            .copied()
+            .map(|(v, _)| *v)
     }
 
-    /// Caches `value` under `key`.
+    /// Caches `value` under `key`, tagged with the current epoch.
     pub fn insert(&self, key: K, value: V) {
         self.inner
             .get_or_init(Default::default)
             .write()
             .expect("memo table poisoned")
-            .insert(key, value);
+            .insert(key, (value, epoch::current()));
     }
 
     /// Number of cached entries.
@@ -218,6 +342,28 @@ impl<K: Hash + Eq, V: Copy> Memo<K, V> {
     /// True when the table is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Evicts every entry inserted before `cutoff` and returns the number
+    /// evicted.
+    pub fn retain_epoch(&self, cutoff: u64) -> usize {
+        let Some(lock) = self.inner.get() else {
+            return 0;
+        };
+        let mut map = lock.write().expect("memo table poisoned");
+        let before = map.len();
+        map.retain(|_, (_, tag)| *tag >= cutoff);
+        map.shrink_to_fit();
+        before - map.len()
+    }
+
+    /// Occupancy snapshot under `name` (shallow bytes, see [`ArenaStats`]).
+    pub fn stats(&self, name: &'static str) -> ArenaStats {
+        ArenaStats::new(
+            name,
+            self.len(),
+            std::mem::size_of::<K>() + std::mem::size_of::<V>(),
+        )
     }
 }
 
@@ -494,6 +640,52 @@ mod tests {
         assert_eq!(MEMO.get(&(1, 2)), None);
         MEMO.insert((1, 2), 3);
         assert_eq!(MEMO.get(&(1, 2)), Some(3));
+    }
+
+    #[test]
+    fn retain_epoch_sweeps_stale_entries_and_keeps_touched_ones() {
+        static ARENA: ConsSet<(u64, u64)> = ConsSet::new();
+        static MEMO: Memo<(u64, u64), u64> = Memo::new();
+        let e0 = epoch::current();
+        let stale = ARENA.intern((1, 1));
+        ARENA.intern((2, 2));
+        MEMO.insert((1, 1), 10);
+        assert_eq!(ARENA.len(), 2);
+
+        let e1 = epoch::advance();
+        assert!(e1 > e0);
+        // Touch (2,2) in the new epoch: it must survive a sweep at e1.
+        let kept = ARENA.intern((2, 2));
+        MEMO.insert((2, 2), 20);
+        let evicted = ARENA.retain_epoch(e1);
+        assert_eq!(evicted, 1);
+        assert_eq!(ARENA.len(), 1);
+        assert_eq!(MEMO.retain_epoch(e1), 1);
+        assert_eq!(MEMO.get(&(1, 1)), None);
+        assert_eq!(MEMO.get(&(2, 2)), Some(20));
+
+        // The stale handle stays valid (nodes are never freed) but is no
+        // longer canonical: re-interning mints a fresh node.
+        assert_eq!(*stale, (1, 1));
+        let fresh = ARENA.intern((1, 1));
+        assert!(!std::ptr::eq(stale, fresh));
+        assert_eq!(*fresh, (1, 1));
+        // The survivor is still canonical.
+        assert!(std::ptr::eq(kept, ARENA.intern((2, 2))));
+    }
+
+    #[test]
+    fn stats_report_entries_and_bytes() {
+        static ARENA: ConsSet<u64> = ConsSet::new();
+        ARENA.intern(7);
+        ARENA.intern(8);
+        let s = ARENA.stats("test.arena");
+        assert_eq!(s.entries, 2);
+        assert!(s.approx_bytes >= 2 * std::mem::size_of::<u64>());
+        Symbol::intern("stats_probe");
+        let sym = Symbol::table_stats();
+        assert!(sym.entries >= 1);
+        assert!(sym.approx_bytes > 0);
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Canonical alpha-renaming and structural fingerprinting of lowered
+//! kernels.
+//!
+//! Real legacy suites contain thousands of near-duplicate kernels that
+//! differ only by identifier renaming and formatting. To deduplicate lifting
+//! work, a kernel is mapped to a **canonical form**: every parameter is
+//! renamed to `p<k>` (by declaration position) and every local to `l<k>`,
+//! the kernel name is erased, and the result is printed deterministically.
+//! Two kernels have the same canonical text — and therefore the same
+//! [`Canon::fingerprint`] — iff they are alpha-equivalent lowered programs:
+//! same statement structure, same [`crate::ir::IterDomain`]s (bounds, steps),
+//! same stencil coefficients, same array dimension declarations, same
+//! assumptions. Whitespace never reaches this layer (the parser discards
+//! it), so formatting variants collide for free.
+//!
+//! The fingerprint is a 128-bit FNV-1a hash (two independently seeded 64-bit
+//! streams) of the canonical text; the service layer uses it — together with
+//! a pipeline-configuration digest — as the lifting-cache key, and keeps the
+//! canonical text alongside persisted entries so collisions are detectable.
+
+use crate::ir::{IrExpr, IrStmt, Kernel, Param, ParamKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The canonical form of one lowered kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canon {
+    /// 128-bit structural fingerprint of [`Canon::text`].
+    pub fingerprint: u128,
+    /// Deterministic print of the alpha-renamed kernel.
+    pub text: String,
+    /// Rename map: actual symbol name → canonical name.
+    pub to_canonical: HashMap<String, String>,
+    /// Inverse rename map: canonical name → actual symbol name.
+    pub from_canonical: HashMap<String, String>,
+}
+
+impl Canon {
+    /// The fingerprint as a fixed-width hex string (stable cache file key).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:032x}", self.fingerprint)
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, from an arbitrary seed (the standard offset
+/// basis for the primary stream; any other seed yields an independent hash).
+pub fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// 128-bit structural hash of a text: two independently seeded FNV-1a
+/// streams. Not cryptographic — collision detection is backed by storing the
+/// canonical text next to persisted entries.
+pub fn fingerprint128(text: &str) -> u128 {
+    let hi = fnv1a64(text.as_bytes(), 0xcbf2_9ce4_8422_2325);
+    let lo = fnv1a64(text.as_bytes(), 0x6c62_272e_07bb_0142);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Renames every symbol of `expr` that appears in `map` (scalar variables,
+/// array names in loads, and function names — pure math functions like `exp`
+/// are not kernel symbols and pass through unchanged).
+pub fn rename_expr(expr: &IrExpr, map: &HashMap<String, String>) -> IrExpr {
+    let rename = |n: &String| map.get(n).unwrap_or(n).clone();
+    match expr {
+        IrExpr::Int(_) | IrExpr::Real(_) => expr.clone(),
+        IrExpr::Var(n) => IrExpr::Var(rename(n)),
+        IrExpr::Load { array, indices } => IrExpr::Load {
+            array: rename(array),
+            indices: indices.iter().map(|ix| rename_expr(ix, map)).collect(),
+        },
+        IrExpr::Bin { op, lhs, rhs } => IrExpr::Bin {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, map)),
+            rhs: Box::new(rename_expr(rhs, map)),
+        },
+        IrExpr::Call { func, args } => IrExpr::Call {
+            func: rename(func),
+            args: args.iter().map(|a| rename_expr(a, map)).collect(),
+        },
+        IrExpr::Cmp { op, lhs, rhs } => IrExpr::Cmp {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, map)),
+            rhs: Box::new(rename_expr(rhs, map)),
+        },
+        IrExpr::And(a, b) => {
+            IrExpr::And(Box::new(rename_expr(a, map)), Box::new(rename_expr(b, map)))
+        }
+        IrExpr::Or(a, b) => {
+            IrExpr::Or(Box::new(rename_expr(a, map)), Box::new(rename_expr(b, map)))
+        }
+        IrExpr::Not(e) => IrExpr::Not(Box::new(rename_expr(e, map))),
+    }
+}
+
+fn rename_stmt(stmt: &IrStmt, map: &HashMap<String, String>) -> IrStmt {
+    let rename = |n: &String| map.get(n).unwrap_or(n).clone();
+    match stmt {
+        IrStmt::AssignScalar { name, value } => IrStmt::AssignScalar {
+            name: rename(name),
+            value: rename_expr(value, map),
+        },
+        IrStmt::Store {
+            array,
+            indices,
+            value,
+        } => IrStmt::Store {
+            array: rename(array),
+            indices: indices.iter().map(|ix| rename_expr(ix, map)).collect(),
+            value: rename_expr(value, map),
+        },
+        IrStmt::Loop { domain, body } => {
+            let mut domain = domain.clone();
+            domain.var = rename(&domain.var);
+            domain.lo = rename_expr(&domain.lo, map);
+            domain.hi = rename_expr(&domain.hi, map);
+            IrStmt::Loop {
+                domain,
+                body: body.iter().map(|s| rename_stmt(s, map)).collect(),
+            }
+        }
+        IrStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => IrStmt::If {
+            cond: rename_expr(cond, map),
+            then_body: then_body.iter().map(|s| rename_stmt(s, map)).collect(),
+            else_body: else_body.iter().map(|s| rename_stmt(s, map)).collect(),
+        },
+    }
+}
+
+fn rename_param(param: &Param, map: &HashMap<String, String>) -> Param {
+    let kind = match &param.kind {
+        ParamKind::Array { dims } => ParamKind::Array {
+            dims: dims
+                .iter()
+                .map(|(lo, hi)| (rename_expr(lo, map), rename_expr(hi, map)))
+                .collect(),
+        },
+        other => other.clone(),
+    };
+    Param {
+        name: map.get(&param.name).unwrap_or(&param.name).clone(),
+        kind,
+    }
+}
+
+/// Applies a symbol rename map to a whole kernel (name untouched). Used by
+/// the canonicalizer and by the fingerprint property tests to build
+/// alpha-variants directly at the IR level.
+pub fn rename_kernel(kernel: &Kernel, map: &HashMap<String, String>) -> Kernel {
+    Kernel {
+        name: kernel.name.clone(),
+        params: kernel.params.iter().map(|p| rename_param(p, map)).collect(),
+        locals: kernel.locals.iter().map(|p| rename_param(p, map)).collect(),
+        body: kernel.body.iter().map(|s| rename_stmt(s, map)).collect(),
+        assumptions: kernel
+            .assumptions
+            .iter()
+            .map(|a| rename_expr(a, map))
+            .collect(),
+    }
+}
+
+fn write_expr(out: &mut String, e: &IrExpr) {
+    // `IrExpr::Display` is fully parenthesized and deterministic; reuse it.
+    write!(out, "{e}").expect("writing to a String cannot fail");
+}
+
+fn write_stmts(out: &mut String, stmts: &[IrStmt]) {
+    for stmt in stmts {
+        match stmt {
+            IrStmt::AssignScalar { name, value } => {
+                out.push_str("(= ");
+                out.push_str(name);
+                out.push(' ');
+                write_expr(out, value);
+                out.push(')');
+            }
+            IrStmt::Store {
+                array,
+                indices,
+                value,
+            } => {
+                out.push_str("(store ");
+                out.push_str(array);
+                out.push('[');
+                for (k, ix) in indices.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_expr(out, ix);
+                }
+                out.push_str("] ");
+                write_expr(out, value);
+                out.push(')');
+            }
+            IrStmt::Loop { domain, body } => {
+                out.push_str("(loop ");
+                write!(out, "{domain}").expect("writing to a String cannot fail");
+                out.push_str(" {");
+                write_stmts(out, body);
+                out.push_str("})");
+            }
+            IrStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                out.push_str("(if ");
+                write_expr(out, cond);
+                out.push_str(" {");
+                write_stmts(out, then_body);
+                out.push_str("} {");
+                write_stmts(out, else_body);
+                out.push_str("})");
+            }
+        }
+    }
+}
+
+/// Canonicalizes a lowered kernel: builds the positional rename maps,
+/// renames, and prints the canonical text. The kernel *name* is excluded on
+/// purpose (a renamed procedure must collide with its original).
+pub fn canonicalize(kernel: &Kernel) -> Canon {
+    let mut to_canonical = HashMap::new();
+    for (k, p) in kernel.params.iter().enumerate() {
+        to_canonical.insert(p.name.clone(), format!("p{k}"));
+    }
+    for (k, p) in kernel.locals.iter().enumerate() {
+        to_canonical.insert(p.name.clone(), format!("l{k}"));
+    }
+    let renamed = rename_kernel(kernel, &to_canonical);
+
+    let mut text = String::with_capacity(512);
+    text.push_str("params:");
+    for p in &renamed.params {
+        write_param(&mut text, p);
+    }
+    text.push_str("\nlocals:");
+    for p in &renamed.locals {
+        write_param(&mut text, p);
+    }
+    text.push_str("\nassume:");
+    for a in &renamed.assumptions {
+        text.push(' ');
+        write_expr(&mut text, a);
+    }
+    text.push_str("\nbody:");
+    write_stmts(&mut text, &renamed.body);
+    text.push('\n');
+
+    let from_canonical = to_canonical
+        .iter()
+        .map(|(k, v)| (v.clone(), k.clone()))
+        .collect();
+    Canon {
+        fingerprint: fingerprint128(&text),
+        text,
+        to_canonical,
+        from_canonical,
+    }
+}
+
+fn write_param(out: &mut String, p: &Param) {
+    out.push(' ');
+    out.push_str(&p.name);
+    match &p.kind {
+        ParamKind::IntScalar => out.push_str(":int"),
+        ParamKind::RealScalar => out.push_str(":real"),
+        ParamKind::Array { dims } => {
+            out.push_str(":real[");
+            for (k, (lo, hi)) in dims.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_expr(out, lo);
+                out.push(':');
+                write_expr(out, hi);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::kernel_from_source;
+
+    const BASE: &str = r#"
+procedure heat(nx, a, b, c0)
+  integer :: nx
+  real, dimension(0:nx) :: a
+  real, dimension(0:nx) :: b
+  real :: c0
+  integer :: i
+  do i = 1, nx-1
+    a(i) = c0 * b(i) + b(i-1) + b(i+1)
+  enddo
+end procedure
+"#;
+
+    const RENAMED: &str = r#"
+procedure warm(mz, out, src, w)
+  integer :: mz
+  real, dimension(0:mz) :: out
+  real, dimension(0:mz) :: src
+  real :: w
+  integer :: q
+  do q = 1, mz-1
+    out(q) = w * src(q) + src(q-1) + src(q+1)
+  enddo
+end procedure
+"#;
+
+    const WHITESPACED: &str = r#"
+
+
+procedure heat( nx, a, b, c0 )
+  integer ::   nx
+  real, dimension( 0 : nx ) :: a
+  real, dimension(0:nx) :: b
+  real ::  c0
+  integer :: i
+  do i = 1,  nx - 1
+      a(i) =   c0 * b(i) + b(i-1) + b(i+1)
+  enddo
+end procedure
+"#;
+
+    const DIFFERENT_COEFF: &str = r#"
+procedure heat(nx, a, b, c0)
+  integer :: nx
+  real, dimension(0:nx) :: a
+  real, dimension(0:nx) :: b
+  real :: c0
+  integer :: i
+  do i = 1, nx-1
+    a(i) = c0 * b(i) + 2.0 * b(i-1) + b(i+1)
+  enddo
+end procedure
+"#;
+
+    const DIFFERENT_DOMAIN: &str = r#"
+procedure heat(nx, a, b, c0)
+  integer :: nx
+  real, dimension(0:nx) :: a
+  real, dimension(0:nx) :: b
+  real :: c0
+  integer :: i
+  do i = 1, nx-1, 2
+    a(i) = c0 * b(i) + b(i-1) + b(i+1)
+  enddo
+end procedure
+"#;
+
+    fn canon_of(src: &str) -> Canon {
+        canonicalize(&kernel_from_source(src, 0).expect("kernel lowers"))
+    }
+
+    #[test]
+    fn alpha_renaming_and_whitespace_collide() {
+        let base = canon_of(BASE);
+        assert_eq!(base.fingerprint, canon_of(RENAMED).fingerprint);
+        assert_eq!(base.text, canon_of(RENAMED).text);
+        assert_eq!(base.fingerprint, canon_of(WHITESPACED).fingerprint);
+    }
+
+    #[test]
+    fn coefficient_and_domain_changes_are_detected() {
+        let base = canon_of(BASE);
+        assert_ne!(base.fingerprint, canon_of(DIFFERENT_COEFF).fingerprint);
+        assert_ne!(base.fingerprint, canon_of(DIFFERENT_DOMAIN).fingerprint);
+    }
+
+    #[test]
+    fn rename_maps_invert_each_other() {
+        let canon = canon_of(BASE);
+        assert_eq!(canon.to_canonical["a"], "p1");
+        assert_eq!(canon.from_canonical["p1"], "a");
+        for (actual, canonical) in &canon.to_canonical {
+            assert_eq!(&canon.from_canonical[canonical], actual);
+        }
+    }
+
+    #[test]
+    fn rename_expr_touches_only_mapped_symbols() {
+        let mut map = HashMap::new();
+        map.insert("b".to_string(), "src".to_string());
+        let e = IrExpr::Call {
+            func: "exp".into(),
+            args: vec![IrExpr::Load {
+                array: "b".into(),
+                indices: vec![IrExpr::var("i")],
+            }],
+        };
+        let renamed = rename_expr(&e, &map);
+        assert_eq!(renamed.to_string(), "exp(src[i])");
+    }
+
+    #[test]
+    fn fingerprint_hex_is_stable_width() {
+        let canon = canon_of(BASE);
+        assert_eq!(canon.fingerprint_hex().len(), 32);
+        assert_eq!(canon.fingerprint_hex(), canon_of(BASE).fingerprint_hex());
+    }
+}

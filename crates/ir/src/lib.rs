@@ -47,6 +47,7 @@
 
 pub mod ast;
 pub mod autopar;
+pub mod canon;
 pub mod depend;
 pub mod error;
 pub mod identify;

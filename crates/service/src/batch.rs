@@ -1,0 +1,372 @@
+//! The batch lifting driver: lift a whole corpus of Fortran sources through
+//! the fingerprint cache, in one or more passes, sweeping the expression
+//! arenas between passes.
+//!
+//! This is the service loop in miniature — each pass models one incoming
+//! batch of lifting requests. Sources are distributed over the existing
+//! scoped-thread machinery (`stng_intern::parallel::map`), every kernel
+//! flows through [`crate::cache::PipelineCache`], and the driver reports
+//! per-kernel outcomes, per-pass cache-counter deltas, and arena occupancy
+//! before/after each sweep.
+
+use crate::cache::{CacheStats, PipelineCache};
+use crate::json::{nu, obj, s, Json};
+use std::sync::Arc;
+use std::time::Instant;
+use stng::memory;
+use stng::pipeline::{KernelOutcome, KernelReport, Stng};
+use stng_intern::parallel;
+use stng_synth::cegis::SynthesisConfig;
+
+/// One named source file (or corpus entry) to lift.
+#[derive(Debug, Clone)]
+pub struct BatchSource {
+    /// Display name (file path or corpus kernel name).
+    pub name: String,
+    /// Fortran-subset source text (empty when `read_error` is set).
+    pub source: String,
+    /// Set when the file could not be read (unreadable, non-UTF-8): the
+    /// driver reports it as a per-source row instead of lifting it, so one
+    /// stray binary file cannot kill a whole batch.
+    pub read_error: Option<String>,
+}
+
+impl BatchSource {
+    /// A readable source.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> BatchSource {
+        BatchSource {
+            name: name.into(),
+            source: source.into(),
+            read_error: None,
+        }
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Number of full passes over the sources (pass 2+ exercises the warm
+    /// cache).
+    pub passes: usize,
+    /// Sweep the expression arenas/memos after each pass.
+    pub sweep_between: bool,
+    /// Worker threads for lifting independent sources.
+    pub threads: usize,
+    /// Memory-tier capacity (entries).
+    pub mem_capacity: usize,
+    /// Disk-tier directory (`None` = memory-only).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Synthesis configuration for every kernel.
+    pub config: SynthesisConfig,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            passes: 1,
+            sweep_between: true,
+            threads: parallel::default_parallelism(),
+            mem_capacity: 4096,
+            cache_dir: None,
+            config: SynthesisConfig::default(),
+        }
+    }
+}
+
+/// Outcome of one kernel in one pass.
+#[derive(Debug, Clone)]
+pub struct BatchKernel {
+    /// Source (file / corpus entry) the kernel came from.
+    pub source_name: String,
+    /// Fragment name.
+    pub kernel_name: String,
+    /// Structural fingerprint (hex), when the kernel lowered.
+    pub fingerprint: Option<String>,
+    /// Wall-clock time lifting this kernel's source in this pass, divided
+    /// evenly when a source has several fragments.
+    pub lift_ms: f64,
+    /// The full pipeline report.
+    pub report: KernelReport,
+}
+
+/// One pass over all sources.
+#[derive(Debug, Clone)]
+pub struct BatchPass {
+    /// 1-based pass number.
+    pub number: usize,
+    /// Wall-clock time of the whole pass.
+    pub wall_ms: f64,
+    /// Per-kernel outcomes, in source order.
+    pub kernels: Vec<BatchKernel>,
+    /// Cache-counter delta for this pass.
+    pub cache: CacheStats,
+    /// Sweepable arena/memo entries when the pass (and its lifts) finished.
+    pub arena_entries_before_sweep: usize,
+    /// Sweep results, when sweeping is enabled.
+    pub sweep: Option<memory::SweepReport>,
+    /// Sweepable entries after the sweep (equals `arena_entries_before_sweep`
+    /// when sweeping is disabled).
+    pub arena_entries_after_sweep: usize,
+}
+
+/// The full driver result.
+pub struct BatchReport {
+    /// All passes, in order.
+    pub passes: Vec<BatchPass>,
+    /// The cache used (for final stats / further passes).
+    pub cache: Arc<PipelineCache>,
+}
+
+impl BatchReport {
+    /// Serializes the report (used by `stng-batch --json`).
+    pub fn to_json(&self) -> Json {
+        let passes = self
+            .passes
+            .iter()
+            .map(|pass| {
+                let kernels = pass
+                    .kernels
+                    .iter()
+                    .map(|k| {
+                        let (translated, soundly) = match &k.report.outcome {
+                            KernelOutcome::Translated {
+                                soundly_verified, ..
+                            } => (true, *soundly_verified),
+                            KernelOutcome::Untranslated { .. } => (false, false),
+                        };
+                        obj(vec![
+                            ("source", s(k.source_name.clone())),
+                            ("kernel", s(k.kernel_name.clone())),
+                            (
+                                "fingerprint",
+                                k.fingerprint.clone().map(s).unwrap_or(Json::Null),
+                            ),
+                            ("lift_ms", Json::Num((k.lift_ms * 1e3).round() / 1e3)),
+                            ("translated", Json::Bool(translated)),
+                            ("soundly_verified", Json::Bool(soundly)),
+                        ])
+                    })
+                    .collect();
+                obj(vec![
+                    ("pass", nu(pass.number)),
+                    ("wall_ms", Json::Num((pass.wall_ms * 1e3).round() / 1e3)),
+                    ("kernels", Json::Arr(kernels)),
+                    (
+                        "cache",
+                        obj(vec![
+                            ("hits", Json::Num(pass.cache.hits as f64)),
+                            ("misses", Json::Num(pass.cache.misses as f64)),
+                            ("disk_hits", Json::Num(pass.cache.disk_hits as f64)),
+                            ("inserts", Json::Num(pass.cache.inserts as f64)),
+                            ("evictions", Json::Num(pass.cache.evictions as f64)),
+                            ("disk_writes", Json::Num(pass.cache.disk_writes as f64)),
+                            ("hit_rate", Json::Num(pass.cache.hit_rate())),
+                        ]),
+                    ),
+                    (
+                        "arena",
+                        obj(vec![
+                            ("entries_before_sweep", nu(pass.arena_entries_before_sweep)),
+                            (
+                                "swept",
+                                pass.sweep
+                                    .map(|r| Json::Num(r.evicted as f64))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            ("entries_after_sweep", nu(pass.arena_entries_after_sweep)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", Json::Num(1.0)),
+            ("passes", Json::Arr(passes)),
+        ])
+    }
+}
+
+/// Runs `options.passes` passes over `sources` through a fresh cache.
+pub fn run_batch(sources: &[BatchSource], options: &BatchOptions) -> std::io::Result<BatchReport> {
+    let cache: Arc<PipelineCache> = Arc::new(match &options.cache_dir {
+        Some(dir) => PipelineCache::persistent(options.mem_capacity, dir)?,
+        None => PipelineCache::in_memory(options.mem_capacity),
+    });
+    let mut report = BatchReport {
+        passes: Vec::with_capacity(options.passes),
+        cache: Arc::clone(&cache),
+    };
+    let stng = Stng {
+        config: options.config.clone(),
+        cache: Some(cache.clone() as Arc<dyn stng::LiftCache>),
+    };
+    for number in 1..=options.passes {
+        report
+            .passes
+            .push(run_pass(number, sources, &stng, &cache, options));
+    }
+    Ok(report)
+}
+
+fn run_pass(
+    number: usize,
+    sources: &[BatchSource],
+    stng: &Stng,
+    cache: &PipelineCache,
+    options: &BatchOptions,
+) -> BatchPass {
+    let stats_before = cache.stats();
+    let started = Instant::now();
+    // One unit per source: kernels inside a source stay sequential (they
+    // share the fragment classification), sources fan out across workers.
+    // Unreadable sources short-circuit into an error row downstream.
+    let lifted = parallel::map(sources, options.threads, |src| {
+        let t = Instant::now();
+        let outcome = match &src.read_error {
+            Some(e) => Err(format!("source could not be read: {e}")),
+            None => stng.lift_source(&src.source),
+        };
+        (outcome, t.elapsed().as_secs_f64() * 1e3)
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut kernels = Vec::new();
+    for (src, (outcome, ms)) in sources.iter().zip(lifted) {
+        match outcome {
+            Ok(lift) => {
+                // A source that parses but offers no candidate loop nests
+                // gets an explicit row (mirroring the parse-failure row
+                // below), so coverage audits can tell "processed, nothing
+                // to lift" from "never processed".
+                if lift.kernels.is_empty() {
+                    kernels.push(BatchKernel {
+                        source_name: src.name.clone(),
+                        kernel_name: format!("{}:<no candidates>", src.name),
+                        fingerprint: None,
+                        lift_ms: ms,
+                        report: KernelReport {
+                            name: src.name.clone(),
+                            kernel: None,
+                            outcome: KernelOutcome::Untranslated {
+                                reason: format!(
+                                    "source contains no candidate kernels \
+                                     ({} outermost loop(s) skipped by the identifier)",
+                                    lift.skipped_loops
+                                ),
+                            },
+                            synthesis_time: std::time::Duration::ZERO,
+                            control_bits: Default::default(),
+                            postcond_nodes: 0,
+                            prover_attempts: 0,
+                            peak_candidates: 0,
+                            fingerprint: None,
+                        },
+                    });
+                    continue;
+                }
+                let n = lift.kernels.len() as f64;
+                for k in lift.kernels {
+                    kernels.push(BatchKernel {
+                        source_name: src.name.clone(),
+                        kernel_name: k.name.clone(),
+                        fingerprint: k.fingerprint.clone(),
+                        lift_ms: ms / n,
+                        report: k,
+                    });
+                }
+            }
+            Err(source_error) => {
+                // A malformed or unreadable source yields one synthetic
+                // untranslated row so it is visible in the report rather
+                // than dropped.
+                kernels.push(BatchKernel {
+                    source_name: src.name.clone(),
+                    kernel_name: format!("{}:<error>", src.name),
+                    fingerprint: None,
+                    lift_ms: ms,
+                    report: KernelReport {
+                        name: src.name.clone(),
+                        kernel: None,
+                        outcome: KernelOutcome::Untranslated {
+                            reason: source_error,
+                        },
+                        synthesis_time: std::time::Duration::ZERO,
+                        control_bits: Default::default(),
+                        postcond_nodes: 0,
+                        prover_attempts: 0,
+                        peak_candidates: 0,
+                        fingerprint: None,
+                    },
+                });
+            }
+        }
+    }
+
+    let arena_entries_before_sweep = memory::sweepable_entries();
+    let sweep = options.sweep_between.then(memory::sweep);
+    BatchPass {
+        number,
+        wall_ms,
+        kernels,
+        cache: cache.stats().since(&stats_before),
+        arena_entries_before_sweep,
+        sweep,
+        arena_entries_after_sweep: memory::sweepable_entries(),
+    }
+}
+
+/// Loads sources from the built-in benchmark corpus.
+pub fn corpus_sources() -> Vec<BatchSource> {
+    stng_corpus::all_kernels()
+        .into_iter()
+        .map(|k| BatchSource::new(k.name, k.source))
+        .collect()
+}
+
+/// Loads every regular file of `dir` (non-recursive, sorted by name) as a
+/// source. Files that cannot be read as UTF-8 text (stray binaries, bad
+/// permissions) become error-carrying sources rather than aborting the
+/// batch; only the directory listing itself is fatal.
+pub fn dir_sources(dir: &std::path::Path) -> std::io::Result<Vec<BatchSource>> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let name = p.display().to_string();
+            match std::fs::read_to_string(&p) {
+                Ok(source) => BatchSource::new(name, source),
+                Err(e) => BatchSource {
+                    name,
+                    source: String::new(),
+                    read_error: Some(e.to_string()),
+                },
+            }
+        })
+        .collect())
+}
+
+/// Loads sources from a manifest: one file path per line (relative to the
+/// manifest's directory), `#` comments and blank lines ignored.
+pub fn manifest_sources(manifest: &std::path::Path) -> std::io::Result<Vec<BatchSource>> {
+    let base = manifest.parent().unwrap_or(std::path::Path::new("."));
+    let mut out = Vec::new();
+    for line in std::fs::read_to_string(manifest)?.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Manifest entries are explicit requests: a missing or unreadable
+        // listed file is an error, unlike the permissive directory scan.
+        let path = base.join(line);
+        out.push(BatchSource::new(
+            path.display().to_string(),
+            std::fs::read_to_string(&path)?,
+        ));
+    }
+    Ok(out)
+}

@@ -1,0 +1,259 @@
+//! `stng-batch`: batch lifting driver over the fingerprint-keyed cache.
+//!
+//! ```text
+//! stng-batch --corpus --passes 2 --check-warm
+//! stng-batch --dir legacy/src --cache-dir .stng-cache --json report.json
+//! stng-batch --manifest kernels.txt --no-sweep --threads 4
+//! ```
+//!
+//! Flags:
+//!
+//! * `--corpus` — lift the built-in benchmark corpus (default when no
+//!   source option is given).
+//! * `--dir <path>` — lift every file in a directory (non-recursive).
+//! * `--manifest <path>` — lift the files listed in a manifest (one path
+//!   per line, `#` comments).
+//! * `--passes <n>` — number of passes over the sources (default 1; pass
+//!   2+ exercises the warm cache).
+//! * `--cache-dir <path>` — enable the persistent disk tier.
+//! * `--mem-capacity <n>` — memory-tier capacity in entries (default 4096).
+//! * `--threads <n>` — lifting worker threads (default: all cores).
+//! * `--no-sweep` — keep the expression arenas between passes.
+//! * `--json <path>` — write the full per-kernel report as JSON.
+//! * `--check-warm` — exit non-zero unless the final pass had a 100% cache
+//!   hit rate, ran faster than the first, and reproduced the first pass's
+//!   outcomes exactly (requires `--passes >= 2`). This is the CI
+//!   cache-smoke gate.
+
+use std::process::ExitCode;
+use stng::memory;
+use stng_service::batch::{self, BatchOptions, BatchSource};
+
+struct Args {
+    sources: Vec<BatchSource>,
+    options: BatchOptions,
+    json_out: Option<std::path::PathBuf>,
+    check_warm: bool,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("stng-batch: {err}");
+    eprintln!(
+        "usage: stng-batch [--corpus | --dir <path> | --manifest <path>] \
+         [--passes <n>] [--cache-dir <path>] [--mem-capacity <n>] \
+         [--threads <n>] [--no-sweep] [--json <path>] [--check-warm]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let mut sources: Option<Vec<BatchSource>> = None;
+    let mut options = BatchOptions::default();
+    let mut json_out = None;
+    let mut check_warm = false;
+
+    let next_value = |flag: &str, raw: &mut dyn Iterator<Item = String>| {
+        raw.next().ok_or(format!("{flag} requires a value"))
+    };
+
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--corpus" => sources = Some(batch::corpus_sources()),
+            "--dir" => {
+                let dir = next_value("--dir", &mut raw)?;
+                sources = Some(
+                    batch::dir_sources(std::path::Path::new(&dir))
+                        .map_err(|e| format!("--dir {dir}: {e}"))?,
+                );
+            }
+            "--manifest" => {
+                let path = next_value("--manifest", &mut raw)?;
+                sources = Some(
+                    batch::manifest_sources(std::path::Path::new(&path))
+                        .map_err(|e| format!("--manifest {path}: {e}"))?,
+                );
+            }
+            "--passes" => {
+                options.passes = next_value("--passes", &mut raw)?
+                    .parse()
+                    .map_err(|e| format!("--passes: {e}"))?;
+                if options.passes == 0 {
+                    return Err("--passes must be at least 1".to_string());
+                }
+            }
+            "--cache-dir" => {
+                options.cache_dir = Some(next_value("--cache-dir", &mut raw)?.into());
+            }
+            "--mem-capacity" => {
+                options.mem_capacity = next_value("--mem-capacity", &mut raw)?
+                    .parse()
+                    .map_err(|e| format!("--mem-capacity: {e}"))?;
+            }
+            "--threads" => {
+                options.threads = next_value("--threads", &mut raw)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--no-sweep" => options.sweep_between = false,
+            "--json" => json_out = Some(next_value("--json", &mut raw)?.into()),
+            "--check-warm" => check_warm = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    if check_warm && options.passes < 2 {
+        return Err("--check-warm requires --passes >= 2".to_string());
+    }
+    Ok(Args {
+        sources: sources.unwrap_or_else(batch::corpus_sources),
+        options,
+        json_out,
+        check_warm,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => return usage(&e),
+    };
+    if args.sources.is_empty() {
+        return usage("no sources to lift");
+    }
+    println!(
+        "stng-batch: {} sources, {} pass(es), {} worker thread(s), cache {} (mem {} entries){}",
+        args.sources.len(),
+        args.options.passes,
+        args.options.threads,
+        match &args.options.cache_dir {
+            Some(dir) => format!("mem+disk @ {}", dir.display()),
+            None => "mem-only".to_string(),
+        },
+        args.options.mem_capacity,
+        if args.options.sweep_between {
+            ", sweeping arenas between passes"
+        } else {
+            ""
+        },
+    );
+
+    let report = match batch::run_batch(&args.sources, &args.options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("stng-batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for pass in &report.passes {
+        let translated = pass
+            .kernels
+            .iter()
+            .filter(|k| k.report.outcome.is_translated())
+            .count();
+        println!(
+            "pass {}: {:.1} ms, {}/{} kernels translated, cache {} hits / {} misses \
+             ({:.1}% hit rate, {} from disk), arenas {} entries -> swept {} -> {} entries",
+            pass.number,
+            pass.wall_ms,
+            translated,
+            pass.kernels.len(),
+            pass.cache.hits,
+            pass.cache.misses,
+            pass.cache.hit_rate() * 100.0,
+            pass.cache.disk_hits,
+            pass.arena_entries_before_sweep,
+            pass.sweep.map(|s| s.evicted).unwrap_or(0),
+            pass.arena_entries_after_sweep,
+        );
+    }
+    for stat in memory::arena_stats() {
+        println!(
+            "  arena {:<16} {:>8} entries  ~{} bytes",
+            stat.name, stat.entries, stat.approx_bytes
+        );
+    }
+
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, report.to_json().to_string() + "\n") {
+            eprintln!("stng-batch: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if args.check_warm {
+        return check_warm_gate(&report);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI cache-smoke gate: the warm (final) pass must hit on every lookup,
+/// be faster than the cold (first) pass, and reproduce its outcomes.
+fn check_warm_gate(report: &stng_service::BatchReport) -> ExitCode {
+    let cold = report.passes.first().expect("passes >= 2 checked at parse");
+    let warm = report.passes.last().expect("passes >= 2 checked at parse");
+    let mut failures = Vec::new();
+
+    if warm.cache.misses > 0 {
+        failures.push(format!(
+            "warm pass missed the cache {} time(s) (hit rate {:.1}% < 100%)",
+            warm.cache.misses,
+            warm.cache.hit_rate() * 100.0
+        ));
+    }
+    if warm.cache.hits == 0 {
+        // Distinguish "every lookup hit" from "nothing ever consulted the
+        // cache" — a batch whose kernels all fail before fingerprinting
+        // would otherwise pass the gate vacuously.
+        failures.push("warm pass generated no cache lookups at all".to_string());
+    }
+    // The timing comparison only means something when pass 1 actually paid
+    // for synthesis. With a pre-populated --cache-dir the first pass is
+    // already warm (mostly hits), and warm-vs-warm wall time is a coin flip
+    // — skip the check rather than fail spuriously.
+    if cold.cache.hit_rate() < 0.5 {
+        if warm.wall_ms >= cold.wall_ms {
+            failures.push(format!(
+                "warm pass was not faster than cold ({:.1} ms >= {:.1} ms)",
+                warm.wall_ms, cold.wall_ms
+            ));
+        }
+    } else {
+        println!(
+            "cache-smoke: first pass was already {:.0}% warm (pre-populated cache dir); \
+             skipping the cold-vs-warm timing check",
+            cold.cache.hit_rate() * 100.0
+        );
+    }
+    if cold.kernels.len() != warm.kernels.len() {
+        failures.push(format!(
+            "kernel counts differ between passes ({} vs {})",
+            cold.kernels.len(),
+            warm.kernels.len()
+        ));
+    } else {
+        for (c, w) in cold.kernels.iter().zip(&warm.kernels) {
+            if c.report.outcome != w.report.outcome {
+                failures.push(format!(
+                    "outcome drift on {}: warm hit does not reproduce the cold report",
+                    c.kernel_name
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "cache-smoke gate: warm pass 100% hits, {:.2}x faster than cold, outcomes identical",
+            cold.wall_ms / warm.wall_ms
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("CACHE-SMOKE FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

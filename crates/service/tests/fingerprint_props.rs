@@ -1,0 +1,203 @@
+//! Property tests for the structural fingerprint: invariant under
+//! identifier renaming and whitespace, sensitive to stencil-coefficient and
+//! iteration-domain changes. Runs over every corpus kernel that lowers, with
+//! seeded randomness from the vendored deterministic `rand`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use stng_ir::canon::{canonicalize, rename_kernel};
+use stng_ir::ir::{IrExpr, IrStmt, Kernel};
+use stng_ir::lower::kernel_from_source;
+
+/// All corpus kernels that lower to IR (the fingerprint is defined over
+/// lowered kernels only).
+fn lowered_corpus() -> Vec<(String, Kernel)> {
+    stng_corpus::all_kernels()
+        .into_iter()
+        .filter_map(|k| Some((k.name.clone(), k.kernel().ok()?)))
+        .collect()
+}
+
+/// A random injective rename of every parameter and local to a fresh name.
+fn random_rename(kernel: &Kernel, rng: &mut StdRng) -> HashMap<String, String> {
+    kernel
+        .params
+        .iter()
+        .chain(&kernel.locals)
+        .enumerate()
+        .map(|(k, p)| {
+            (
+                p.name.clone(),
+                format!("zz{k}_{:x}", rng.gen_range(0u64..u64::MAX)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fingerprint_is_invariant_under_random_renaming() {
+    let mut rng = StdRng::seed_from_u64(0x5717_06ab);
+    for (name, kernel) in lowered_corpus() {
+        let base = canonicalize(&kernel);
+        for trial in 0..3 {
+            let map = random_rename(&kernel, &mut rng);
+            let variant = canonicalize(&rename_kernel(&kernel, &map));
+            assert_eq!(
+                base.fingerprint, variant.fingerprint,
+                "kernel {name}, rename trial {trial}: fingerprints must collide"
+            );
+            assert_eq!(base.text, variant.text, "kernel {name}: canonical texts");
+        }
+    }
+}
+
+/// Whitespace-perturbs a source without changing its token stream: doubles
+/// existing inter-token spaces, appends trailing spaces, inserts blank
+/// lines.
+fn perturb_whitespace(source: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for line in source.lines() {
+        if rng.gen_bool(0.3) {
+            out.push('\n');
+        }
+        for c in line.chars() {
+            out.push(c);
+            if c == ' ' && rng.gen_bool(0.5) {
+                out.push_str("  ");
+            }
+        }
+        if rng.gen_bool(0.5) {
+            out.push_str("   ");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fingerprint_is_invariant_under_whitespace() {
+    let mut rng = StdRng::seed_from_u64(0xd15e_a5e5);
+    for corpus_kernel in stng_corpus::all_kernels() {
+        let Ok(kernel) = corpus_kernel.kernel() else {
+            continue;
+        };
+        let base = canonicalize(&kernel);
+        let noisy = perturb_whitespace(&corpus_kernel.source, &mut rng);
+        let reparsed = kernel_from_source(&noisy, 0).unwrap_or_else(|e| {
+            panic!(
+                "kernel {}: whitespace perturbation must still parse: {e}",
+                corpus_kernel.name
+            )
+        });
+        assert_eq!(
+            base.fingerprint,
+            canonicalize(&reparsed).fingerprint,
+            "kernel {}: whitespace must not change the fingerprint",
+            corpus_kernel.name
+        );
+    }
+}
+
+/// Mutates the first real constant found in the kernel body (a stencil
+/// coefficient) by adding 1. Returns `true` when a constant was found.
+fn bump_first_real(stmts: &mut [IrStmt]) -> bool {
+    fn in_expr(e: &mut IrExpr) -> bool {
+        match e {
+            IrExpr::Real(v) => {
+                *v += 1.0;
+                true
+            }
+            IrExpr::Int(_) | IrExpr::Var(_) => false,
+            IrExpr::Load { indices, .. } => indices.iter_mut().any(in_expr),
+            IrExpr::Bin { lhs, rhs, .. } | IrExpr::Cmp { lhs, rhs, .. } => {
+                in_expr(lhs) || in_expr(rhs)
+            }
+            IrExpr::Call { args, .. } => args.iter_mut().any(in_expr),
+            IrExpr::And(a, b) | IrExpr::Or(a, b) => in_expr(a) || in_expr(b),
+            IrExpr::Not(e) => in_expr(e),
+        }
+    }
+    stmts.iter_mut().any(|stmt| match stmt {
+        IrStmt::AssignScalar { value, .. } => in_expr(value),
+        IrStmt::Store { indices, value, .. } => indices.iter_mut().any(in_expr) || in_expr(value),
+        IrStmt::Loop { body, .. } => bump_first_real(body),
+        IrStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => in_expr(cond) || bump_first_real(then_body) || bump_first_real(else_body),
+    })
+}
+
+/// Doubles the step of the first loop found (a domain change).
+fn restride_first_loop(stmts: &mut [IrStmt]) -> bool {
+    stmts.iter_mut().any(|stmt| match stmt {
+        IrStmt::Loop { domain, .. } => {
+            domain.step *= 2;
+            true
+        }
+        IrStmt::If {
+            then_body,
+            else_body,
+            ..
+        } => restride_first_loop(then_body) || restride_first_loop(else_body),
+        _ => false,
+    })
+}
+
+#[test]
+fn fingerprint_is_sensitive_to_coefficient_and_domain_changes() {
+    let mut coeff_cases = 0;
+    for (name, kernel) in lowered_corpus() {
+        let base = canonicalize(&kernel);
+
+        let mut perturbed = kernel.clone();
+        if bump_first_real(&mut perturbed.body) {
+            coeff_cases += 1;
+            assert_ne!(
+                base.fingerprint,
+                canonicalize(&perturbed).fingerprint,
+                "kernel {name}: changing a stencil coefficient must change the fingerprint"
+            );
+        }
+
+        let mut restrided = kernel.clone();
+        assert!(
+            restride_first_loop(&mut restrided.body),
+            "kernel {name}: corpus kernels all contain loops"
+        );
+        assert_ne!(
+            base.fingerprint,
+            canonicalize(&restrided).fingerprint,
+            "kernel {name}: changing an iteration-domain step must change the fingerprint"
+        );
+    }
+    assert!(
+        coeff_cases > 10,
+        "the corpus should exercise the coefficient case broadly, got {coeff_cases}"
+    );
+}
+
+#[test]
+fn distinct_corpus_kernels_do_not_collide() {
+    let kernels = lowered_corpus();
+    let mut seen: HashMap<u128, (String, String)> = HashMap::new();
+    let expected_collisions = [
+        ("heat0".to_string(), "heat0_renamed".to_string()),
+        ("jac2s2".to_string(), "jac2s2_ws".to_string()),
+    ];
+    for (name, kernel) in &kernels {
+        let canon = canonicalize(kernel);
+        if let Some((prior, text)) = seen.get(&canon.fingerprint) {
+            let pair = (prior.clone(), name.clone());
+            assert!(
+                expected_collisions.contains(&pair),
+                "unexpected fingerprint collision between {prior} and {name}"
+            );
+            assert_eq!(text, &canon.text, "colliding kernels must share text");
+        } else {
+            seen.insert(canon.fingerprint, (name.clone(), canon.text));
+        }
+    }
+}

@@ -25,3 +25,16 @@ pub use bounded::{BoundedChecker, Counterexample};
 pub use lin::{LinCtx, SplitCase};
 pub use norm::{NormExpr, SymState};
 pub use prover::{SmtLite, Verdict};
+
+/// Occupancy snapshots of every arena/memo owned by this crate (normal-form
+/// expressions plus the Fourier–Motzkin verdict memo).
+pub fn arena_stats() -> Vec<stng_intern::ArenaStats> {
+    let mut out = norm::arena_stats();
+    out.push(lin::arena_stats());
+    out
+}
+
+/// Sweeps every arena/memo owned by this crate; returns entries evicted.
+pub fn retain_epoch(cutoff: u64) -> usize {
+    norm::retain_epoch(cutoff) + lin::retain_epoch(cutoff)
+}

@@ -28,6 +28,17 @@ const FM_CONSTRAINT_CAP: usize = 4000;
 /// of times; a hit here replaces a full elimination with one table lookup.
 static FM_MEMO: Memo<Vec<Affine>, bool> = Memo::new();
 
+/// Occupancy snapshot of the Fourier–Motzkin verdict memo.
+pub fn arena_stats() -> stng_intern::ArenaStats {
+    FM_MEMO.stats("solve.fm_memo")
+}
+
+/// Sweeps Fourier–Motzkin verdicts inserted before `cutoff`. Verdicts are
+/// plain booleans keyed on owned constraint sets, so this is always safe.
+pub fn retain_epoch(cutoff: u64) -> usize {
+    FM_MEMO.retain_epoch(cutoff)
+}
+
 /// Canonicalizes (tighten + sort + dedup) and checks feasibility through the
 /// memo.
 fn fm_infeasible_cached(constraints: &[Affine]) -> bool {

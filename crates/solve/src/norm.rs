@@ -216,6 +216,30 @@ static MEMO_DIV: Memo<(usize, usize), NormExpr> = Memo::new();
 static MEMO_NEG: Memo<usize, NormExpr> = Memo::new();
 static MEMO_SUBST: Memo<(usize, NAtom, usize), NormExpr> = Memo::new();
 
+/// Occupancy snapshots of the normal-form arena and its memos.
+pub fn arena_stats() -> Vec<stng_intern::ArenaStats> {
+    vec![
+        NEXPRS.stats("solve.nexprs"),
+        MEMO_ADD.stats("solve.memo_add"),
+        MEMO_MUL.stats("solve.memo_mul"),
+        MEMO_DIV.stats("solve.memo_div"),
+        MEMO_NEG.stats("solve.memo_neg"),
+        MEMO_SUBST.stats("solve.memo_subst"),
+    ]
+}
+
+/// Sweeps the normal-form arena and memo tables, evicting entries last used
+/// before `cutoff`. Returns the total number of entries evicted. Same
+/// quiescence contract as `stng_sym::retain_epoch`.
+pub fn retain_epoch(cutoff: u64) -> usize {
+    MEMO_ADD.retain_epoch(cutoff)
+        + MEMO_MUL.retain_epoch(cutoff)
+        + MEMO_DIV.retain_epoch(cutoff)
+        + MEMO_NEG.retain_epoch(cutoff)
+        + MEMO_SUBST.retain_epoch(cutoff)
+        + NEXPRS.retain_epoch(cutoff)
+}
+
 /// A normalized data expression: sum of monomials, hash-consed.
 ///
 /// `NormExpr` is a `Copy`able reference to the canonical interned node, so

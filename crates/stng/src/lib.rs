@@ -17,8 +17,9 @@
 //! [`pipeline::LiftReport`] with one entry per candidate kernel: either the
 //! lifted summary plus generated code, or the reason lifting failed.
 
+pub mod memory;
 pub mod pipeline;
 pub mod translate;
 
-pub use pipeline::{KernelOutcome, KernelReport, LiftReport, Stng};
+pub use pipeline::{KernelOutcome, KernelReport, LiftCache, LiftReport, Stng};
 pub use translate::{StencilSummary, TranslationError};

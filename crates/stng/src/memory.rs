@@ -1,0 +1,62 @@
+//! Process-wide expression-memory management for long-running services.
+//!
+//! The hash-cons arenas and operation memos that make lifting fast
+//! (`stng-sym`, `stng-solve`, see `docs/perf.md`) are global. A one-shot
+//! compile never notices, but the service layer lifts batch after batch, so
+//! this module aggregates every table behind two operations:
+//!
+//! * [`arena_stats`] — an occupancy snapshot (entries + shallow bytes) of
+//!   each arena and memo table, plus the symbol table.
+//! * [`sweep`] — advance the [`stng_intern::epoch`] and evict everything not
+//!   used in the new epoch. Called between batches (at a quiescent point —
+//!   no live `SymExpr`/`NormExpr` handles), it returns the tables to their
+//!   empty state while keeping previously returned reports valid: cached
+//!   [`crate::pipeline::KernelReport`]s hold `IrExpr` trees and strings, not
+//!   arena handles.
+//!
+//! Symbols are exempt: they are tiny, embedded in long-lived structures, and
+//! shared by every layer, so sweeping them would buy little and cost
+//! re-interning every name on the next batch.
+
+pub use stng_intern::ArenaStats;
+
+/// Occupancy snapshot of every expression arena and memo table in the
+/// process, in a stable order (sym tables, solve tables, symbol table last).
+pub fn arena_stats() -> Vec<ArenaStats> {
+    let mut out = stng_sym::arena_stats();
+    out.extend(stng_solve::arena_stats());
+    out.push(stng_intern::Symbol::table_stats());
+    out
+}
+
+/// Total live entries across all sweepable tables (everything except the
+/// symbol table). The quantity [`sweep`] strictly reduces when non-zero.
+pub fn sweepable_entries() -> usize {
+    stng_sym::arena_stats()
+        .iter()
+        .chain(stng_solve::arena_stats().iter())
+        .map(|s| s.entries)
+        .sum()
+}
+
+/// Result of one epoch sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// The epoch that became current.
+    pub epoch: u64,
+    /// Entries evicted across all arenas and memo tables.
+    pub evicted: usize,
+}
+
+/// Advances the global epoch and evicts every arena/memo entry last used
+/// before it. See the module docs for the quiescence contract; subsequent
+/// lifts re-intern what they need and behave identically.
+pub fn sweep() -> SweepReport {
+    let epoch = stng_intern::epoch::advance();
+    let evicted = stng_sym::retain_epoch(epoch) + stng_solve::retain_epoch(epoch);
+    SweepReport { epoch, evicted }
+}
+
+// Sweeping is tested in `tests/memory_sweep.rs`: a sweep is only legal at
+// quiescent points, and the unit-test harness runs other lifting tests
+// concurrently in the same process, so the test needs its own binary.

@@ -3,7 +3,9 @@
 //! Table 2 need.
 
 use crate::translate::StencilSummary;
+use std::sync::Arc;
 use std::time::Duration;
+use stng_ir::canon::{canonicalize, Canon};
 use stng_ir::identify::classify_loops;
 use stng_ir::ir::Kernel;
 use stng_ir::lower::{liftability_check, lower_fragment};
@@ -12,8 +14,43 @@ use stng_pred::lang::Postcondition;
 use stng_synth::cegis::{synthesize_with, SynthesisConfig};
 use stng_synth::ControlBits;
 
+/// A pluggable lifting-result cache, consulted by [`Stng`] after lowering
+/// and before synthesis (the expensive stage).
+///
+/// Implementations key on the *structural fingerprint* of the lowered
+/// kernel ([`Canon`], computed once per kernel by the pipeline and shared
+/// between the lookup and the record) plus a digest of the synthesis
+/// configuration, so a renamed or reformatted duplicate of an
+/// already-lifted kernel is a hit. The reference implementation is
+/// `stng-service`'s two-tier (memory + disk) cache; the pipeline itself
+/// only defines the hook points.
+pub trait LiftCache: Send + Sync {
+    /// Returns a previously computed report for `kernel`, rewritten to this
+    /// kernel's actual symbol names, or `None` on a miss. `fragment_name` is
+    /// the name the returned report should carry.
+    fn lookup(
+        &self,
+        kernel: &Kernel,
+        canon: &Canon,
+        fragment_name: &str,
+        config: &SynthesisConfig,
+    ) -> Option<KernelReport>;
+
+    /// Records a freshly computed report (called for both translated and
+    /// untranslated outcomes; lowering failures never reach the cache since
+    /// there is no kernel to fingerprint). `canon` is the same value the
+    /// preceding [`LiftCache::lookup`] received.
+    fn record(
+        &self,
+        kernel: &Kernel,
+        canon: &Canon,
+        config: &SynthesisConfig,
+        report: &KernelReport,
+    );
+}
+
 /// Outcome of attempting to lift one candidate kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KernelOutcome {
     /// The kernel was lifted; the summary and generated code are attached.
     Translated {
@@ -42,7 +79,7 @@ impl KernelOutcome {
 }
 
 /// Everything the pipeline learned about one candidate kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelReport {
     /// Kernel (fragment) name.
     pub name: String,
@@ -60,6 +97,10 @@ pub struct KernelReport {
     pub prover_attempts: usize,
     /// Number of invariant candidates enumerated (peak CEGIS candidate set).
     pub peak_candidates: usize,
+    /// Structural fingerprint of the lowered kernel (hex), present when a
+    /// lifting cache was attached (the pipeline computes the canonical form
+    /// anyway for the cache key, so reports surface it for observability).
+    pub fingerprint: Option<String>,
 }
 
 /// The report for a whole source file.
@@ -95,16 +136,35 @@ impl LiftReport {
 }
 
 /// The STNG compiler front object.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Stng {
     /// Synthesis configuration used for every kernel.
     pub config: SynthesisConfig,
+    /// Optional lifting-result cache consulted between lowering and
+    /// synthesis.
+    pub cache: Option<Arc<dyn LiftCache>>,
+}
+
+impl std::fmt::Debug for Stng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stng")
+            .field("config", &self.config)
+            .field("cache", &self.cache.as_ref().map(|_| "<LiftCache>"))
+            .finish()
+    }
 }
 
 impl Stng {
     /// Creates a pipeline with the default synthesis configuration.
     pub fn new() -> Stng {
         Stng::default()
+    }
+
+    /// Attaches a lifting-result cache; every subsequent
+    /// [`Stng::lift_source`] consults it per kernel before synthesizing.
+    pub fn with_cache(mut self, cache: Arc<dyn LiftCache>) -> Stng {
+        self.cache = Some(cache);
+        self
     }
 
     /// Lifts every candidate kernel in a Fortran-subset source file.
@@ -146,15 +206,44 @@ impl Stng {
                     postcond_nodes: 0,
                     prover_attempts: 0,
                     peak_candidates: 0,
+                    fingerprint: None,
                 }
             }
         };
+        // Cache hook: a structural duplicate of an already-lifted kernel
+        // skips the whole synthesize/verify stage. The canonical form is
+        // computed once and shared by the lookup and the record.
+        let canon = self.cache.as_ref().map(|_| canonicalize(&kernel));
+        if let (Some(cache), Some(canon)) = (&self.cache, &canon) {
+            if let Some(mut hit) = cache.lookup(&kernel, canon, &fragment.name, &self.config) {
+                hit.fingerprint = Some(canon.fingerprint_hex());
+                return hit;
+            }
+        }
+        let mut report = self.lift_lowered(&fragment.name, kernel, started);
+        if let (Some(cache), Some(canon)) = (&self.cache, &canon) {
+            if let Some(kernel) = &report.kernel {
+                cache.record(kernel, canon, &self.config, &report);
+            }
+            report.fingerprint = Some(canon.fingerprint_hex());
+        }
+        report
+    }
+
+    /// Synthesizes and verifies one already-lowered kernel (the stage the
+    /// lifting cache short-circuits).
+    fn lift_lowered(
+        &self,
+        fragment_name: &str,
+        kernel: Kernel,
+        started: std::time::Instant,
+    ) -> KernelReport {
         // A fragment may contain several consecutive top-level loop nests;
         // the lifter handles the (dominant) single-nest case and reports the
         // rest as untranslated, mirroring §5.4's engineering limitations.
         if let Err(reason) = liftability_check(&kernel) {
             return KernelReport {
-                name: fragment.name.clone(),
+                name: fragment_name.to_string(),
                 kernel: Some(kernel),
                 outcome: KernelOutcome::Untranslated { reason },
                 synthesis_time: started.elapsed(),
@@ -162,6 +251,7 @@ impl Stng {
                 postcond_nodes: 0,
                 prover_attempts: 0,
                 peak_candidates: 0,
+                fingerprint: None,
             };
         }
         match synthesize_with(&kernel, &self.config) {
@@ -169,7 +259,7 @@ impl Stng {
                 let summary = StencilSummary::from_postcondition(&kernel.name, &outcome.post);
                 match summary {
                     Ok(summary) => KernelReport {
-                        name: fragment.name.clone(),
+                        name: fragment_name.to_string(),
                         kernel: Some(kernel),
                         outcome: KernelOutcome::Translated {
                             post: outcome.post,
@@ -182,9 +272,10 @@ impl Stng {
                         postcond_nodes: outcome.postcond_nodes,
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
+                        fingerprint: None,
                     },
                     Err(err) => KernelReport {
-                        name: fragment.name.clone(),
+                        name: fragment_name.to_string(),
                         kernel: Some(kernel),
                         outcome: KernelOutcome::Untranslated {
                             reason: format!("summary could not be translated to the DSL: {err}"),
@@ -194,11 +285,12 @@ impl Stng {
                         postcond_nodes: outcome.postcond_nodes,
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
+                        fingerprint: None,
                     },
                 }
             }
             Err(err) => KernelReport {
-                name: fragment.name.clone(),
+                name: fragment_name.to_string(),
                 kernel: Some(kernel),
                 outcome: KernelOutcome::Untranslated {
                     reason: err.to_string(),
@@ -208,6 +300,7 @@ impl Stng {
                 postcond_nodes: 0,
                 prover_attempts: 0,
                 peak_candidates: 0,
+                fingerprint: None,
             },
         }
     }

@@ -223,6 +223,33 @@ static MEMO_MUL: Memo<(usize, usize), SymExpr> = Memo::new();
 static MEMO_DIV: Memo<(usize, usize), SymExpr> = Memo::new();
 static MEMO_NEG: Memo<usize, SymExpr> = Memo::new();
 
+/// Occupancy snapshots of the expression arena and its operation memos, in
+/// a fixed order (arena first).
+pub fn arena_stats() -> Vec<stng_intern::ArenaStats> {
+    vec![
+        EXPRS.stats("sym.exprs"),
+        MEMO_ADD.stats("sym.memo_add"),
+        MEMO_MUL.stats("sym.memo_mul"),
+        MEMO_DIV.stats("sym.memo_div"),
+        MEMO_NEG.stats("sym.memo_neg"),
+    ]
+}
+
+/// Sweeps the expression arena and memo tables, evicting entries last used
+/// before `cutoff` (see `stng_intern::epoch`). Returns the total number of
+/// entries evicted. Callers must be quiescent: no `SymExpr` handle obtained
+/// before the sweep may be compared against ones built after it.
+pub fn retain_epoch(cutoff: u64) -> usize {
+    // Memos before the arena: their values point at arena nodes, and the
+    // insertion-tag ordering (entry tag ≤ value-node tag) makes this order
+    // safe even mid-epoch.
+    MEMO_ADD.retain_epoch(cutoff)
+        + MEMO_MUL.retain_epoch(cutoff)
+        + MEMO_DIV.retain_epoch(cutoff)
+        + MEMO_NEG.retain_epoch(cutoff)
+        + EXPRS.retain_epoch(cutoff)
+}
+
 /// A symbolic expression in sum-of-products normal form, hash-consed.
 ///
 /// `SymExpr` is a `Copy`able reference to the canonical interned node:
