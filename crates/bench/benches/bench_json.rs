@@ -1,11 +1,11 @@
 //! Machine-readable benchmark emitter: lifts every corpus kernel, times the
-//! end-to-end pipeline, and writes `BENCH_3.json` at the workspace root so
+//! end-to-end pipeline, and writes `BENCH_4.json` at the workspace root so
 //! the performance trajectory is tracked from PR to PR.
 //!
 //! Usage:
 //!
 //! * `cargo bench --bench bench_json` — measures the current tree and writes
-//!   `BENCH_3.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   `BENCH_4.json`. When `BENCH_baseline.json` exists at the workspace root,
 //!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
 //!   computed.
 //! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
@@ -18,9 +18,13 @@
 //! hit must reproduce the cold pass's report exactly.
 //!
 //! The run doubles as the **regression gate**: every kernel recorded as
-//! translated in the frozen `BENCH_2.json` (the previous PR's snapshot) must
-//! still translate, the warm pass must hit on every lookup, and parity must
-//! hold; otherwise the process exits non-zero, which fails the CI jobs.
+//! translated in the frozen `BENCH_3.json` (the previous PR's snapshot) must
+//! still translate, the warm pass must hit on every lookup, parity must
+//! hold, and — new with the compiled bounded checker — every soundly
+//! verified kernel's capture counter must equal the checker's
+//! `grid_sizes × trials_per_size` unit count, proving reachable states were
+//! captured once per CEGIS session rather than once per candidate;
+//! otherwise the process exits non-zero, which fails the CI jobs.
 //!
 //! The JSON is emitted by hand (no serde in the offline build environment);
 //! the schema is flat and stable on purpose.
@@ -43,6 +47,10 @@ struct KernelMeasurement {
     peak_candidates: usize,
     control_bits: usize,
     postcond_nodes: usize,
+    capture_ms: f64,
+    bounded_ms: f64,
+    prove_ms: f64,
+    captures: usize,
 }
 
 fn measure() -> (Vec<KernelMeasurement>, f64) {
@@ -61,9 +69,8 @@ fn measure() -> (Vec<KernelMeasurement>, f64) {
             best_ms = best_ms.min(elapsed);
             report = r.ok();
         }
-        let (translated, soundly, iters, attempts, peak, bits, nodes) = report
-            .as_ref()
-            .and_then(|r| r.kernels.first())
+        let first = report.as_ref().and_then(|r| r.kernels.first());
+        let (translated, soundly, iters) = first
             .map(|k| {
                 let (soundly, iters) = match &k.outcome {
                     stng::pipeline::KernelOutcome::Translated {
@@ -73,17 +80,10 @@ fn measure() -> (Vec<KernelMeasurement>, f64) {
                     } => (*soundly_verified, *cegis_iterations),
                     _ => (false, 0),
                 };
-                (
-                    k.outcome.is_translated(),
-                    soundly,
-                    iters,
-                    k.prover_attempts,
-                    k.peak_candidates,
-                    k.control_bits.total(),
-                    k.postcond_nodes,
-                )
+                (k.outcome.is_translated(), soundly, iters)
             })
-            .unwrap_or((false, false, 0, 0, 0, 0, 0));
+            .unwrap_or((false, false, 0));
+        let phase = first.map(|k| k.phase).unwrap_or_default();
         total_ms += best_ms;
         rows.push(KernelMeasurement {
             name: corpus_kernel.name.clone(),
@@ -92,10 +92,14 @@ fn measure() -> (Vec<KernelMeasurement>, f64) {
             translated,
             soundly_verified: soundly,
             cegis_iterations: iters,
-            prover_attempts: attempts,
-            peak_candidates: peak,
-            control_bits: bits,
-            postcond_nodes: nodes,
+            prover_attempts: first.map(|k| k.prover_attempts).unwrap_or(0),
+            peak_candidates: first.map(|k| k.peak_candidates).unwrap_or(0),
+            control_bits: first.map(|k| k.control_bits.total()).unwrap_or(0),
+            postcond_nodes: first.map(|k| k.postcond_nodes).unwrap_or(0),
+            capture_ms: phase.capture_ms(),
+            bounded_ms: phase.bounded_ms(),
+            prove_ms: phase.prove_ms(),
+            captures: phase.captures,
         });
     }
     (rows, total_ms)
@@ -111,7 +115,9 @@ fn kernels_json(rows: &[KernelMeasurement]) -> String {
             out,
             "\n    \"{}\": {{\"suite\": \"{}\", \"lift_ms\": {:.3}, \"translated\": {}, \
              \"soundly_verified\": {}, \"cegis_iterations\": {}, \"prover_attempts\": {}, \
-             \"peak_candidates\": {}, \"control_bits\": {}, \"postcond_nodes\": {}}}",
+             \"peak_candidates\": {}, \"control_bits\": {}, \"postcond_nodes\": {}, \
+             \"capture_ms\": {:.3}, \"bounded_ms\": {:.3}, \"prove_ms\": {:.3}, \
+             \"captures\": {}}}",
             row.name,
             row.suite,
             row.lift_ms,
@@ -122,6 +128,10 @@ fn kernels_json(rows: &[KernelMeasurement]) -> String {
             row.peak_candidates,
             row.control_bits,
             row.postcond_nodes,
+            row.capture_ms,
+            row.bounded_ms,
+            row.prove_ms,
+            row.captures,
         )
         .expect("writing to a String cannot fail");
     }
@@ -241,6 +251,21 @@ fn main() {
         kernels_json(&rows)
     )
     .expect("writing to a String cannot fail");
+    // Phase breakdown: where checking time goes across the whole corpus.
+    let (cap_total, bounded_total, prove_total): (f64, f64, f64) =
+        rows.iter().fold((0.0, 0.0, 0.0), |(c, b, p), r| {
+            (c + r.capture_ms, b + r.bounded_ms, p + r.prove_ms)
+        });
+    writeln!(
+        out,
+        "  \"phases\": {{\"capture_ms\": {cap_total:.3}, \"bounded_ms\": {bounded_total:.3}, \
+         \"prove_ms\": {prove_total:.3}}},",
+    )
+    .expect("writing to a String cannot fail");
+    println!(
+        "phase breakdown: capture {cap_total:.1} ms, bounded check {bounded_total:.1} ms, \
+         prove {prove_total:.1} ms (of {total_ms:.1} ms total)"
+    );
     writeln!(
         out,
         "  \"cache\": {{\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.1}, \
@@ -271,13 +296,13 @@ fn main() {
         println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
     }
     out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
-    std::fs::write(root.join("BENCH_3.json"), out).expect("BENCH_3.json is writable");
-    println!("wrote BENCH_3.json");
+    std::fs::write(root.join("BENCH_4.json"), out).expect("BENCH_4.json is writable");
+    println!("wrote BENCH_4.json");
 
     let mut failed = false;
     // Regression gate: everything that lifted in the previous PR's frozen
     // snapshot must still lift.
-    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_2.json")) {
+    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_3.json")) {
         let must_lift = previously_lifting(&prior);
         let regressed: Vec<&String> = must_lift
             .iter()
@@ -306,6 +331,32 @@ fn main() {
     }
     if !cache.parity {
         eprintln!("CACHE REGRESSION: a warm hit did not reproduce the cold report");
+        failed = true;
+    }
+    // Capture-reuse gate: every soundly verified kernel went through the
+    // CEGIS check session, which must have captured reachable states exactly
+    // once per (size, trial) — not once per candidate. A drifting counter
+    // means the reuse invariant silently regressed.
+    let bounded = bench_stng().config.bounded;
+    let expected_captures = bounded.grid_sizes.len() * bounded.trials_per_size;
+    let bad_captures: Vec<String> = rows
+        .iter()
+        .filter(|r| r.translated && r.soundly_verified && r.peak_candidates > 0)
+        .filter(|r| r.captures != expected_captures)
+        .map(|r| {
+            format!(
+                "{} (captures {}, expected {expected_captures})",
+                r.name, r.captures
+            )
+        })
+        .collect();
+    if bad_captures.is_empty() {
+        println!(
+            "capture-reuse gate: every soundly verified kernel captured states \
+             exactly {expected_captures} times (once per (size, trial) unit)"
+        );
+    } else {
+        eprintln!("CAPTURE-REUSE REGRESSION: {bad_captures:?}");
         failed = true;
     }
     if failed {

@@ -56,6 +56,7 @@ pub mod ir;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod slots;
 pub mod value;
 
 pub use error::{Error, Result};

@@ -1,0 +1,484 @@
+//! Compilation of verification conditions into slot-addressed bytecode.
+//!
+//! [`check_vc_on_state`](crate::eval::check_vc_on_state) tree-walks every
+//! predicate and re-resolves every variable through a `HashMap` per
+//! quantifier point — the dominant cost of the bounded screen on deep nests.
+//! This module lowers a [`Vc`] **once** into flat [`Program`]s over
+//! pre-resolved slots: evaluating the VC on a captured state is then a tight
+//! loop over register-machine ops with zero allocation per quantifier point.
+//!
+//! Semantics are the tree-walking evaluator's, reproduced exactly —
+//! including the order hypotheses are screened in, evaluation (and therefore
+//! error) order inside clauses, short-circuit conjunction, and
+//! vacuous-on-hypothesis-error. The differential property test in
+//! `stng-solve` (`tests/compiled_differential.rs`) pins
+//! compiled-vs-interpreted agreement down over the whole corpus, error cases
+//! included. Constructs the bytecode cannot reproduce exactly fail to
+//! compile with [`CompileErr`], and callers fall back to the interpreter.
+//!
+//! Quantified variables never touch the state: each clause's bound variables
+//! are pinned to low integer registers of its per-point program, so
+//! enumeration writes one register per dimension instead of inserting (and
+//! restoring) `HashMap` entries.
+
+use crate::eval::{ValueEq, VcOutcome};
+use crate::lang::{Pred, QuantClause};
+use crate::vcgen::Vc;
+use stng_ir::slots::{
+    exec_stmts, CompileErr, Compiler, EvalErr, Program, ProgramSet, Scratch, SlotMap, SlotState,
+    SlotStmt,
+};
+
+/// Maximum quantifier rank the compiled enumerator supports (the corpus
+/// maximum is 4); deeper clauses fall back to the interpreter.
+const MAX_QUANT: usize = 8;
+
+/// One compiled quantifier bound: inclusive lower/upper bound programs plus
+/// the (positive) enumeration stride.
+#[derive(Debug)]
+struct CompiledBound {
+    lo: Program,
+    hi: Program,
+    step: i64,
+}
+
+/// A compiled universally quantified output equation.
+#[derive(Debug)]
+struct CompiledClause {
+    /// Bound programs, evaluated against the state only (bounds may not
+    /// reference the clause's own variables, mirroring the interpreter,
+    /// which resolves every range before binding anything).
+    bounds: Vec<CompiledBound>,
+    /// Per-point program: integer registers `0..bounds.len()` are pinned to
+    /// the quantifier values; computes the output indices into a contiguous
+    /// block and the right-hand side into a data register.
+    point: Program,
+    /// First register of the output-index block.
+    idx: u16,
+    /// Output rank.
+    rank: u16,
+    /// Data register holding the right-hand side.
+    rhs: u16,
+    /// Output array slot.
+    array: u32,
+}
+
+/// A compiled predicate. Conjunctions stay driver-level lists so
+/// short-circuiting matches the tree walker exactly.
+#[derive(Debug)]
+enum CompiledPred {
+    /// A quantifier-free boolean condition.
+    Bool(Program),
+    /// `lhs = rhs` over data values; both sides in one program.
+    DataEq { prog: Program, lhs: u16, rhs: u16 },
+    /// A universally quantified output equation.
+    Forall(CompiledClause),
+    /// The strided-loop alignment fact `var ≥ lo ∧ step | var − lo`.
+    Stride { slot: u32, lo: Program, step: i64 },
+    /// Conjunction, evaluated left to right with early exit.
+    And(Vec<CompiledPred>),
+}
+
+/// One compiled verification condition.
+#[derive(Debug)]
+pub struct CompiledVc {
+    /// The VC's name (for counterexample reporting).
+    pub name: String,
+    hypotheses: Vec<CompiledPred>,
+    body: Vec<SlotStmt>,
+    int_scalars: Vec<u32>,
+    conclusion: CompiledPred,
+}
+
+/// A batch of compiled VCs sharing one constant pool and function table.
+#[derive(Debug)]
+pub struct CompiledVcSet {
+    /// Compiled conditions, in input order.
+    pub vcs: Vec<CompiledVc>,
+    set: ProgramSet,
+}
+
+impl CompiledVcSet {
+    /// Compiles every VC against the resolver. Names not yet registered
+    /// (quantified variables, say) are registered as new slots; states
+    /// captured against a shorter map read those slots as unbound, which is
+    /// exactly the hash-map absent-key behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileErr`] when any VC contains a construct whose
+    /// interpreter semantics the bytecode cannot reproduce exactly; the
+    /// caller then falls back to tree-walking evaluation for the whole set.
+    pub fn compile(vcs: &[Vc], map: &SlotMap) -> Result<CompiledVcSet, CompileErr> {
+        let mut compiler = Compiler::new(map);
+        let mut out = Vec::with_capacity(vcs.len());
+        for vc in vcs {
+            let hypotheses = vc
+                .hypotheses
+                .iter()
+                .map(|h| compile_pred(&mut compiler, map, h))
+                .collect::<Result<_, _>>()?;
+            compiler.clear_env();
+            let body = compiler.compile_stmts(&vc.body)?;
+            let conclusion = compile_pred(&mut compiler, map, &vc.conclusion)?;
+            out.push(CompiledVc {
+                name: vc.name.clone(),
+                hypotheses,
+                body,
+                int_scalars: vc.int_scalars.iter().map(|n| map.scalar(n)).collect(),
+                conclusion,
+            });
+        }
+        Ok(CompiledVcSet {
+            vcs: out,
+            set: compiler.into_set(),
+        })
+    }
+
+    /// A scratch space usable with every VC in the set.
+    pub fn scratch<V: ValueEq>(&self) -> Scratch<V> {
+        Scratch::for_set(&self.set)
+    }
+
+    /// Checks VC `k` against one pre-state — the compiled equivalent of
+    /// [`check_vc_on_state`](crate::eval::check_vc_on_state).
+    ///
+    /// # Errors
+    ///
+    /// Like the interpreter: hypothesis failures are *not* errors (they make
+    /// the state vacuous); body and conclusion evaluation failures
+    /// propagate, and the bounded checker treats them as rejections.
+    pub fn check<V: ValueEq>(
+        &self,
+        k: usize,
+        pre: &SlotState<V>,
+        sc: &mut Scratch<V>,
+    ) -> Result<VcOutcome, EvalErr> {
+        let vc = &self.vcs[k];
+        for hyp in &vc.hypotheses {
+            match eval_pred(hyp, &self.set, pre, sc) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return Ok(VcOutcome::Vacuous),
+            }
+        }
+        // Cloning the pre-state is a few flat memcpys plus Arc bumps; arrays
+        // are copied only if the body stores into them.
+        let mut post = pre.clone();
+        for &slot in &vc.int_scalars {
+            post.seed_int_slot(slot);
+        }
+        let mut steps = 0u64;
+        exec_stmts(&vc.body, &self.set, &mut post, sc, &mut steps, 1_000_000)?;
+        if eval_pred(&vc.conclusion, &self.set, &post, sc)? {
+            Ok(VcOutcome::Holds)
+        } else {
+            Ok(VcOutcome::Violated)
+        }
+    }
+}
+
+fn compile_pred(
+    compiler: &mut Compiler,
+    map: &SlotMap,
+    pred: &Pred,
+) -> Result<CompiledPred, CompileErr> {
+    match pred {
+        Pred::Bool(e) => {
+            compiler.clear_env();
+            Ok(CompiledPred::Bool(compiler.compile_bool(e)?))
+        }
+        Pred::DataEq { lhs, rhs } => {
+            compiler.clear_env();
+            let (prog, lhs, rhs) = compiler.compile_data_pair(lhs, rhs)?;
+            Ok(CompiledPred::DataEq { prog, lhs, rhs })
+        }
+        Pred::Forall(clause) => Ok(CompiledPred::Forall(compile_clause(compiler, map, clause)?)),
+        Pred::Stride { var, lo, step } => {
+            compiler.clear_env();
+            Ok(CompiledPred::Stride {
+                slot: map.scalar(var),
+                lo: compiler.compile_int(lo)?,
+                step: *step,
+            })
+        }
+        Pred::And(ps) => Ok(CompiledPred::And(
+            ps.iter()
+                .map(|p| compile_pred(compiler, map, p))
+                .collect::<Result<_, _>>()?,
+        )),
+    }
+}
+
+fn compile_clause(
+    compiler: &mut Compiler,
+    map: &SlotMap,
+    clause: &QuantClause,
+) -> Result<CompiledClause, CompileErr> {
+    if clause.bounds.len() > MAX_QUANT {
+        return Err(CompileErr(format!(
+            "clause quantifies {} variables (max {MAX_QUANT})",
+            clause.bounds.len()
+        )));
+    }
+    compiler.clear_env();
+    let mut bounds = Vec::with_capacity(clause.bounds.len());
+    for b in &clause.bounds {
+        bounds.push(CompiledBound {
+            lo: compiler.compile_int(&b.inclusive_lo())?,
+            hi: compiler.compile_int(&b.inclusive_hi())?,
+            step: b.step.max(1),
+        });
+    }
+    // Per-point program with the quantified variables pinned to registers.
+    let vars: Vec<String> = clause.bounds.iter().map(|b| b.var.clone()).collect();
+    compiler.set_env(&vars);
+    let (point, idx, rhs) = compiler.compile_indexed_value(&clause.eq.indices, &clause.eq.rhs)?;
+    compiler.clear_env();
+    Ok(CompiledClause {
+        bounds,
+        point,
+        idx,
+        rank: clause.eq.indices.len() as u16,
+        rhs,
+        array: map.array(&clause.eq.array),
+    })
+}
+
+fn eval_pred<V: ValueEq>(
+    pred: &CompiledPred,
+    set: &ProgramSet,
+    st: &SlotState<V>,
+    sc: &mut Scratch<V>,
+) -> Result<bool, EvalErr> {
+    match pred {
+        CompiledPred::Bool(p) => p.eval_bool(set, st, sc),
+        CompiledPred::DataEq { prog, lhs, rhs } => {
+            prog.run(set, st, sc)?;
+            Ok(sc.dreg(*lhs).clone().value_eq(sc.dreg(*rhs)))
+        }
+        CompiledPred::Forall(clause) => eval_clause(clause, set, st, sc),
+        CompiledPred::Stride { slot, lo, step } => {
+            let v = st.int_slot(*slot).ok_or(EvalErr::UnboundInt(*slot))?;
+            let lo = lo.eval_int(set, st, sc)?;
+            Ok(v >= lo && (v - lo).rem_euclid(*step) == 0)
+        }
+        CompiledPred::And(ps) => {
+            for p in ps {
+                if !eval_pred(p, set, st, sc)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn eval_clause<V: ValueEq>(
+    clause: &CompiledClause,
+    set: &ProgramSet,
+    st: &SlotState<V>,
+    sc: &mut Scratch<V>,
+) -> Result<bool, EvalErr> {
+    let n = clause.bounds.len();
+    let mut lo = [0i64; MAX_QUANT];
+    let mut hi = [0i64; MAX_QUANT];
+    let mut step = [1i64; MAX_QUANT];
+    for (k, b) in clause.bounds.iter().enumerate() {
+        lo[k] = b.lo.eval_int(set, st, sc)?;
+        hi[k] = b.hi.eval_int(set, st, sc)?;
+        step[k] = b.step;
+    }
+    // Empty ranges make the clause vacuously true.
+    if (0..n).any(|k| lo[k] > hi[k]) {
+        return Ok(true);
+    }
+    // Size the banks before writing the pinned quantifier registers, and
+    // hoist the (state-immutable) output-array lookup out of the loop. The
+    // unbound-array failure fires before the first point's index evaluation
+    // instead of after it; both reject identically.
+    sc.reserve(&clause.point);
+    let arr = st
+        .array_slot(clause.array)
+        .ok_or(EvalErr::UnboundArray(clause.array))?;
+    let mut cur = [0i64; MAX_QUANT];
+    cur[..n].copy_from_slice(&lo[..n]);
+    loop {
+        sc.iregs[..n].copy_from_slice(&cur[..n]);
+        clause.point.run(set, st, sc)?;
+        let ix = &sc.iregs[clause.idx as usize..(clause.idx + clause.rank) as usize];
+        let holds = arr
+            .get(ix)
+            .ok_or(EvalErr::OobLoad(clause.array))?
+            .value_eq(sc.dreg(clause.rhs));
+        if !holds {
+            return Ok(false);
+        }
+        // Advance the multi-index, last variable fastest, stepping each
+        // dimension by its domain stride.
+        let mut dim = n;
+        loop {
+            if dim == 0 {
+                return Ok(true);
+            }
+            dim -= 1;
+            cur[dim] += step[dim];
+            if cur[dim] <= hi[dim] {
+                break;
+            }
+            cur[dim] = lo[dim];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::check_vc_on_state;
+    use crate::fixtures;
+    use crate::vcgen::{analyze_loop_nest, generate_vcs};
+    use std::sync::Arc;
+    use stng_ir::interp::{run_kernel, ArrayData, State};
+    use stng_ir::lower::kernel_from_source;
+
+    fn example() -> (stng_ir::ir::Kernel, State<f64>) {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let mut state: State<f64> = State::new();
+        state
+            .set_int("imin", 0)
+            .set_int("imax", 4)
+            .set_int("jmin", 0)
+            .set_int("jmax", 3);
+        state.allocate_arrays(&kernel, 0.0).unwrap();
+        let b = ArrayData::from_fn(vec![(0, 4), (0, 3)], |ix| {
+            (ix[0] * 3 + ix[1] * 7) as f64 * 0.25 + 1.0
+        });
+        state.set_array("b", b);
+        (kernel, state)
+    }
+
+    #[test]
+    fn compiled_vcs_agree_with_interpreter_on_running_example() {
+        let (kernel, mut state) = example();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let vcs = generate_vcs(
+            &nest,
+            &kernel.assumptions,
+            &fixtures::running_example_invariants(),
+            &fixtures::running_example_post(),
+        );
+        let map = Arc::new(stng_ir::slots::SlotMap::for_kernel(&kernel));
+        let compiled = CompiledVcSet::compile(&vcs, &map).unwrap();
+        let mut sc = compiled.scratch::<f64>();
+
+        // Compare on the initial state and the final state of a full run.
+        for _ in 0..2 {
+            let slot_state = SlotState::from_state(&state, &map);
+            for (k, vc) in vcs.iter().enumerate() {
+                let interp = check_vc_on_state(vc, &state);
+                let fast = compiled.check(k, &slot_state, &mut sc);
+                match (interp, fast) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "outcome mismatch on {}", vc.name),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("divergence on {}: interp {a:?} vs compiled {b:?}", vc.name),
+                }
+            }
+            run_kernel(&kernel, &mut state).unwrap();
+        }
+    }
+
+    #[test]
+    fn real_binding_shadowing_a_quantifier_matches_interpreter() {
+        // The interpreter binds quantifier values into the *integer* cells
+        // and data-position reads consult the real cell first, so a stale
+        // real binding spelled like the quantified variable shadows the
+        // loop value. The compiled engine must reproduce that (Op::DScalarOrReg).
+        let (kernel, mut state) = example();
+        run_kernel(&kernel, &mut state).unwrap();
+        state.set_real("vi", 3.25);
+        let mut post = fixtures::running_example_post();
+        // `vi` in a data position of the rhs: a[vi, vj] = b[vi, vj] * vi.
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::mul(
+            stng_ir::ir::IrExpr::Load {
+                array: "b".into(),
+                indices: vec![
+                    stng_ir::ir::IrExpr::var("vi"),
+                    stng_ir::ir::IrExpr::var("vj"),
+                ],
+            },
+            stng_ir::ir::IrExpr::var("vi"),
+        );
+        let vc = Vc {
+            name: "shadow".into(),
+            hypotheses: vec![],
+            body: vec![],
+            conclusion: Pred::Forall(post.clauses[0].clone()),
+            int_scalars: vec![],
+            scope: crate::vcgen::VcScope::Any,
+        };
+        let map = Arc::new(stng_ir::slots::SlotMap::for_kernel(&kernel));
+        let compiled = CompiledVcSet::compile(std::slice::from_ref(&vc), &map).unwrap();
+        let mut sc = compiled.scratch::<f64>();
+        let slot_state = SlotState::from_state(&state, &map);
+        let interp = check_vc_on_state(&vc, &state).unwrap();
+        let fast = compiled.check(0, &slot_state, &mut sc).unwrap();
+        assert_eq!(interp, fast);
+        // And the shadow must actually bite: unbinding the real makes the
+        // outcome differ from the shadowed evaluation in both engines alike.
+        state.reals.remove("vi");
+        let slot_state = SlotState::from_state(
+            &state,
+            &Arc::new(stng_ir::slots::SlotMap::for_kernel(&kernel)),
+        );
+        let compiled2 =
+            CompiledVcSet::compile(std::slice::from_ref(&vc), slot_state.map()).unwrap();
+        let mut sc2 = compiled2.scratch::<f64>();
+        let interp2 = check_vc_on_state(&vc, &state).unwrap();
+        let fast2 = compiled2.check(0, &slot_state, &mut sc2).unwrap();
+        assert_eq!(interp2, fast2);
+    }
+
+    #[test]
+    fn violated_and_error_cases_agree() {
+        let (kernel, mut state) = example();
+        run_kernel(&kernel, &mut state).unwrap();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        // Wrong postcondition: claims a = b, so the exit VC is violated on
+        // the final state; and an out-of-range read makes evaluation error.
+        let mut wrong = fixtures::running_example_post();
+        wrong.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                stng_ir::ir::IrExpr::var("vi"),
+                stng_ir::ir::IrExpr::var("vj"),
+            ],
+        };
+        let mut erroring = fixtures::running_example_post();
+        erroring.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                stng_ir::ir::IrExpr::add(
+                    stng_ir::ir::IrExpr::var("vi"),
+                    stng_ir::ir::IrExpr::Int(900),
+                ),
+                stng_ir::ir::IrExpr::var("vj"),
+            ],
+        };
+        let invariants = fixtures::running_example_invariants();
+        for post in [wrong, erroring] {
+            let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+            let map = Arc::new(stng_ir::slots::SlotMap::for_kernel(&kernel));
+            let compiled = CompiledVcSet::compile(&vcs, &map).unwrap();
+            let mut sc = compiled.scratch::<f64>();
+            let slot_state = SlotState::from_state(&state, &map);
+            for (k, vc) in vcs.iter().enumerate() {
+                let interp = check_vc_on_state(vc, &state);
+                let fast = compiled.check(k, &slot_state, &mut sc);
+                match (interp, fast) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "outcome mismatch on {}", vc.name),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("divergence on {}: interp {a:?} vs compiled {b:?}", vc.name),
+                }
+            }
+        }
+    }
+}

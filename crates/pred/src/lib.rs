@@ -14,6 +14,7 @@
 //! checking evaluates them on concrete states ([`eval`]); the sound verifier
 //! in `stng-solve` proves them for all states.
 
+pub mod compile;
 pub mod eval;
 pub mod fixtures;
 pub mod lang;

@@ -134,6 +134,7 @@ impl BatchReport {
                             } => (true, *soundly_verified),
                             KernelOutcome::Untranslated { .. } => (false, false),
                         };
+                        let ms = |ns: u64| Json::Num((ns as f64 / 1e3).round() / 1e3);
                         obj(vec![
                             ("source", s(k.source_name.clone())),
                             ("kernel", s(k.kernel_name.clone())),
@@ -142,6 +143,10 @@ impl BatchReport {
                                 k.fingerprint.clone().map(s).unwrap_or(Json::Null),
                             ),
                             ("lift_ms", Json::Num((k.lift_ms * 1e3).round() / 1e3)),
+                            ("capture_ms", ms(k.report.phase.capture_ns)),
+                            ("bounded_ms", ms(k.report.phase.bounded_ns)),
+                            ("prove_ms", ms(k.report.phase.prove_ns)),
+                            ("captures", nu(k.report.phase.captures)),
                             ("translated", Json::Bool(translated)),
                             ("soundly_verified", Json::Bool(soundly)),
                         ])
@@ -260,6 +265,7 @@ fn run_pass(
                             prover_attempts: 0,
                             peak_candidates: 0,
                             fingerprint: None,
+                            phase: Default::default(),
                         },
                     });
                     continue;
@@ -296,6 +302,7 @@ fn run_pass(
                         prover_attempts: 0,
                         peak_candidates: 0,
                         fingerprint: None,
+                        phase: Default::default(),
                     },
                 });
             }

@@ -455,6 +455,7 @@ impl PipelineCache {
             postcond_nodes: cached.postcond_nodes,
             prover_attempts: cached.prover_attempts,
             peak_candidates: cached.peak_candidates,
+            phase: cached.phase,
             // Filled in by the pipeline, which owns the Canon.
             fingerprint: None,
         })
@@ -559,6 +560,7 @@ impl LiftCache for PipelineCache {
                 postcond_nodes: report.postcond_nodes,
                 prover_attempts: report.prover_attempts,
                 peak_candidates: report.peak_candidates,
+                phase: report.phase,
             },
         );
         // Release the single-flight claim (a no-op when this record was not
@@ -589,6 +591,7 @@ mod tests {
             postcond_nodes: 0,
             prover_attempts: 0,
             peak_candidates: 0,
+            phase: Default::default(),
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::json::{nu, obj, s, Json};
 use stng_ir::ir::{BinOp, CmpOp, IrExpr};
 use stng_pred::lang::{OutEq, Postcondition, QuantBound, QuantClause};
-use stng_synth::ControlBits;
+use stng_synth::{ControlBits, PhaseTimings};
 
 type DecodeResult<T> = Result<T, String>;
 
@@ -306,6 +306,8 @@ pub struct CachedLift {
     pub prover_attempts: usize,
     /// Peak CEGIS candidate-set size.
     pub peak_candidates: usize,
+    /// Per-phase checking times and capture counter of the original lift.
+    pub phase: PhaseTimings,
 }
 
 fn encode_control_bits(b: &ControlBits) -> Json {
@@ -328,9 +330,27 @@ fn decode_control_bits(v: &Json) -> DecodeResult<ControlBits> {
     })
 }
 
+fn encode_phase(p: &PhaseTimings) -> Json {
+    obj(vec![
+        ("capture_ns", Json::Num(p.capture_ns as f64)),
+        ("bounded_ns", Json::Num(p.bounded_ns as f64)),
+        ("prove_ns", Json::Num(p.prove_ns as f64)),
+        ("captures", nu(p.captures)),
+    ])
+}
+
+fn decode_phase(v: &Json) -> DecodeResult<PhaseTimings> {
+    Ok(PhaseTimings {
+        capture_ns: field(v, "capture_ns")?.as_u64().ok_or("capture_ns")?,
+        bounded_ns: field(v, "bounded_ns")?.as_u64().ok_or("bounded_ns")?,
+        prove_ns: field(v, "prove_ns")?.as_u64().ok_or("prove_ns")?,
+        captures: usize_field(v, "captures")?,
+    })
+}
+
 /// Current on-disk schema version; bump on any encoding change so stale
 /// files read as misses instead of decode errors.
-pub const SCHEMA: u64 = 1;
+pub const SCHEMA: u64 = 2;
 
 /// Encodes a cache entry into its on-disk JSON document.
 pub fn encode_entry(e: &CachedLift) -> Json {
@@ -353,6 +373,7 @@ pub fn encode_entry(e: &CachedLift) -> Json {
         ("postcond_nodes", nu(e.postcond_nodes)),
         ("prover_attempts", nu(e.prover_attempts)),
         ("peak_candidates", nu(e.peak_candidates)),
+        ("phase", encode_phase(&e.phase)),
     ]);
     obj(fields)
 }
@@ -385,6 +406,7 @@ pub fn decode_entry(v: &Json) -> DecodeResult<CachedLift> {
         postcond_nodes: usize_field(v, "postcond_nodes")?,
         prover_attempts: usize_field(v, "prover_attempts")?,
         peak_candidates: usize_field(v, "peak_candidates")?,
+        phase: decode_phase(field(v, "phase")?)?,
     })
 }
 
@@ -460,6 +482,12 @@ mod tests {
             postcond_nodes: 42,
             prover_attempts: 17,
             peak_candidates: 9,
+            phase: PhaseTimings {
+                capture_ns: 1_000_000,
+                bounded_ns: 2_000_000,
+                prove_ns: 3_000_000,
+                captures: 6,
+            },
         };
         let text = encode_entry(&entry).to_string();
         let back = decode_entry(&Json::parse(&text).unwrap()).unwrap();
@@ -489,6 +517,7 @@ mod tests {
             postcond_nodes: 0,
             prover_attempts: 0,
             peak_candidates: 0,
+            phase: PhaseTimings::default(),
         });
         if let Json::Obj(fields) = &mut doc {
             fields[0].1 = Json::Num(99.0);

@@ -8,14 +8,37 @@
 //! violates a VC on any reachable state is certainly wrong and is rejected
 //! with a counterexample; candidates that survive are handed to
 //! [`crate::prover::SmtLite`] for the final, sound check.
+//!
+//! Two layers keep the screen cheap (this is where CEGIS spends its wall
+//! time on 3D+ kernels):
+//!
+//! * **Compiled checking** — states are slot-addressed
+//!   ([`stng_ir::slots::SlotState`]), captured by a bytecode-compiled
+//!   tracer, and VCs are lowered once per candidate into flat programs
+//!   ([`stng_pred::compile::CompiledVcSet`]), so the per-quantifier-point
+//!   work is a handful of register ops with zero allocation. The
+//!   tree-walking evaluator remains both the fallback (for kernels or VCs
+//!   outside the compiled subset) and the differential-testing oracle.
+//! * **Cross-candidate state reuse** — reachable states depend only on the
+//!   kernel and the (size, trial) seed, never on the candidate. A
+//!   [`CheckSession`] owned by the CEGIS loop captures them once into
+//!   immutable snapshots and scans them for every candidate, recompiling
+//!   only the candidate-dependent VCs between iterations.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 use stng_ir::error::{Error, Result};
 use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, State};
 use stng_ir::ir::{IrStmt, Kernel, ParamKind};
+use stng_ir::slots::{
+    exec_stmts_traced, Compiler, LoopTrace, ProgramSet, Scratch, SlotMap, SlotState, SlotStmt,
+};
 use stng_ir::value::{ModInt, MOD_FIELD};
+use stng_pred::compile::CompiledVcSet;
 use stng_pred::eval::{check_vc_on_state, VcOutcome};
 use stng_pred::vcgen::{Vc, VcScope};
 use stng_sym::choose_small_bounds;
@@ -95,81 +118,319 @@ impl Default for BoundedChecker {
     }
 }
 
+/// SplitMix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl BoundedChecker {
     /// Creates a checker with default settings.
     pub fn new() -> BoundedChecker {
         BoundedChecker::default()
     }
 
-    /// Checks every VC on every reachable loop-head state of the kernel under
-    /// several random small inputs. Returns the first violation found (in
-    /// deterministic size → trial → state → VC order, independent of the
-    /// thread count), or `None` when all checks pass (which does **not**
-    /// imply validity).
+    /// Deterministic per-(size, trial) RNG seed, so units can be captured in
+    /// any order (or concurrently) with reproducible inputs.
     ///
-    /// The (size, trial) executions are captured concurrently — each gets its
-    /// own deterministic per-unit RNG seed — and the captured states are then
-    /// scanned concurrently. This is where the CEGIS loop spends most of its
-    /// wall time on 3D kernels (state count × VC count × quantifier domain),
-    /// and every check is an independent pure function.
-    ///
-    /// # Errors
-    ///
-    /// Propagates interpreter errors (e.g. the candidate predicates index an
-    /// array out of bounds), which the synthesizer also treats as rejection.
-    pub fn find_counterexample(
-        &self,
-        kernel: &Kernel,
-        vcs: &[Vc],
-    ) -> Result<Option<Counterexample>> {
-        let mut units: Vec<(i64, usize)> = Vec::new();
+    /// Each word is avalanche-mixed before combining: the previous
+    /// `size * 31 + trial` linearization aliased distinct units (e.g.
+    /// `(3, 31)` with `(4, 0)`), giving them identical random inputs.
+    pub fn unit_seed(&self, size: i64, trial: usize) -> u64 {
+        splitmix(splitmix(self.seed ^ (size as u64)) ^ (trial as u64))
+    }
+
+    /// The (size, trial) capture units, in deterministic scan order.
+    fn units(&self) -> Vec<(i64, usize)> {
+        let mut units = Vec::with_capacity(self.grid_sizes.len() * self.trials_per_size);
         for &size in &self.grid_sizes {
             for trial in 0..self.trials_per_size {
                 units.push((size, trial));
             }
         }
+        units
+    }
 
-        // One unit = capture the (size, trial) execution, then scan its
-        // states against the in-scope VCs. Pipelining capture+check inside
-        // the unit keeps the sequential early exit (a violation in the first
-        // unit stops the search without ever capturing the rest) while units
-        // still run concurrently on multi-core hosts.
-        let found = stng_intern::parallel::find_first(
-            &units,
-            self.parallelism,
-            |_, &(size, trial)| -> Option<Result<Counterexample>> {
-                let mut rng = StdRng::seed_from_u64(self.unit_seed(size, trial));
-                let states = match self.reachable_states(kernel, size, &mut rng) {
-                    Ok(states) => states,
-                    Err(err) => return Some(Err(err)),
-                };
-                for (origin, state) in &states {
-                    for vc in vcs {
-                        if !origin.in_scope(&vc.scope) {
-                            continue;
-                        }
-                        match check_vc_on_state(vc, state) {
-                            Ok(VcOutcome::Violated) => {
-                                return Some(Ok(Counterexample {
-                                    vc_name: vc.name.clone(),
-                                    origin: format!("{origin} (size {size}, trial {trial})"),
-                                }));
-                            }
-                            Ok(_) => {}
-                            Err(err) => {
-                                // Evaluation errors (out-of-bounds candidate
-                                // indices) also reject the candidate.
-                                return Some(Ok(Counterexample {
-                                    vc_name: vc.name.clone(),
-                                    origin: format!("evaluation error: {err}"),
-                                }));
-                            }
-                        }
+    /// Checks every VC on every reachable loop-head state of the kernel
+    /// under several random small inputs. Returns the first violation found
+    /// (in deterministic size → trial → state → VC order, independent of the
+    /// thread count), or `None` when all checks pass (which does **not**
+    /// imply validity).
+    ///
+    /// This is the standalone entry point; the CEGIS loop holds a
+    /// [`CheckSession`] instead, so the capture cost is paid once for the
+    /// whole candidate set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors from state capture (e.g. a runaway
+    /// loop), which the synthesizer also treats as rejection.
+    pub fn find_counterexample(
+        &self,
+        kernel: &Kernel,
+        vcs: &[Vc],
+    ) -> Result<Option<Counterexample>> {
+        CheckSession::new(self.clone(), kernel.clone()).find_counterexample(vcs)
+    }
+}
+
+/// The reachable states of one (size, trial) execution.
+#[derive(Debug)]
+pub struct CapturedUnit {
+    /// Grid size of this unit.
+    pub size: i64,
+    /// Trial index of this unit.
+    pub trial: usize,
+    /// Snapshots in execution order, tagged with their program point.
+    pub states: Vec<(StateOrigin, SlotState<ModInt>)>,
+    /// Hash-map views of `states`, materialized once on first use by the
+    /// tree-walking fallback (the conversion deep-copies array payloads, so
+    /// it must not repeat per candidate).
+    oracle: OnceLock<Vec<State<ModInt>>>,
+}
+
+impl CapturedUnit {
+    fn new(size: i64, trial: usize, states: Vec<(StateOrigin, SlotState<ModInt>)>) -> CapturedUnit {
+        CapturedUnit {
+            size,
+            trial,
+            states,
+            oracle: OnceLock::new(),
+        }
+    }
+
+    /// The snapshots as hash-map states (converted once, then shared).
+    pub fn oracle_states(&self) -> &[State<ModInt>] {
+        self.oracle
+            .get_or_init(|| self.states.iter().map(|(_, s)| s.to_state()).collect())
+    }
+}
+
+/// The session's captured units, in deterministic scan order. A unit whose
+/// capture execution failed keeps its error in place, so scanning preserves
+/// the old per-unit semantics: a violation in an earlier unit wins over a
+/// capture error in a later one.
+struct Captured {
+    units: Vec<std::result::Result<CapturedUnit, Error>>,
+    capture_ns: u64,
+}
+
+/// A bounded-checking session: reachable states captured **once** per
+/// (size, trial) and shared — via `Arc`-backed immutable snapshots — across
+/// every candidate the CEGIS loop screens.
+///
+/// Capture is lazy (on the first [`CheckSession::find_counterexample`]), so
+/// sessions are free for kernels whose screening never runs, and counted:
+/// [`CheckSession::capture_count`] counts actual capture *executions* (the
+/// counter is incremented inside the unit-execution path, not derived from
+/// stored state), which the benchmarks assert equals the unit count — not
+/// `units × candidates` — so a regression that recaptures states drifts the
+/// counter and fails the gate.
+pub struct CheckSession {
+    checker: BoundedChecker,
+    kernel: Kernel,
+    map: Arc<SlotMap>,
+    captured: OnceLock<Captured>,
+    capture_runs: AtomicU64,
+    check_ns: AtomicU64,
+}
+
+impl CheckSession {
+    /// Creates a session for one kernel. Cheap: nothing is captured until
+    /// the first counterexample search.
+    pub fn new(checker: BoundedChecker, kernel: Kernel) -> CheckSession {
+        let map = Arc::new(SlotMap::for_kernel(&kernel));
+        CheckSession {
+            checker,
+            kernel,
+            map,
+            captured: OnceLock::new(),
+            capture_runs: AtomicU64::new(0),
+            check_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The slot resolver shared by captured states and compiled VCs.
+    pub fn map(&self) -> &Arc<SlotMap> {
+        &self.map
+    }
+
+    /// Number of (size, trial) capture executions performed so far (0
+    /// before first use; afterwards exactly `grid_sizes × trials_per_size`,
+    /// however many candidates were screened — any recapture drifts it).
+    pub fn capture_count(&self) -> usize {
+        self.capture_runs.load(Ordering::Relaxed) as usize
+    }
+
+    /// Wall time spent capturing states, in nanoseconds.
+    pub fn capture_ns(&self) -> u64 {
+        match self.captured.get() {
+            Some(captured) => captured.capture_ns,
+            None => 0,
+        }
+    }
+
+    /// Cumulative wall time spent scanning states against VCs, in
+    /// nanoseconds (summed across candidates; on multi-core hosts
+    /// concurrent candidate scans accumulate their individual times).
+    pub fn check_ns(&self) -> u64 {
+        self.check_ns.load(Ordering::Relaxed)
+    }
+
+    /// The per-unit capture results, in scan order (capturing now if this
+    /// is the first use). A unit whose capture failed holds its error.
+    pub fn captured_units(&self) -> &[std::result::Result<CapturedUnit, Error>] {
+        &self.capture().units
+    }
+
+    fn capture(&self) -> &Captured {
+        self.captured.get_or_init(|| {
+            let start = Instant::now();
+            // Compile the kernel body once; kernels outside the compiled
+            // subset (hand-built IR with conditionals) capture through the
+            // tree-walking tracer instead.
+            let mut compiler = Compiler::new(&self.map);
+            let compiled = compiler
+                .compile_stmts(&self.kernel.body)
+                .ok()
+                .map(|body| (body, compiler.into_set()));
+            let units = self.checker.units();
+            let units =
+                stng_intern::parallel::map(&units, self.checker.parallelism, |&(size, trial)| {
+                    match &compiled {
+                        Some((body, set)) => self
+                            .capture_unit_compiled(body, set, size, trial)
+                            .map(|states| CapturedUnit::new(size, trial, states)),
+                        None => self
+                            .capture_unit_interp(size, trial)
+                            .map(|states| CapturedUnit::new(size, trial, states)),
                     }
+                });
+            Captured {
+                units,
+                capture_ns: start.elapsed().as_nanos() as u64,
+            }
+        })
+    }
+
+    /// Builds the randomized initial state of one (size, trial) unit.
+    fn initial_state(&self, size: i64, rng: &mut StdRng) -> Result<SlotState<ModInt>> {
+        let bounds = choose_small_bounds(&self.kernel, size);
+        // Bound-dimension expressions are evaluated through a scalars-only
+        // hash-map state (they only mention integer parameters).
+        let mut bound_state: State<ModInt> = State::new();
+        for (name, value) in &bounds {
+            bound_state.set_int(name.clone(), *value);
+        }
+        let mut state: SlotState<ModInt> = SlotState::new(Arc::clone(&self.map));
+        for (name, value) in &bounds {
+            state.set_int(name, *value);
+        }
+        for name in self.kernel.real_params() {
+            state.set_real(&name, ModInt::new(rng.gen_range(0..MOD_FIELD)));
+        }
+        for param in &self.kernel.params {
+            if let ParamKind::Array { dims } = &param.kind {
+                let mut concrete = Vec::new();
+                for (lo, hi) in dims {
+                    let lo = eval_int_expr(lo, &bound_state)?;
+                    let hi = eval_int_expr(hi, &bound_state)?;
+                    concrete.push((lo, hi));
                 }
-                None
+                let array =
+                    ArrayData::from_fn(concrete, |_| ModInt::new(rng.gen_range(0..MOD_FIELD)));
+                state.set_array(&param.name, array);
+            }
+        }
+        Ok(state)
+    }
+
+    /// Runs the kernel through the compiled tracer and captures the initial
+    /// state, the state at the head of every loop iteration, and the final
+    /// state.
+    fn capture_unit_compiled(
+        &self,
+        body: &[SlotStmt],
+        set: &ProgramSet,
+        size: i64,
+        trial: usize,
+    ) -> Result<Vec<(StateOrigin, SlotState<ModInt>)>> {
+        self.capture_runs.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(self.checker.unit_seed(size, trial));
+        let mut state = self.initial_state(size, &mut rng)?;
+        let mut sink = SnapshotSink {
+            snapshots: vec![(StateOrigin::Initial, state.clone())],
+        };
+        let mut sc = Scratch::for_set(set);
+        let mut steps = 0u64;
+        exec_stmts_traced(
+            body, set, &mut state, &mut sc, &mut steps, 200_000, &mut sink,
+        )
+        .map_err(|e| e.render(&self.map))?;
+        sink.snapshots.push((StateOrigin::Final, state));
+        Ok(sink.snapshots)
+    }
+
+    /// Tree-walking capture fallback for kernels outside the compiled
+    /// subset; also the oracle the differential tests compare against.
+    fn capture_unit_interp(
+        &self,
+        size: i64,
+        trial: usize,
+    ) -> Result<Vec<(StateOrigin, SlotState<ModInt>)>> {
+        self.capture_runs.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(self.checker.unit_seed(size, trial));
+        let mut state = self.initial_state(size, &mut rng)?.to_state();
+        let mut tracer = Tracer {
+            snapshots: vec![(StateOrigin::Initial, state.clone())],
+            steps: 0,
+            max_steps: 200_000,
+        };
+        tracer.run(&self.kernel.body, &mut state)?;
+        tracer.snapshots.push((StateOrigin::Final, state));
+        Ok(tracer
+            .snapshots
+            .into_iter()
+            .map(|(origin, s)| (origin, SlotState::from_state(&s, &self.map)))
+            .collect())
+    }
+
+    /// Checks every VC on every captured state. Returns the first violation
+    /// in deterministic size → trial → state → VC order, independent of the
+    /// thread count, or `None` when all checks pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors from state capture — but, as with the
+    /// pre-session per-unit pipeline, only when no earlier unit already
+    /// produced a violation: the first Some result in unit order wins,
+    /// whether it is a counterexample or a capture error. (VC *evaluation*
+    /// errors are rejections, not errors: they become counterexamples, as in
+    /// the tree-walking checker.)
+    pub fn find_counterexample(&self, vcs: &[Vc]) -> Result<Option<Counterexample>> {
+        let units = self.captured_units();
+        let start = Instant::now();
+        let compiled = CompiledVcSet::compile(vcs, &self.map);
+        let found = stng_intern::parallel::find_first(
+            units,
+            self.checker.parallelism,
+            |_, unit| -> Option<Result<Counterexample>> {
+                let unit = match unit {
+                    Ok(unit) => unit,
+                    Err(err) => return Some(Err(err.clone())),
+                };
+                match &compiled {
+                    Ok(compiled) => self.scan_unit_compiled(unit, compiled, vcs).map(Ok),
+                    // A VC outside the compiled subset: tree-walk the whole
+                    // set so evaluation semantics stay those of one engine.
+                    Err(_) => self.scan_unit_interp(unit, vcs).map(Ok),
+                }
             },
         );
+        self.check_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         match found {
             None => Ok(None),
             Some((_, Ok(cex))) => Ok(Some(cex)),
@@ -177,57 +438,92 @@ impl BoundedChecker {
         }
     }
 
-    /// Deterministic per-(size, trial) RNG seed, so units can be captured in
-    /// any order (or concurrently) with reproducible inputs.
-    fn unit_seed(&self, size: i64, trial: usize) -> u64 {
-        self.seed.wrapping_add(
-            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(size as u64 * 31 + trial as u64 + 1),
-        )
-    }
-
-    /// Runs the kernel concretely and captures the initial state, the state
-    /// at the head of every loop iteration, and the final state.
-    fn reachable_states(
+    fn scan_unit_compiled(
         &self,
-        kernel: &Kernel,
-        size: i64,
-        rng: &mut StdRng,
-    ) -> Result<Vec<(StateOrigin, State<ModInt>)>> {
-        let bounds = choose_small_bounds(kernel, size);
-        let mut state: State<ModInt> = State::new();
-        for (name, value) in &bounds {
-            state.set_int(name.clone(), *value);
-        }
-        for name in kernel.real_params() {
-            state.set_real(name, ModInt::new(rng.gen_range(0..MOD_FIELD)));
-        }
-        for param in &kernel.params {
-            if let ParamKind::Array { dims } = &param.kind {
-                let mut concrete = Vec::new();
-                for (lo, hi) in dims {
-                    let lo = eval_int_expr(lo, &state)?;
-                    let hi = eval_int_expr(hi, &state)?;
-                    concrete.push((lo, hi));
+        unit: &CapturedUnit,
+        compiled: &CompiledVcSet,
+        vcs: &[Vc],
+    ) -> Option<Counterexample> {
+        let mut sc = compiled.scratch::<ModInt>();
+        for (origin, state) in &unit.states {
+            for (k, vc) in vcs.iter().enumerate() {
+                if !origin.in_scope(&vc.scope) {
+                    continue;
                 }
-                let array =
-                    ArrayData::from_fn(concrete, |_| ModInt::new(rng.gen_range(0..MOD_FIELD)));
-                state.set_array(param.name.clone(), array);
+                match compiled.check(k, state, &mut sc) {
+                    Ok(VcOutcome::Violated) => {
+                        return Some(Counterexample {
+                            vc_name: vc.name.clone(),
+                            origin: format!("{origin} (size {}, trial {})", unit.size, unit.trial),
+                        });
+                    }
+                    Ok(_) => {}
+                    Err(err) => {
+                        // Evaluation errors (out-of-bounds candidate
+                        // indices) also reject the candidate.
+                        return Some(Counterexample {
+                            vc_name: vc.name.clone(),
+                            origin: format!("evaluation error: {}", err.render(&self.map)),
+                        });
+                    }
+                }
             }
         }
+        None
+    }
 
-        let mut tracer = Tracer {
-            snapshots: vec![(StateOrigin::Initial, state.clone())],
-            steps: 0,
-            max_steps: 200_000,
-        };
-        tracer.run(&kernel.body, &mut state)?;
-        tracer.snapshots.push((StateOrigin::Final, state));
-        Ok(tracer.snapshots)
+    fn scan_unit_interp(&self, unit: &CapturedUnit, vcs: &[Vc]) -> Option<Counterexample> {
+        for ((origin, _), state) in unit.states.iter().zip(unit.oracle_states()) {
+            for vc in vcs {
+                if !origin.in_scope(&vc.scope) {
+                    continue;
+                }
+                match check_vc_on_state(vc, state) {
+                    Ok(VcOutcome::Violated) => {
+                        return Some(Counterexample {
+                            vc_name: vc.name.clone(),
+                            origin: format!("{origin} (size {}, trial {})", unit.size, unit.trial),
+                        });
+                    }
+                    Ok(_) => {}
+                    Err(err) => {
+                        return Some(Counterexample {
+                            vc_name: vc.name.clone(),
+                            origin: format!("evaluation error: {err}"),
+                        });
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
-/// A tracing interpreter that snapshots the full machine state at the head of
-/// every loop iteration.
+/// Snapshot sink for the compiled capture executor: collects the full
+/// machine state at the head of every loop iteration and at every loop
+/// exit, via the [`LoopTrace`] hook of [`exec_stmts_traced`] (one shared
+/// implementation of the loop protocol). Snapshots are cheap: flat scalar
+/// memcpys plus array `Arc` bumps (an array's payload is copied only when a
+/// later store mutates it).
+struct SnapshotSink {
+    snapshots: Vec<(StateOrigin, SlotState<ModInt>)>,
+}
+
+impl LoopTrace<ModInt> for SnapshotSink {
+    fn at_loop_head(&mut self, var_name: &str, state: &SlotState<ModInt>) {
+        self.snapshots
+            .push((StateOrigin::LoopHead(var_name.to_string()), state.clone()));
+    }
+
+    fn at_loop_exit(&mut self, var_name: &str, state: &SlotState<ModInt>) {
+        self.snapshots
+            .push((StateOrigin::LoopExit(var_name.to_string()), state.clone()));
+    }
+}
+
+/// The tree-walking tracer: capture fallback for kernels outside the
+/// compiled subset, and the oracle the differential tests compare the
+/// compiled tracer against.
 struct Tracer {
     snapshots: Vec<(StateOrigin, State<ModInt>)>,
     steps: u64,
@@ -386,5 +682,162 @@ mod tests {
         let b = checker.find_counterexample(&kernel, &vcs).unwrap().unwrap();
         assert_eq!(a.vc_name, b.vc_name);
         assert_eq!(a.origin, b.origin);
+    }
+
+    #[test]
+    fn session_captures_once_across_candidates() {
+        let (kernel, vcs) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        let checker = BoundedChecker::new();
+        let session = CheckSession::new(checker.clone(), kernel.clone());
+        assert_eq!(session.capture_count(), 0, "capture is lazy");
+        for _ in 0..5 {
+            assert!(session.find_counterexample(&vcs).unwrap().is_none());
+        }
+        assert_eq!(
+            session.capture_count(),
+            checker.grid_sizes.len() * checker.trials_per_size,
+            "states are captured once per (size, trial), not per candidate"
+        );
+        assert!(session.capture_ns() > 0);
+        assert!(session.check_ns() > 0);
+    }
+
+    #[test]
+    fn session_and_standalone_agree() {
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Real(0.0);
+        let (kernel, vcs) = vcs_with(post, fixtures::running_example_invariants());
+        let checker = BoundedChecker::new();
+        let standalone = checker.find_counterexample(&kernel, &vcs).unwrap().unwrap();
+        let session = CheckSession::new(checker, kernel);
+        let via_session = session.find_counterexample(&vcs).unwrap().unwrap();
+        assert_eq!(standalone.vc_name, via_session.vc_name);
+        assert_eq!(standalone.origin, via_session.origin);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_capture_agree() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let checker = BoundedChecker::new();
+        let session = CheckSession::new(checker, kernel);
+        for &(size, trial) in &[(3i64, 0usize), (4, 2)] {
+            let mut compiler = Compiler::new(session.map());
+            let body = compiler.compile_stmts(&session.kernel.body).unwrap();
+            let set = compiler.into_set();
+            let fast = session
+                .capture_unit_compiled(&body, &set, size, trial)
+                .unwrap();
+            let slow = session.capture_unit_interp(size, trial).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for ((ao, a), (bo, b)) in fast.iter().zip(&slow) {
+                assert_eq!(ao, bo);
+                assert_eq!(a.to_state(), b.to_state(), "state mismatch at {ao}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_violation_wins_over_later_capture_error() {
+        // A kernel whose capture fails only at size 4: `a` is declared
+        // `0..min(n,3)` but stored through `1..n`, so the size-4 units hit
+        // an out-of-bounds store while the size-3 units capture fine. As in
+        // the pre-session per-unit pipeline, a violation found in an
+        // earlier unit must win over the later units' capture errors.
+        use stng_ir::ir::{IrExpr, IterDomain, Param, ParamKind};
+        let kernel = Kernel {
+            name: "oob_at_4".into(),
+            params: vec![
+                Param {
+                    name: "n".into(),
+                    kind: ParamKind::IntScalar,
+                },
+                Param {
+                    name: "a".into(),
+                    kind: ParamKind::Array {
+                        dims: vec![(
+                            IrExpr::Int(0),
+                            IrExpr::Call {
+                                func: "min".into(),
+                                args: vec![IrExpr::var("n"), IrExpr::Int(3)],
+                            },
+                        )],
+                    },
+                },
+            ],
+            locals: vec![Param {
+                name: "i".into(),
+                kind: ParamKind::IntScalar,
+            }],
+            body: vec![IrStmt::Loop {
+                domain: IterDomain::unit("i", IrExpr::Int(1), IrExpr::var("n")),
+                body: vec![IrStmt::Store {
+                    array: "a".into(),
+                    indices: vec![IrExpr::var("i")],
+                    value: IrExpr::Real(0.0),
+                }],
+            }],
+            assumptions: vec![],
+        };
+        let always_false = Vc {
+            name: "always-false".into(),
+            hypotheses: vec![],
+            body: vec![],
+            conclusion: stng_pred::lang::Pred::Bool(stng_ir::ir::IrExpr::cmp(
+                stng_ir::ir::CmpOp::Eq,
+                IrExpr::Int(0),
+                IrExpr::Int(1),
+            )),
+            int_scalars: vec![],
+            scope: VcScope::Initial,
+        };
+        let checker = BoundedChecker::new(); // grid sizes [3, 4]
+        let cex = checker
+            .find_counterexample(&kernel, std::slice::from_ref(&always_false))
+            .expect("size-3 violation wins over the size-4 capture error")
+            .expect("the always-false VC is violated");
+        assert_eq!(cex.vc_name, "always-false");
+        assert!(cex.origin.contains("size 3"), "origin: {}", cex.origin);
+        // With only the failing size, the capture error surfaces.
+        let failing_only = BoundedChecker {
+            grid_sizes: vec![4],
+            ..BoundedChecker::new()
+        };
+        let err = failing_only
+            .find_counterexample(&kernel, std::slice::from_ref(&always_false))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("out of bounds"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn unit_seeds_do_not_alias() {
+        let checker = BoundedChecker::new();
+        // The pre-fix linearization aliased (3, 31) with (4, 0).
+        assert_ne!(checker.unit_seed(3, 31), checker.unit_seed(4, 0));
+        // Exhaustive pairwise distinctness over a realistic parameter box.
+        let mut seen = std::collections::HashMap::new();
+        for size in 0..=16i64 {
+            for trial in 0..=64usize {
+                if let Some(prev) = seen.insert(checker.unit_seed(size, trial), (size, trial)) {
+                    panic!("seed collision: {prev:?} vs {:?}", (size, trial));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_seeds_are_pinned() {
+        // Bounded-checking inputs are part of observable behaviour
+        // (counterexample reproducibility); pin the derivation so it cannot
+        // drift silently.
+        let checker = BoundedChecker::new();
+        assert_eq!(checker.seed, 0x5717_1e57);
+        assert_eq!(checker.unit_seed(3, 0), 0x7aad_d091_7a12_84f7);
+        assert_eq!(checker.unit_seed(4, 2), 0x77c2_9d85_a5b3_492a);
     }
 }

@@ -11,8 +11,8 @@ use stng_ir::ir::Kernel;
 use stng_ir::lower::{liftability_check, lower_fragment};
 use stng_ir::parser::parse_program;
 use stng_pred::lang::Postcondition;
-use stng_synth::cegis::{synthesize_with, SynthesisConfig};
-use stng_synth::ControlBits;
+use stng_synth::cegis::{synthesize_with_phases, SynthesisConfig};
+use stng_synth::{ControlBits, PhaseTimings};
 
 /// A pluggable lifting-result cache, consulted by [`Stng`] after lowering
 /// and before synthesis (the expensive stage).
@@ -101,6 +101,9 @@ pub struct KernelReport {
     /// lifting cache was attached (the pipeline computes the canonical form
     /// anyway for the cache key, so reports surface it for observability).
     pub fingerprint: Option<String>,
+    /// Per-phase checking times (capture / bounded check / prove) and the
+    /// capture-reuse counter of the synthesis run.
+    pub phase: PhaseTimings,
 }
 
 /// The report for a whole source file.
@@ -207,6 +210,7 @@ impl Stng {
                     prover_attempts: 0,
                     peak_candidates: 0,
                     fingerprint: None,
+                    phase: PhaseTimings::default(),
                 }
             }
         };
@@ -252,9 +256,11 @@ impl Stng {
                 prover_attempts: 0,
                 peak_candidates: 0,
                 fingerprint: None,
+                phase: PhaseTimings::default(),
             };
         }
-        match synthesize_with(&kernel, &self.config) {
+        let (result, failure_phase) = synthesize_with_phases(&kernel, &self.config);
+        match result {
             Ok(outcome) => {
                 let summary = StencilSummary::from_postcondition(&kernel.name, &outcome.post);
                 match summary {
@@ -273,6 +279,7 @@ impl Stng {
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
                         fingerprint: None,
+                        phase: outcome.phase,
                     },
                     Err(err) => KernelReport {
                         name: fragment_name.to_string(),
@@ -286,6 +293,7 @@ impl Stng {
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
                         fingerprint: None,
+                        phase: outcome.phase,
                     },
                 }
             }
@@ -301,6 +309,9 @@ impl Stng {
                 prover_attempts: 0,
                 peak_candidates: 0,
                 fingerprint: None,
+                // Failed kernels still ran the bounded screen; report where
+                // their checking time went.
+                phase: failure_phase,
             },
         }
     }

@@ -4,6 +4,7 @@
 use crate::control::ControlBits;
 use crate::invariant::invariant_candidates;
 use crate::postcond::PostcondSynthesizer;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use stng_ir::interp::{run_kernel, ArrayData, State};
 use stng_ir::ir::{Kernel, ParamKind};
@@ -12,6 +13,7 @@ use stng_ir::value::{ModInt, MOD_FIELD};
 use stng_pred::eval::eval_pred;
 use stng_pred::lang::{Invariant, Postcondition};
 use stng_pred::vcgen::{analyze_loop_nest, generate_vcs};
+use stng_solve::bounded::CheckSession;
 use stng_solve::{BoundedChecker, SmtLite};
 use stng_sym::{choose_small_bounds, symbolic_execute};
 
@@ -79,6 +81,45 @@ impl Default for SynthesisConfig {
     }
 }
 
+/// Wall-clock breakdown of the checking phases of one synthesis run, plus
+/// the capture-reuse counter the benchmarks assert on.
+///
+/// Durations are nanoseconds (exact integers, so reports survive cache
+/// round trips bit-for-bit). `bounded_ns` accumulates across candidates —
+/// on a multi-core host concurrent candidate scans sum their individual
+/// times, so it can exceed wall clock there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Time spent capturing reachable states (once per CEGIS session).
+    pub capture_ns: u64,
+    /// Time spent scanning captured states against candidate VCs, plus the
+    /// extended bounded-validation fallback when it runs.
+    pub bounded_ns: u64,
+    /// Time spent in the sound prover.
+    pub prove_ns: u64,
+    /// Number of (size, trial) state captures performed. With session reuse
+    /// this is exactly `grid_sizes × trials_per_size` however many
+    /// candidates were screened — the invariant the bench gate pins.
+    pub captures: usize,
+}
+
+impl PhaseTimings {
+    /// Capture time in milliseconds.
+    pub fn capture_ms(&self) -> f64 {
+        self.capture_ns as f64 / 1e6
+    }
+
+    /// Bounded-checking time in milliseconds.
+    pub fn bounded_ms(&self) -> f64 {
+        self.bounded_ns as f64 / 1e6
+    }
+
+    /// Proving time in milliseconds.
+    pub fn prove_ms(&self) -> f64 {
+        self.prove_ns as f64 / 1e6
+    }
+}
+
 /// The result of lifting one kernel to a summary.
 #[derive(Debug, Clone)]
 pub struct SynthesisOutcome {
@@ -103,6 +144,8 @@ pub struct SynthesisOutcome {
     pub soundly_verified: bool,
     /// Wall-clock time spent synthesizing (Table 1, "Sketch Time").
     pub synthesis_time: Duration,
+    /// Per-phase checking times and the capture-reuse counter.
+    pub phase: PhaseTimings,
 }
 
 /// Synthesizes a verified summary for a kernel using the default
@@ -124,14 +167,38 @@ pub fn synthesize_with(
     kernel: &Kernel,
     config: &SynthesisConfig,
 ) -> Result<SynthesisOutcome, SynthesisFailure> {
+    synthesize_with_phases(kernel, config).0
+}
+
+/// Like [`synthesize_with`], but also returns the phase timings of whatever
+/// checking ran — including on the failure paths, where there is no
+/// [`SynthesisOutcome`] to carry them (a kernel that screens every CEGIS
+/// candidate and then fails validation still spent its capture and
+/// bounded-check time, and per-kernel reports should say so). On success
+/// the tuple's timings are identical to `outcome.phase` (both are set from
+/// the same measurement); the tuple exists for the `Err` arm.
+pub fn synthesize_with_phases(
+    kernel: &Kernel,
+    config: &SynthesisConfig,
+) -> (Result<SynthesisOutcome, SynthesisFailure>, PhaseTimings) {
     let start = Instant::now();
-    liftability_check(kernel).map_err(SynthesisFailure::NotLiftable)?;
+    if let Err(reason) = liftability_check(kernel) {
+        return (
+            Err(SynthesisFailure::NotLiftable(reason)),
+            PhaseTimings::default(),
+        );
+    }
 
     // Step 1: postcondition from inductive templates.
-    let candidate = config
-        .postcond
-        .synthesize(kernel)
-        .map_err(SynthesisFailure::NoPostcondition)?;
+    let candidate = match config.postcond.synthesize(kernel) {
+        Ok(candidate) => candidate,
+        Err(reason) => {
+            return (
+                Err(SynthesisFailure::NoPostcondition(reason)),
+                PhaseTimings::default(),
+            )
+        }
+    };
     let mut control_bits = candidate.control_bits;
     let post = candidate.post;
     let postcond_nodes = post.node_count();
@@ -139,6 +206,7 @@ pub fn synthesize_with(
 
     // Step 2: invariants + Hoare proof, when the nest shape is supported.
     let mut peak_candidates = 0usize;
+    let mut phase = PhaseTimings::default();
     let nest = analyze_loop_nest(kernel);
     if let Ok(nest) = nest {
         let run = symbolic_execute(
@@ -161,33 +229,51 @@ pub fn synthesize_with(
                     parallelism: (config.bounded.parallelism / in_flight).max(1),
                     ..config.bounded.clone()
                 };
+                // One session for the whole candidate set: reachable states
+                // depend only on the kernel and the (size, trial) seeds, so
+                // they are captured once and scanned per candidate; only
+                // the candidate-dependent VCs are recompiled between
+                // iterations. Capture errors reject every candidate, as
+                // they would have per candidate before.
+                let session = CheckSession::new(bounded, kernel.clone());
+                let prove_ns = AtomicU64::new(0);
                 let accepted = stng_intern::parallel::find_first(
                     &inv_candidates.candidates,
                     config.parallelism,
                     |_, invariants| {
                         let vcs = generate_vcs(&nest, &kernel.assumptions, invariants, &post);
                         // Fast screen: bounded checking on reachable states.
-                        match bounded.find_counterexample(kernel, &vcs) {
+                        match session.find_counterexample(&vcs) {
                             Ok(None) => {}
                             Ok(Some(_)) | Err(_) => return None,
                         }
                         // Sound check.
+                        let proving = Instant::now();
                         let (verdict, attempts) = config.prover.verify_all_counting(&vcs);
+                        prove_ns.fetch_add(proving.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         verdict.is_valid().then_some(attempts)
                     },
                 );
+                phase.capture_ns = session.capture_ns();
+                phase.bounded_ns = session.check_ns();
+                phase.captures = session.capture_count();
+                phase.prove_ns = prove_ns.into_inner();
                 if let Some((k, attempts)) = accepted {
-                    return Ok(SynthesisOutcome {
-                        post,
-                        invariants: Some(inv_candidates.candidates[k].clone()),
-                        control_bits,
-                        postcond_nodes,
-                        cegis_iterations: k + 1,
-                        prover_attempts: attempts,
-                        peak_candidates,
-                        soundly_verified: true,
-                        synthesis_time: start.elapsed(),
-                    });
+                    return (
+                        Ok(SynthesisOutcome {
+                            post,
+                            invariants: Some(inv_candidates.candidates[k].clone()),
+                            control_bits,
+                            postcond_nodes,
+                            cegis_iterations: k + 1,
+                            prover_attempts: attempts,
+                            peak_candidates,
+                            soundly_verified: true,
+                            synthesis_time: start.elapsed(),
+                            phase,
+                        }),
+                        phase,
+                    );
                 }
                 iterations = peak_candidates;
             }
@@ -195,27 +281,39 @@ pub fn synthesize_with(
     }
 
     if config.require_sound_proof {
-        return Err(SynthesisFailure::NotValidated(
-            "no invariant candidate could be proven sound".to_string(),
-        ));
+        return (
+            Err(SynthesisFailure::NotValidated(
+                "no invariant candidate could be proven sound".to_string(),
+            )),
+            phase,
+        );
     }
 
     // Step 3 (fallback): extended bounded validation of the postcondition
     // against full concrete executions. The result is flagged as not soundly
     // verified; callers surface that distinction (see DESIGN.md §6).
-    validate_post_bounded(kernel, &post, &config.validation_sizes, config.parallelism)
-        .map_err(SynthesisFailure::NotValidated)?;
-    Ok(SynthesisOutcome {
-        post,
-        invariants: None,
-        control_bits,
-        postcond_nodes,
-        cegis_iterations: iterations,
-        prover_attempts: 0,
-        peak_candidates,
-        soundly_verified: false,
-        synthesis_time: start.elapsed(),
-    })
+    let validating = Instant::now();
+    let validated =
+        validate_post_bounded(kernel, &post, &config.validation_sizes, config.parallelism);
+    phase.bounded_ns += validating.elapsed().as_nanos() as u64;
+    if let Err(reason) = validated {
+        return (Err(SynthesisFailure::NotValidated(reason)), phase);
+    }
+    (
+        Ok(SynthesisOutcome {
+            post,
+            invariants: None,
+            control_bits,
+            postcond_nodes,
+            cegis_iterations: iterations,
+            prover_attempts: 0,
+            peak_candidates,
+            soundly_verified: false,
+            synthesis_time: start.elapsed(),
+            phase,
+        }),
+        phase,
+    )
 }
 
 /// Validates a postcondition by running the kernel concretely (modular data
