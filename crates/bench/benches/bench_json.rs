@@ -1,11 +1,11 @@
 //! Machine-readable benchmark emitter: lifts every corpus kernel, times the
-//! end-to-end pipeline, and writes `BENCH_4.json` at the workspace root so
+//! end-to-end pipeline, and writes `BENCH_5.json` at the workspace root so
 //! the performance trajectory is tracked from PR to PR.
 //!
 //! Usage:
 //!
 //! * `cargo bench --bench bench_json` — measures the current tree and writes
-//!   `BENCH_4.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   `BENCH_5.json`. When `BENCH_baseline.json` exists at the workspace root,
 //!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
 //!   computed.
 //! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
@@ -18,13 +18,16 @@
 //! hit must reproduce the cold pass's report exactly.
 //!
 //! The run doubles as the **regression gate**: every kernel recorded as
-//! translated in the frozen `BENCH_3.json` (the previous PR's snapshot) must
+//! translated in the frozen `BENCH_4.json` (the previous PR's snapshot) must
 //! still translate, the warm pass must hit on every lookup, parity must
-//! hold, and — new with the compiled bounded checker — every soundly
-//! verified kernel's capture counter must equal the checker's
-//! `grid_sizes × trials_per_size` unit count, proving reachable states were
-//! captured once per CEGIS session rather than once per candidate;
-//! otherwise the process exits non-zero, which fails the CI jobs.
+//! hold, every soundly verified kernel's capture counter must equal the
+//! checker's `grid_sizes × trials_per_size` unit count (reachable states
+//! captured once per CEGIS session rather than once per candidate), and —
+//! new with resource governance — the whole corpus, lifted under an armed
+//! but generous budget (`bench_stng` attaches one), must finish within 5%
+//! of the previous snapshot's total, bounding the zero-fault cost of the
+//! budget bookkeeping; otherwise the process exits non-zero, which fails
+//! the CI jobs.
 //!
 //! The JSON is emitted by hand (no serde in the offline build environment);
 //! the schema is flat and stable on purpose.
@@ -296,13 +299,15 @@ fn main() {
         println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
     }
     out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
-    std::fs::write(root.join("BENCH_4.json"), out).expect("BENCH_4.json is writable");
-    println!("wrote BENCH_4.json");
+    std::fs::write(root.join("BENCH_5.json"), out).expect("BENCH_5.json is writable");
+    println!("wrote BENCH_5.json");
 
     let mut failed = false;
-    // Regression gate: everything that lifted in the previous PR's frozen
-    // snapshot must still lift.
-    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_3.json")) {
+    // Regression gates against the previous PR's frozen snapshot:
+    // everything that lifted must still lift, and the governed (but
+    // unfaulted) corpus must not have slowed more than 5% — the budget
+    // polls and fuel accounting have to be near-free on the happy path.
+    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_4.json")) {
         let must_lift = previously_lifting(&prior);
         let regressed: Vec<&String> = must_lift
             .iter()
@@ -318,6 +323,20 @@ fn main() {
                 "lifting regression gate: all {} previously-lifting kernels still lift",
                 must_lift.len()
             );
+        }
+        if let Some(prior_total) = parse_total(&prior) {
+            if total_ms > prior_total * 1.05 {
+                eprintln!(
+                    "GOVERNANCE OVERHEAD REGRESSION: governed corpus took {total_ms:.1} ms \
+                     > 105% of the prior snapshot's {prior_total:.1} ms"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "governance overhead gate: governed corpus {total_ms:.1} ms within 5% \
+                     of prior {prior_total:.1} ms"
+                );
+            }
         }
     }
     // Cache gate: a warm full-corpus pass must hit on every lookup and

@@ -252,10 +252,22 @@ pub fn median(values: &mut [f64]) -> f64 {
 /// A fast synthesis configuration used by benches (smaller proof budgets than
 /// the library defaults; kernels that exceed them fall back to bounded
 /// validation and are reported as such).
+///
+/// The returned pipeline carries a deliberately generous — but *armed* —
+/// resource budget (an hour of wall clock, counters far beyond any corpus
+/// kernel), so every benchmark run exercises the real governed code paths
+/// (polls, fuel accounting) instead of the null unlimited budget. The
+/// `bench_json` gate holds the cost of that bookkeeping under 5% of the
+/// previous snapshot's total.
 pub fn bench_stng() -> Stng {
     let mut stng = Stng::new();
     stng.config.prover.max_attempts = 1500;
     stng.config.prover.max_split_depth = 6;
+    stng.budget = stng::guard::Budget::limited(
+        Some(Duration::from_secs(3600)),
+        Some(1 << 40),
+        Some(1 << 60),
+    );
     stng
 }
 

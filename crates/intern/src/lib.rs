@@ -32,6 +32,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{OnceLock, RwLock};
 
+pub mod guard;
+
 pub mod epoch {
     //! The global arena epoch: a monotone generation counter used to tag
     //! interned entries for eviction.

@@ -17,6 +17,10 @@ pub enum Error {
     /// A runtime error raised by the interpreter (unbound variable,
     /// out-of-bounds access, and so on).
     Interp { message: String },
+    /// The interpreter's fuel (statement step budget) ran out before the
+    /// kernel terminated. Distinct from [`Error::Interp`] so callers can
+    /// tell "this kernel is wrong" from "this kernel ran too long".
+    FuelExhausted { fuel: u64 },
     /// The requested construct is not supported by this reproduction.
     Unsupported { message: String },
 }
@@ -42,6 +46,11 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Builds a fuel-exhaustion error for the given step budget.
+    pub fn fuel(fuel: u64) -> Self {
+        Error::FuelExhausted { fuel }
+    }
 }
 
 impl fmt::Display for Error {
@@ -51,6 +60,9 @@ impl fmt::Display for Error {
             Error::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             Error::Lower { message } => write!(f, "lowering error: {message}"),
             Error::Interp { message } => write!(f, "interpreter error: {message}"),
+            Error::FuelExhausted { fuel } => {
+                write!(f, "execution step budget exhausted (fuel {fuel})")
+            }
             Error::Unsupported { message } => write!(f, "unsupported construct: {message}"),
         }
     }
@@ -77,5 +89,7 @@ mod tests {
         assert!(matches!(Error::lower("x"), Error::Lower { .. }));
         assert!(matches!(Error::interp("x"), Error::Interp { .. }));
         assert!(matches!(Error::unsupported("x"), Error::Unsupported { .. }));
+        assert!(matches!(Error::fuel(10), Error::FuelExhausted { fuel: 10 }));
+        assert!(Error::fuel(10).to_string().contains("budget"));
     }
 }

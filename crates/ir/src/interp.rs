@@ -347,15 +347,22 @@ pub fn eval_data_expr<V: DataValue>(expr: &IrExpr, state: &State<V>) -> Result<V
     }
 }
 
+/// Default interpreter fuel: generous enough for any grid the pipeline or
+/// the §6.6 performance study actually runs (a 512³ sweep executes on the
+/// order of 10⁸ statements), but finite, so an adversarial non-terminating
+/// kernel fails with [`Error::FuelExhausted`] instead of spinning forever.
+pub const DEFAULT_FUEL: u64 = 1 << 30;
+
 /// Executes the kernel body against the state, mutating arrays and scalars in
 /// place. Returns the number of store operations executed (a proxy for work).
 ///
 /// # Errors
 ///
 /// Fails on unbound variables, out-of-bounds accesses, or runaway loops
-/// (more than `max_steps` statements executed).
+/// (more than [`DEFAULT_FUEL`] statements executed — use
+/// [`run_kernel_limited`] to pick the budget).
 pub fn run_kernel<V: DataValue>(kernel: &Kernel, state: &mut State<V>) -> Result<u64> {
-    run_kernel_limited(kernel, state, u64::MAX)
+    run_kernel_limited(kernel, state, DEFAULT_FUEL)
 }
 
 /// Same as [`run_kernel`] but aborts after `max_steps` executed statements.
@@ -401,7 +408,7 @@ fn exec_stmts<V: DataValue>(
     for stmt in stmts {
         *steps += 1;
         if *steps > max_steps {
-            return Err(Error::interp("execution step budget exhausted"));
+            return Err(Error::fuel(max_steps));
         }
         match stmt {
             IrStmt::AssignScalar { name, value } => {
@@ -447,6 +454,12 @@ fn exec_stmts<V: DataValue>(
                 }
                 let mut cur = lo;
                 loop {
+                    // Charge fuel per iteration, not just per statement, so a
+                    // loop whose body executes no statements still terminates.
+                    *steps += 1;
+                    if *steps > max_steps {
+                        return Err(Error::fuel(max_steps));
+                    }
                     let in_range = if step > 0 { cur <= hi } else { cur >= hi };
                     if !in_range {
                         break;
@@ -611,6 +624,60 @@ end procedure
         state.allocate_arrays(&kernel, 0.0).unwrap();
         let err = run_kernel_limited(&kernel, &mut state, 10).unwrap_err();
         assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_decrementing_by_zero_loop() {
+        use crate::ir::{IterDomain, Kernel};
+        // An adversarial hand-built kernel: the outer loop is meant to count
+        // down but its step is zero, so without guards it never advances.
+        // `IterDomain::new` rejects zero steps, so build the domain directly,
+        // the way the §6.6 experiments construct IR by hand.
+        let dec_by_zero = Kernel {
+            name: "adversarial".into(),
+            params: vec![],
+            locals: vec![],
+            body: vec![IrStmt::Loop {
+                domain: IterDomain {
+                    var: "i".into(),
+                    lo: IrExpr::Int(10),
+                    hi: IrExpr::Int(1),
+                    step: 0,
+                },
+                body: vec![],
+            }],
+            assumptions: vec![],
+        };
+        let mut state: State<f64> = State::new();
+        // The zero-step guard fails crisply instead of spinning.
+        let err = run_kernel(&dec_by_zero, &mut state).unwrap_err();
+        assert!(err.to_string().contains("zero step"));
+
+        // A decrementing loop toward i64::MIN is effectively non-terminating;
+        // the interpreter's fuel stops it with the distinct variant. The body
+        // executes no statements, so this exercises the per-iteration charge.
+        let runaway = Kernel {
+            name: "runaway".into(),
+            params: vec![],
+            locals: vec![],
+            body: vec![IrStmt::Loop {
+                domain: IterDomain::new(
+                    "i",
+                    IrExpr::Int(10),
+                    IrExpr::Int(i64::MIN + 1),
+                    -1,
+                ),
+                body: vec![],
+            }],
+            assumptions: vec![],
+        };
+        let mut state: State<f64> = State::new();
+        let err = run_kernel_limited(&runaway, &mut state, 1_000).unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { fuel: 1_000 }));
+        assert!(err.to_string().contains("budget"));
+        // The default-fuel entry point is also covered: `run_kernel` now uses
+        // DEFAULT_FUEL rather than u64::MAX, so it, too, would terminate.
+        assert!(DEFAULT_FUEL < u64::MAX);
     }
 
     #[test]

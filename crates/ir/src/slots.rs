@@ -888,6 +888,12 @@ pub fn exec_stmts_traced<V: DataValue>(
                 }
                 let mut cur = lo;
                 loop {
+                    // Charge per iteration as well as per statement so loops
+                    // whose bodies execute nothing still hit the budget.
+                    *steps += 1;
+                    if *steps > max_steps {
+                        return Err(EvalErr::Budget);
+                    }
                     let in_range = if *step > 0 { cur <= hi } else { cur >= hi };
                     if !in_range {
                         break;

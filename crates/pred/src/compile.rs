@@ -24,10 +24,16 @@
 use crate::eval::{ValueEq, VcOutcome};
 use crate::lang::{Pred, QuantClause};
 use crate::vcgen::Vc;
+use stng_intern::guard::Budget;
 use stng_ir::slots::{
     exec_stmts, CompileErr, Compiler, EvalErr, Program, ProgramSet, Scratch, SlotMap, SlotState,
     SlotStmt,
 };
+
+/// How many quantifier points the compiled enumerator evaluates between
+/// budget polls. Back-edge-only polling: the per-point loop stays free of
+/// clock reads and (for unlimited budgets) of atomics entirely.
+const POLL_STRIDE: u32 = 256;
 
 /// Maximum quantifier rank the compiled enumerator supports (the corpus
 /// maximum is 4); deeper clauses fall back to the interpreter.
@@ -154,9 +160,24 @@ impl CompiledVcSet {
         pre: &SlotState<V>,
         sc: &mut Scratch<V>,
     ) -> Result<VcOutcome, EvalErr> {
+        self.check_budgeted(k, pre, sc, &Budget::unlimited())
+    }
+
+    /// Like [`check`](Self::check), but polls `budget` at quantifier
+    /// back-edges (every [`POLL_STRIDE`] points) and after the body run. A
+    /// tripped budget surfaces as [`EvalErr::Budget`]; callers that govern
+    /// work must consult [`Budget::exhausted`] to tell an interruption from
+    /// an ordinary evaluation failure.
+    pub fn check_budgeted<V: ValueEq>(
+        &self,
+        k: usize,
+        pre: &SlotState<V>,
+        sc: &mut Scratch<V>,
+        budget: &Budget,
+    ) -> Result<VcOutcome, EvalErr> {
         let vc = &self.vcs[k];
         for hyp in &vc.hypotheses {
-            match eval_pred(hyp, &self.set, pre, sc) {
+            match eval_pred(hyp, &self.set, pre, sc, budget) {
                 Ok(true) => {}
                 Ok(false) | Err(_) => return Ok(VcOutcome::Vacuous),
             }
@@ -169,7 +190,11 @@ impl CompiledVcSet {
         }
         let mut steps = 0u64;
         exec_stmts(&vc.body, &self.set, &mut post, sc, &mut steps, 1_000_000)?;
-        if eval_pred(&vc.conclusion, &self.set, &post, sc)? {
+        // Charge the body's executed statements as bounded-check fuel.
+        if budget.consume_check_fuel(steps).is_err() {
+            return Err(EvalErr::Budget);
+        }
+        if eval_pred(&vc.conclusion, &self.set, &post, sc, budget)? {
             Ok(VcOutcome::Holds)
         } else {
             Ok(VcOutcome::Violated)
@@ -249,6 +274,7 @@ fn eval_pred<V: ValueEq>(
     set: &ProgramSet,
     st: &SlotState<V>,
     sc: &mut Scratch<V>,
+    budget: &Budget,
 ) -> Result<bool, EvalErr> {
     match pred {
         CompiledPred::Bool(p) => p.eval_bool(set, st, sc),
@@ -256,7 +282,7 @@ fn eval_pred<V: ValueEq>(
             prog.run(set, st, sc)?;
             Ok(sc.dreg(*lhs).clone().value_eq(sc.dreg(*rhs)))
         }
-        CompiledPred::Forall(clause) => eval_clause(clause, set, st, sc),
+        CompiledPred::Forall(clause) => eval_clause(clause, set, st, sc, budget),
         CompiledPred::Stride { slot, lo, step } => {
             let v = st.int_slot(*slot).ok_or(EvalErr::UnboundInt(*slot))?;
             let lo = lo.eval_int(set, st, sc)?;
@@ -264,7 +290,7 @@ fn eval_pred<V: ValueEq>(
         }
         CompiledPred::And(ps) => {
             for p in ps {
-                if !eval_pred(p, set, st, sc)? {
+                if !eval_pred(p, set, st, sc, budget)? {
                     return Ok(false);
                 }
             }
@@ -278,6 +304,7 @@ fn eval_clause<V: ValueEq>(
     set: &ProgramSet,
     st: &SlotState<V>,
     sc: &mut Scratch<V>,
+    budget: &Budget,
 ) -> Result<bool, EvalErr> {
     let n = clause.bounds.len();
     let mut lo = [0i64; MAX_QUANT];
@@ -302,6 +329,7 @@ fn eval_clause<V: ValueEq>(
         .ok_or(EvalErr::UnboundArray(clause.array))?;
     let mut cur = [0i64; MAX_QUANT];
     cur[..n].copy_from_slice(&lo[..n]);
+    let mut since_poll: u32 = 0;
     loop {
         sc.iregs[..n].copy_from_slice(&cur[..n]);
         clause.point.run(set, st, sc)?;
@@ -312,6 +340,15 @@ fn eval_clause<V: ValueEq>(
             .value_eq(sc.dreg(clause.rhs));
         if !holds {
             return Ok(false);
+        }
+        // Back-edge budget poll: only every POLL_STRIDE points, so the per
+        // point path adds one increment and one compare.
+        since_poll += 1;
+        if since_poll == POLL_STRIDE {
+            since_poll = 0;
+            if budget.consume_check_fuel(POLL_STRIDE as u64).is_err() {
+                return Err(EvalErr::Budget);
+            }
         }
         // Advance the multi-index, last variable fastest, stepping each
         // dimension by its domain stride.

@@ -11,10 +11,12 @@
 
 use crate::cache::{CacheStats, PipelineCache};
 use crate::json::{nu, obj, s, Json};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use stng::memory;
-use stng::pipeline::{KernelOutcome, KernelReport, Stng};
+use stng::pipeline::{KernelOutcome, KernelReport, LiftReport, Stng};
+use stng_intern::guard::Budget;
 use stng_intern::parallel;
 use stng_synth::cegis::SynthesisConfig;
 
@@ -58,6 +60,19 @@ pub struct BatchOptions {
     pub cache_dir: Option<std::path::PathBuf>,
     /// Synthesis configuration for every kernel.
     pub config: SynthesisConfig,
+    /// Wall-clock deadline for the whole batch (all passes), milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Wall-clock deadline for lifting one source, milliseconds. Doubles on
+    /// every retry.
+    pub kernel_timeout_ms: Option<u64>,
+    /// Bounded-check fuel for lifting one source. Doubles on every retry.
+    pub kernel_fuel: Option<u64>,
+    /// Prover-attempt budget for lifting one source. Doubles on every retry.
+    pub kernel_prover_attempts: Option<u64>,
+    /// Extra attempts for a source whose lift crashed or was cut short by
+    /// its per-source budget, each with the budget doubled. Retries are
+    /// skipped once the batch-wide deadline is gone.
+    pub retries: u32,
 }
 
 impl Default for BatchOptions {
@@ -69,6 +84,11 @@ impl Default for BatchOptions {
             mem_capacity: 4096,
             cache_dir: None,
             config: SynthesisConfig::default(),
+            deadline_ms: None,
+            kernel_timeout_ms: None,
+            kernel_fuel: None,
+            kernel_prover_attempts: None,
+            retries: 0,
         }
     }
 }
@@ -117,9 +137,54 @@ pub struct BatchReport {
     pub cache: Arc<PipelineCache>,
 }
 
+/// Coarse classification of an outcome, the last rung it reached on the
+/// degradation ladder (see `docs/robustness.md`).
+pub fn outcome_tag(outcome: &KernelOutcome) -> &'static str {
+    match outcome {
+        KernelOutcome::Translated {
+            degraded: Some(_), ..
+        } => "degraded",
+        KernelOutcome::Translated { .. } => "translated",
+        KernelOutcome::Untranslated { .. } => "untranslated",
+        KernelOutcome::Timeout { .. } => "timeout",
+        KernelOutcome::Crashed { .. } => "crashed",
+    }
+}
+
+impl BatchPass {
+    /// Outcome-tag counts: `(translated, degraded, untranslated, timeout,
+    /// crashed)`.
+    pub fn summary(&self) -> (usize, usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0, 0);
+        for k in &self.kernels {
+            match outcome_tag(&k.report.outcome) {
+                "translated" => counts.0 += 1,
+                "degraded" => counts.1 += 1,
+                "untranslated" => counts.2 += 1,
+                "timeout" => counts.3 += 1,
+                _ => counts.4 += 1,
+            }
+        }
+        counts
+    }
+}
+
 impl BatchReport {
     /// Serializes the report (used by `stng-batch --json`).
     pub fn to_json(&self) -> Json {
+        self.encode(true)
+    }
+
+    /// The report with every timing and occupancy field stripped: only the
+    /// deterministic facts (outcomes, fingerprints, cache counters) remain,
+    /// so two governed runs of the same corpus with the same counter-only
+    /// budgets serialize byte-identically. Pins the determinism guarantee
+    /// in `tests/determinism.rs`.
+    pub fn to_canonical_json(&self) -> Json {
+        self.encode(false)
+    }
+
+    fn encode(&self, timings: bool) -> Json {
         let passes = self
             .passes
             .iter()
@@ -128,34 +193,62 @@ impl BatchReport {
                     .kernels
                     .iter()
                     .map(|k| {
-                        let (translated, soundly) = match &k.report.outcome {
+                        let (translated, soundly, degraded) = match &k.report.outcome {
                             KernelOutcome::Translated {
-                                soundly_verified, ..
-                            } => (true, *soundly_verified),
-                            KernelOutcome::Untranslated { .. } => (false, false),
+                                soundly_verified,
+                                degraded,
+                                ..
+                            } => (true, *soundly_verified, degraded.map(|d| d.as_str())),
+                            KernelOutcome::Untranslated { .. } => (false, false, None),
+                            KernelOutcome::Timeout { reason, .. } => {
+                                (false, false, Some(reason.as_str()))
+                            }
+                            KernelOutcome::Crashed { .. } => (false, false, None),
                         };
                         let ms = |ns: u64| Json::Num((ns as f64 / 1e3).round() / 1e3);
-                        obj(vec![
+                        let mut fields = vec![
                             ("source", s(k.source_name.clone())),
                             ("kernel", s(k.kernel_name.clone())),
                             (
                                 "fingerprint",
                                 k.fingerprint.clone().map(s).unwrap_or(Json::Null),
                             ),
-                            ("lift_ms", Json::Num((k.lift_ms * 1e3).round() / 1e3)),
-                            ("capture_ms", ms(k.report.phase.capture_ns)),
-                            ("bounded_ms", ms(k.report.phase.bounded_ns)),
-                            ("prove_ms", ms(k.report.phase.prove_ns)),
+                        ];
+                        if timings {
+                            fields.extend([
+                                ("lift_ms", Json::Num((k.lift_ms * 1e3).round() / 1e3)),
+                                ("capture_ms", ms(k.report.phase.capture_ns)),
+                                ("bounded_ms", ms(k.report.phase.bounded_ns)),
+                                ("prove_ms", ms(k.report.phase.prove_ns)),
+                            ]);
+                        }
+                        fields.extend([
                             ("captures", nu(k.report.phase.captures)),
+                            ("outcome", s(outcome_tag(&k.report.outcome))),
                             ("translated", Json::Bool(translated)),
                             ("soundly_verified", Json::Bool(soundly)),
-                        ])
+                            ("degraded", degraded.map(s).unwrap_or(Json::Null)),
+                        ]);
+                        obj(fields)
                     })
                     .collect();
-                obj(vec![
-                    ("pass", nu(pass.number)),
-                    ("wall_ms", Json::Num((pass.wall_ms * 1e3).round() / 1e3)),
+                let (ok, deg, unt, tout, crash) = pass.summary();
+                let mut fields = vec![("pass", nu(pass.number))];
+                if timings {
+                    fields.push(("wall_ms", Json::Num((pass.wall_ms * 1e3).round() / 1e3)));
+                }
+                fields.extend([
                     ("kernels", Json::Arr(kernels)),
+                    (
+                        "summary",
+                        obj(vec![
+                            ("translated", nu(ok)),
+                            ("degraded", nu(deg)),
+                            ("untranslated", nu(unt)),
+                            ("timeout", nu(tout)),
+                            ("crashed", nu(crash)),
+                        ]),
+                    ),
                     (
                         "cache",
                         obj(vec![
@@ -165,10 +258,14 @@ impl BatchReport {
                             ("inserts", Json::Num(pass.cache.inserts as f64)),
                             ("evictions", Json::Num(pass.cache.evictions as f64)),
                             ("disk_writes", Json::Num(pass.cache.disk_writes as f64)),
+                            ("quarantined", Json::Num(pass.cache.quarantined as f64)),
+                            ("io_retries", Json::Num(pass.cache.io_retries as f64)),
                             ("hit_rate", Json::Num(pass.cache.hit_rate())),
                         ]),
                     ),
-                    (
+                ]);
+                if timings {
+                    fields.push((
                         "arena",
                         obj(vec![
                             ("entries_before_sweep", nu(pass.arena_entries_before_sweep)),
@@ -180,12 +277,13 @@ impl BatchReport {
                             ),
                             ("entries_after_sweep", nu(pass.arena_entries_after_sweep)),
                         ]),
-                    ),
-                ])
+                    ));
+                }
+                obj(fields)
             })
             .collect();
         obj(vec![
-            ("schema", Json::Num(1.0)),
+            ("schema", Json::Num(2.0)),
             ("passes", Json::Arr(passes)),
         ])
     }
@@ -201,24 +299,123 @@ pub fn run_batch(sources: &[BatchSource], options: &BatchOptions) -> std::io::Re
         passes: Vec::with_capacity(options.passes),
         cache: Arc::clone(&cache),
     };
-    let stng = Stng {
-        config: options.config.clone(),
-        cache: Some(cache.clone() as Arc<dyn stng::LiftCache>),
-    };
+    // The batch-wide budget spans all passes; per-source child budgets
+    // charge it, so a dead batch deadline cuts every remaining kernel over
+    // to timeout rows instead of letting the tail run long.
+    let batch_budget = Budget::limited(
+        options.deadline_ms.map(Duration::from_millis),
+        None,
+        None,
+    );
     for number in 1..=options.passes {
         report
             .passes
-            .push(run_pass(number, sources, &stng, &cache, options));
+            .push(run_pass(number, sources, &cache, options, &batch_budget));
     }
     Ok(report)
+}
+
+/// What lifting one source produced, after retries and panic isolation.
+enum SourceOutcome {
+    Lifted(LiftReport),
+    SourceError(String),
+    Crashed(String),
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lifts one source under a child of the batch budget, retrying crashed or
+/// budget-cut lifts with the per-source budget doubled each attempt. A
+/// panic anywhere in the lift is caught here, so one poisoned source can
+/// never take down the batch (or its worker thread).
+fn lift_source_governed(
+    src: &BatchSource,
+    cache: &Arc<PipelineCache>,
+    options: &BatchOptions,
+    batch_budget: &Budget,
+) -> SourceOutcome {
+    if let Some(e) = &src.read_error {
+        return SourceOutcome::SourceError(format!("source could not be read: {e}"));
+    }
+    let attempts = options.retries.saturating_add(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 && batch_budget.exhausted().is_some() {
+            break; // retrying into a dead batch deadline is wasted work
+        }
+        let scale = 1u64 << attempt.min(32);
+        let budget = batch_budget.child(
+            options
+                .kernel_timeout_ms
+                .map(|ms| Duration::from_millis(ms.saturating_mul(scale))),
+            options
+                .kernel_prover_attempts
+                .map(|n| n.saturating_mul(scale)),
+            options.kernel_fuel.map(|n| n.saturating_mul(scale)),
+        );
+        let stng = Stng {
+            config: options.config.clone(),
+            cache: Some(Arc::clone(cache) as Arc<dyn stng::LiftCache>),
+            budget,
+        };
+        match catch_unwind(AssertUnwindSafe(|| stng.lift_source(&src.source))) {
+            Ok(Ok(lift)) => {
+                let cut_short = lift
+                    .kernels
+                    .iter()
+                    .any(|k| k.outcome.is_budget_affected());
+                if !cut_short {
+                    return SourceOutcome::Lifted(lift);
+                }
+                last = Some(SourceOutcome::Lifted(lift));
+            }
+            // A parse/classification error is deterministic: no retry.
+            Ok(Err(e)) => return SourceOutcome::SourceError(e),
+            Err(payload) => last = Some(SourceOutcome::Crashed(panic_text(&*payload))),
+        }
+    }
+    last.unwrap_or_else(|| {
+        SourceOutcome::Crashed("lift skipped: batch deadline exhausted".to_string())
+    })
+}
+
+/// A per-source row with no real pipeline report behind it (source errors,
+/// empty sources, crashed lifts).
+fn synthetic_row(src: &BatchSource, tag: &str, ms: f64, outcome: KernelOutcome) -> BatchKernel {
+    BatchKernel {
+        source_name: src.name.clone(),
+        kernel_name: format!("{}:{tag}", src.name),
+        fingerprint: None,
+        lift_ms: ms,
+        report: KernelReport {
+            name: src.name.clone(),
+            kernel: None,
+            outcome,
+            synthesis_time: std::time::Duration::ZERO,
+            control_bits: Default::default(),
+            postcond_nodes: 0,
+            prover_attempts: 0,
+            peak_candidates: 0,
+            fingerprint: None,
+            phase: Default::default(),
+        },
+    }
 }
 
 fn run_pass(
     number: usize,
     sources: &[BatchSource],
-    stng: &Stng,
-    cache: &PipelineCache,
+    cache: &Arc<PipelineCache>,
     options: &BatchOptions,
+    batch_budget: &Budget,
 ) -> BatchPass {
     let stats_before = cache.stats();
     let started = Instant::now();
@@ -227,10 +424,7 @@ fn run_pass(
     // Unreadable sources short-circuit into an error row downstream.
     let lifted = parallel::map(sources, options.threads, |src| {
         let t = Instant::now();
-        let outcome = match &src.read_error {
-            Some(e) => Err(format!("source could not be read: {e}")),
-            None => stng.lift_source(&src.source),
-        };
+        let outcome = lift_source_governed(src, cache, options, batch_budget);
         (outcome, t.elapsed().as_secs_f64() * 1e3)
     });
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -238,36 +432,24 @@ fn run_pass(
     let mut kernels = Vec::new();
     for (src, (outcome, ms)) in sources.iter().zip(lifted) {
         match outcome {
-            Ok(lift) => {
+            SourceOutcome::Lifted(lift) => {
                 // A source that parses but offers no candidate loop nests
                 // gets an explicit row (mirroring the parse-failure row
                 // below), so coverage audits can tell "processed, nothing
                 // to lift" from "never processed".
                 if lift.kernels.is_empty() {
-                    kernels.push(BatchKernel {
-                        source_name: src.name.clone(),
-                        kernel_name: format!("{}:<no candidates>", src.name),
-                        fingerprint: None,
-                        lift_ms: ms,
-                        report: KernelReport {
-                            name: src.name.clone(),
-                            kernel: None,
-                            outcome: KernelOutcome::Untranslated {
-                                reason: format!(
-                                    "source contains no candidate kernels \
-                                     ({} outermost loop(s) skipped by the identifier)",
-                                    lift.skipped_loops
-                                ),
-                            },
-                            synthesis_time: std::time::Duration::ZERO,
-                            control_bits: Default::default(),
-                            postcond_nodes: 0,
-                            prover_attempts: 0,
-                            peak_candidates: 0,
-                            fingerprint: None,
-                            phase: Default::default(),
+                    kernels.push(synthetic_row(
+                        src,
+                        "<no candidates>",
+                        ms,
+                        KernelOutcome::Untranslated {
+                            reason: format!(
+                                "source contains no candidate kernels \
+                                 ({} outermost loop(s) skipped by the identifier)",
+                                lift.skipped_loops
+                            ),
                         },
-                    });
+                    ));
                     continue;
                 }
                 let n = lift.kernels.len() as f64;
@@ -281,30 +463,28 @@ fn run_pass(
                     });
                 }
             }
-            Err(source_error) => {
+            SourceOutcome::SourceError(source_error) => {
                 // A malformed or unreadable source yields one synthetic
                 // untranslated row so it is visible in the report rather
                 // than dropped.
-                kernels.push(BatchKernel {
-                    source_name: src.name.clone(),
-                    kernel_name: format!("{}:<error>", src.name),
-                    fingerprint: None,
-                    lift_ms: ms,
-                    report: KernelReport {
-                        name: src.name.clone(),
-                        kernel: None,
-                        outcome: KernelOutcome::Untranslated {
-                            reason: source_error,
-                        },
-                        synthesis_time: std::time::Duration::ZERO,
-                        control_bits: Default::default(),
-                        postcond_nodes: 0,
-                        prover_attempts: 0,
-                        peak_candidates: 0,
-                        fingerprint: None,
-                        phase: Default::default(),
+                kernels.push(synthetic_row(
+                    src,
+                    "<error>",
+                    ms,
+                    KernelOutcome::Untranslated {
+                        reason: source_error,
                     },
-                });
+                ));
+            }
+            SourceOutcome::Crashed(panic) => {
+                // The lift panicked on every attempt: record the crash as
+                // its own row so the batch report stays complete.
+                kernels.push(synthetic_row(
+                    src,
+                    "<crashed>",
+                    ms,
+                    KernelOutcome::Crashed { panic },
+                ));
             }
         }
     }

@@ -20,6 +20,12 @@
 //! * `--threads <n>` — lifting worker threads (default: all cores).
 //! * `--no-sweep` — keep the expression arenas between passes.
 //! * `--json <path>` — write the full per-kernel report as JSON.
+//! * `--deadline-ms <n>` — wall-clock budget for the whole batch; once it
+//!   is gone, remaining kernels report as timed out instead of running.
+//! * `--kernel-timeout-ms <n>` — wall-clock budget per source, doubled on
+//!   each retry.
+//! * `--retries <n>` — re-lift a source that crashed or was cut short by
+//!   its per-source budget, with the budget doubled each attempt.
 //! * `--check-warm` — exit non-zero unless the final pass had a 100% cache
 //!   hit rate, ran faster than the first, and reproduced the first pass's
 //!   outcomes exactly (requires `--passes >= 2`). This is the CI
@@ -41,7 +47,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: stng-batch [--corpus | --dir <path> | --manifest <path>] \
          [--passes <n>] [--cache-dir <path>] [--mem-capacity <n>] \
-         [--threads <n>] [--no-sweep] [--json <path>] [--check-warm]"
+         [--threads <n>] [--no-sweep] [--json <path>] [--check-warm] \
+         [--deadline-ms <n>] [--kernel-timeout-ms <n>] [--retries <n>]"
     );
     ExitCode::from(2)
 }
@@ -95,6 +102,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    next_value("--deadline-ms", &mut raw)?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--kernel-timeout-ms" => {
+                options.kernel_timeout_ms = Some(
+                    next_value("--kernel-timeout-ms", &mut raw)?
+                        .parse()
+                        .map_err(|e| format!("--kernel-timeout-ms: {e}"))?,
+                );
+            }
+            "--retries" => {
+                options.retries = next_value("--retries", &mut raw)?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
             "--no-sweep" => options.sweep_between = false,
             "--json" => json_out = Some(next_value("--json", &mut raw)?.into()),
             "--check-warm" => check_warm = true,
@@ -147,17 +173,13 @@ fn main() -> ExitCode {
     };
 
     for pass in &report.passes {
-        let translated = pass
-            .kernels
-            .iter()
-            .filter(|k| k.report.outcome.is_translated())
-            .count();
+        let (translated, degraded, untranslated, timeout, crashed) = pass.summary();
         println!(
             "pass {}: {:.1} ms, {}/{} kernels translated, cache {} hits / {} misses \
              ({:.1}% hit rate, {} from disk), arenas {} entries -> swept {} -> {} entries",
             pass.number,
             pass.wall_ms,
-            translated,
+            translated + degraded,
             pass.kernels.len(),
             pass.cache.hits,
             pass.cache.misses,
@@ -167,6 +189,20 @@ fn main() -> ExitCode {
             pass.sweep.map(|s| s.evicted).unwrap_or(0),
             pass.arena_entries_after_sweep,
         );
+        // Degradation summary: only printed when governance actually bit,
+        // so the zero-fault, unlimited-budget output is unchanged.
+        if degraded + timeout + crashed > 0 {
+            println!(
+                "  degradation: {degraded} degraded (bounded-validated only), \
+                 {timeout} timed out, {crashed} crashed, {untranslated} untranslated"
+            );
+        }
+        if pass.cache.quarantined + pass.cache.io_retries > 0 {
+            println!(
+                "  disk faults: {} entr(ies) quarantined, {} read retr(ies)",
+                pass.cache.quarantined, pass.cache.io_retries
+            );
+        }
     }
     for stat in memory::arena_stats() {
         println!(

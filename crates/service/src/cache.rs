@@ -19,6 +19,16 @@
 //! duplicate of `heat0` gets a report in its own vocabulary, and a warm hit
 //! for the original reproduces the cold report exactly (the bench parity
 //! gate checks this on every run).
+//!
+//! **Disk hardening**: every on-disk entry is a checksum line (fnv1a64 of
+//! the JSON body, 16 hex digits) followed by the body. A file that fails
+//! the checksum, fails to parse, or carries the wrong schema is
+//! **quarantined** — renamed aside as `.json.quarantined` so the evidence
+//! survives for inspection — counted, and treated as a miss; the next
+//! store writes a fresh entry under the original name. Transient read
+//! errors are retried with bounded exponential backoff before degrading to
+//! a miss, and orphaned `.json.tmp` files (crashes mid-write) are swept on
+//! open. See `docs/robustness.md`.
 
 use crate::codec::{decode_entry, encode_entry, CachedLift};
 use crate::json::Json;
@@ -27,6 +37,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+use stng_intern::guard::fault;
 use stng::pipeline::{KernelOutcome, KernelReport, LiftCache};
 use stng::translate::StencilSummary;
 use stng_ir::canon::{self, Canon};
@@ -84,6 +95,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries persisted to the disk tier.
     pub disk_writes: u64,
+    /// Corrupt/stale disk entries renamed aside (`.json.quarantined`).
+    pub quarantined: u64,
+    /// Orphaned `.json.tmp` files removed when the disk tier was opened.
+    pub orphans_swept: u64,
+    /// Transient disk-read failures that were retried.
+    pub io_retries: u64,
 }
 
 impl CacheStats {
@@ -96,6 +113,9 @@ impl CacheStats {
             inserts: self.inserts - earlier.inserts,
             evictions: self.evictions - earlier.evictions,
             disk_writes: self.disk_writes - earlier.disk_writes,
+            quarantined: self.quarantined - earlier.quarantined,
+            orphans_swept: self.orphans_swept - earlier.orphans_swept,
+            io_retries: self.io_retries - earlier.io_retries,
         }
     }
 
@@ -128,7 +148,16 @@ pub struct LiftResultCache {
     inserts: AtomicU64,
     evictions: AtomicU64,
     disk_writes: AtomicU64,
+    quarantined: AtomicU64,
+    orphans_swept: AtomicU64,
+    io_retries: AtomicU64,
 }
+
+/// Seed of the disk-entry checksum (the FNV-1a offset basis).
+const CHECKSUM_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Attempts per disk read before a transient I/O error degrades to a miss.
+const READ_ATTEMPTS: u32 = 3;
 
 impl LiftResultCache {
     /// A memory-only cache holding at most `capacity` entries.
@@ -143,7 +172,9 @@ impl LiftResultCache {
     ) -> std::io::Result<LiftResultCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(LiftResultCache::build(capacity, Some(dir)))
+        let cache = LiftResultCache::build(capacity, Some(dir));
+        cache.sweep_orphans();
+        Ok(cache)
     }
 
     fn build(capacity: usize, disk_dir: Option<PathBuf>) -> LiftResultCache {
@@ -158,6 +189,28 @@ impl LiftResultCache {
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            orphans_swept: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Removes `.json.tmp` files left by a writer that died between the
+    /// temp write and the rename. They were never part of the store (the
+    /// rename is what publishes an entry), so deleting them is always safe.
+    fn sweep_orphans(&self) {
+        let Some(dir) = &self.disk_dir else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "tmp")
+                && path.is_file()
+                && std::fs::remove_file(&path).is_ok()
+            {
+                self.orphans_swept.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -210,13 +263,48 @@ impl LiftResultCache {
     }
 
     fn disk_probe(&self, key: &CacheKey, canon_text: &str) -> Option<CachedLift> {
-        let text = std::fs::read_to_string(self.disk_path(key)?).ok()?;
-        // Corrupt or stale-schema files read as misses; the next store
-        // overwrites them.
-        let entry = Json::parse(&text)
-            .ok()
-            .and_then(|v| decode_entry(&v).ok())?;
-        (entry.canon_text == canon_text).then_some(entry)
+        let path = self.disk_path(key)?;
+        let text = self.read_with_retry(&path)?;
+        match decode_checked(&text) {
+            Ok(entry) => (entry.canon_text == canon_text).then_some(entry),
+            Err(_) => {
+                // Torn write, bit rot, or a stale schema: move the file
+                // aside (keeping the evidence) and read as a miss; the
+                // next store writes a fresh entry under the original name.
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Reads a disk entry, retrying transient I/O errors with bounded
+    /// exponential backoff. `None` means "no usable file": not found, or
+    /// still failing after the retries (the cache degrades to a miss —
+    /// never an error — on a flaky disk).
+    fn read_with_retry(&self, path: &std::path::Path) -> Option<String> {
+        for attempt in 0..READ_ATTEMPTS {
+            let injected = fault::fail_read();
+            if !injected {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => return Some(text),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+                    Err(_) => {}
+                }
+            }
+            self.io_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(1u64 << attempt));
+        }
+        None
+    }
+
+    /// Renames a corrupt entry to `<name>.json.quarantined` (best-effort;
+    /// falls back to deletion so the bad bytes can never be served again).
+    fn quarantine(&self, path: &std::path::Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let aside = path.with_extension("json.quarantined");
+        if std::fs::rename(path, &aside).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     fn insert_memory(&self, key: CacheKey, payload: Arc<CachedLift>) {
@@ -247,7 +335,15 @@ impl LiftResultCache {
 
     fn write_disk(&self, path: &std::path::Path, payload: &CachedLift) -> bool {
         let tmp = path.with_extension("json.tmp");
-        let text = encode_entry(payload).to_string();
+        let body = encode_entry(payload).to_string();
+        let sum = canon::fnv1a64(body.as_bytes(), CHECKSUM_SEED);
+        let mut text = format!("{sum:016x}\n{body}");
+        if fault::tear_write() {
+            // Injected torn write: publish a truncated prefix through the
+            // rename, exactly what a crash between write and fsync leaves
+            // behind — the read-side checksum must quarantine it.
+            text.truncate(text.len() / 2);
+        }
         // Disk persistence is best-effort: an unwritable cache directory
         // degrades to memory-only rather than failing the lift.
         std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_ok()
@@ -270,8 +366,30 @@ impl LiftResultCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            orphans_swept: self.orphans_swept.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Verifies the checksum line and decodes the JSON body of an on-disk
+/// entry. Any failure — short file, checksum mismatch, parse error, wrong
+/// schema — is grounds for quarantine.
+fn decode_checked(text: &str) -> Result<CachedLift, String> {
+    let (line, body) = text
+        .split_once('\n')
+        .ok_or("entry is missing its checksum line")?;
+    let expected =
+        u64::from_str_radix(line.trim(), 16).map_err(|_| "malformed checksum line")?;
+    let actual = canon::fnv1a64(body.as_bytes(), CHECKSUM_SEED);
+    if actual != expected {
+        return Err(format!(
+            "checksum mismatch: stored {expected:016x}, computed {actual:016x}"
+        ));
+    }
+    let value = Json::parse(body).map_err(|e| format!("body parse error: {e}"))?;
+    decode_entry(&value)
 }
 
 /// Renames every kernel symbol of a postcondition through `map`
@@ -440,6 +558,9 @@ impl PipelineCache {
                 summary,
                 soundly_verified: cached.soundly_verified,
                 cegis_iterations: cached.cegis_iterations,
+                // Budget-affected outcomes are never stored (see `record`),
+                // so a rehydrated report is always an ungoverned result.
+                degraded: None,
             }
         } else {
             KernelOutcome::Untranslated {
@@ -525,44 +646,57 @@ impl LiftCache for PipelineCache {
             fingerprint: canon.fingerprint,
             config: self.digest_for(config),
         };
-        let (translated, post, reason, soundly_verified, cegis_iterations) = match &report.outcome {
+        // Budget-affected outcomes describe this run's resource envelope,
+        // not the kernel: a timeout under a tight deadline, a crash, or a
+        // degraded (bounded-only) translation must not be served to a later
+        // run with a roomier budget. They are never stored — but the
+        // single-flight claim below is still released, so waiting workers
+        // wake up and compute for themselves.
+        let storable = match &report.outcome {
             KernelOutcome::Translated {
                 post,
                 soundly_verified,
                 cegis_iterations,
+                degraded,
                 ..
-            } => (
+            } if degraded.is_none() => Some((
                 true,
                 Some(rename_post(post, &canon.to_canonical)),
                 None,
                 *soundly_verified,
                 *cegis_iterations,
-            ),
-            KernelOutcome::Untranslated { reason } => (
+            )),
+            KernelOutcome::Untranslated { reason } => Some((
                 false,
                 None,
                 Some(rename_quoted(reason, &canon.to_canonical)),
                 false,
                 0,
-            ),
+            )),
+            KernelOutcome::Translated { .. }
+            | KernelOutcome::Timeout { .. }
+            | KernelOutcome::Crashed { .. } => None,
         };
-        self.store.put(
-            key,
-            CachedLift {
-                canon_text: canon.text.clone(),
-                translated,
-                post,
-                reason,
-                soundly_verified,
-                cegis_iterations,
-                synthesis_time_ns: report.synthesis_time.as_nanos().min(u64::MAX as u128) as u64,
-                control_bits: report.control_bits,
-                postcond_nodes: report.postcond_nodes,
-                prover_attempts: report.prover_attempts,
-                peak_candidates: report.peak_candidates,
-                phase: report.phase,
-            },
-        );
+        if let Some((translated, post, reason, soundly_verified, cegis_iterations)) = storable {
+            self.store.put(
+                key,
+                CachedLift {
+                    canon_text: canon.text.clone(),
+                    translated,
+                    post,
+                    reason,
+                    soundly_verified,
+                    cegis_iterations,
+                    synthesis_time_ns: report.synthesis_time.as_nanos().min(u64::MAX as u128)
+                        as u64,
+                    control_bits: report.control_bits,
+                    postcond_nodes: report.postcond_nodes,
+                    prover_attempts: report.prover_attempts,
+                    peak_candidates: report.peak_candidates,
+                    phase: report.phase,
+                },
+            );
+        }
         // Release the single-flight claim (a no-op when this record was not
         // preceded by a claiming lookup) and wake any workers waiting on it.
         self.inflight
@@ -667,6 +801,72 @@ mod tests {
             "variable 'x' at k"
         );
         assert_eq!(rename_quoted("dangling ' quote", &map), "dangling ' quote");
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_and_overwritten() {
+        let dir = std::env::temp_dir().join(format!(
+            "stng-cache-quarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path;
+        {
+            let cache = LiftResultCache::persistent(64, &dir).unwrap();
+            cache.put(key(42), payload("text42"));
+            path = cache.disk_path(&key(42)).unwrap();
+        }
+        // Truncate the file mid-body: the checksum no longer matches.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let fresh = LiftResultCache::persistent(64, &dir).unwrap();
+        assert!(fresh.get(&key(42), "text42").is_none());
+        assert_eq!(fresh.stats().quarantined, 1);
+        assert!(!path.exists(), "corrupt entry must not stay in place");
+        assert!(path.with_extension("json.quarantined").exists());
+        // The next store reclaims the slot and the entry is servable again.
+        fresh.put(key(42), payload("text42"));
+        assert!(fresh.get(&key(42), "text42").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_schema_entry_is_quarantined() {
+        let dir = std::env::temp_dir().join(format!(
+            "stng-cache-schema-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = LiftResultCache::persistent(64, &dir).unwrap();
+        // A well-checksummed body with an old schema number still reads as
+        // a miss and is moved aside.
+        let body = r#"{"schema":1,"canon_text":"t"}"#;
+        let sum = canon::fnv1a64(body.as_bytes(), CHECKSUM_SEED);
+        let path = cache.disk_path(&key(5)).unwrap();
+        std::fs::write(&path, format!("{sum:016x}\n{body}")).unwrap();
+        assert!(cache.get(&key(5), "t").is_none());
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_on_open() {
+        let dir = std::env::temp_dir().join(format!(
+            "stng-cache-orphan-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let orphan = dir.join("deadbeef-0000000000000007.json.tmp");
+        std::fs::write(&orphan, "half-written").unwrap();
+        let cache = LiftResultCache::persistent(64, &dir).unwrap();
+        assert_eq!(cache.stats().orphans_swept, 1);
+        assert!(!orphan.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -349,8 +349,9 @@ fn decode_phase(v: &Json) -> DecodeResult<PhaseTimings> {
 }
 
 /// Current on-disk schema version; bump on any encoding change so stale
-/// files read as misses instead of decode errors.
-pub const SCHEMA: u64 = 2;
+/// files read as misses instead of decode errors. Schema 3 added the
+/// checksum-line framing around the document (see `cache::decode_checked`).
+pub const SCHEMA: u64 = 3;
 
 /// Encodes a cache entry into its on-disk JSON document.
 pub fn encode_entry(e: &CachedLift) -> Json {

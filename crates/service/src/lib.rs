@@ -20,11 +20,21 @@
 //!   between batches (`stng::memory`), and emits per-kernel JSON reports
 //!   plus cache and arena occupancy counters.
 //!
+//! * **Resource governance and fault tolerance** — batches run under a
+//!   wall-clock/fuel/prover [`stng::guard::Budget`] with per-source child
+//!   budgets, escalating-budget retries, and panic isolation; the disk
+//!   cache checksums, quarantines, and retries its way around a flaky
+//!   filesystem. The `fault-inject` feature compiles the [`chaos`] harness
+//!   that deterministically exercises all of it.
+//!
 //! See `docs/service.md` for the cache design, the fingerprint definition,
-//! and the eviction policy.
+//! and the eviction policy, and `docs/robustness.md` for the degradation
+//! ladder and the fault-injection story.
 
 pub mod batch;
 pub mod cache;
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
 pub mod codec;
 pub mod json;
 

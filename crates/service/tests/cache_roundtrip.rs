@@ -49,10 +49,15 @@ fn persisted_entry_reloads_to_an_equal_report() {
         .map(|e| e.path())
         .collect();
     assert_eq!(files.len(), 1, "one kernel, one entry file");
-    let doc = stng_service::json::Json::parse(
-        &std::fs::read_to_string(&files[0]).expect("entry readable"),
-    )
-    .expect("entry is valid JSON");
+    // Entries are framed as a checksum line over the JSON body.
+    let text = std::fs::read_to_string(&files[0]).expect("entry readable");
+    let (sum_line, body) = text.split_once('\n').expect("checksum line present");
+    assert_eq!(
+        u64::from_str_radix(sum_line, 16).expect("checksum is 16 hex digits"),
+        stng_service::canon::fnv1a64(body.as_bytes(), 0xcbf2_9ce4_8422_2325),
+        "stored checksum covers the body"
+    );
+    let doc = stng_service::json::Json::parse(body).expect("entry body is valid JSON");
     let entry = stng_service::codec::decode_entry(&doc).expect("entry decodes");
     assert!(entry.translated);
     assert!(entry.post.is_some());
@@ -148,7 +153,7 @@ impl CegisIters for stng::pipeline::KernelReport {
             KernelOutcome::Translated {
                 cegis_iterations, ..
             } => *cegis_iterations,
-            KernelOutcome::Untranslated { .. } => 0,
+            _ => 0,
         }
     }
 }

@@ -31,6 +31,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use stng_intern::guard::Budget;
 use stng_ir::error::{Error, Result};
 use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, State};
 use stng_ir::ir::{IrStmt, Kernel, ParamKind};
@@ -235,12 +236,22 @@ pub struct CheckSession {
     captured: OnceLock<Captured>,
     capture_runs: AtomicU64,
     check_ns: AtomicU64,
+    budget: Budget,
 }
 
 impl CheckSession {
     /// Creates a session for one kernel. Cheap: nothing is captured until
     /// the first counterexample search.
     pub fn new(checker: BoundedChecker, kernel: Kernel) -> CheckSession {
+        CheckSession::with_budget(checker, kernel, Budget::unlimited())
+    }
+
+    /// Creates a session governed by a [`Budget`]: capture steps and VC
+    /// checks charge bounded-check fuel, and deadlines are polled between
+    /// units. An interrupted capture or scan surfaces as a session `Err`
+    /// (never as a spurious "all checks passed"); callers tell interruptions
+    /// from genuine evaluation failures via [`Budget::exhausted`].
+    pub fn with_budget(checker: BoundedChecker, kernel: Kernel, budget: Budget) -> CheckSession {
         let map = Arc::new(SlotMap::for_kernel(&kernel));
         CheckSession {
             checker,
@@ -249,7 +260,17 @@ impl CheckSession {
             captured: OnceLock::new(),
             capture_runs: AtomicU64::new(0),
             check_ns: AtomicU64::new(0),
+            budget,
         }
+    }
+
+    fn budget_error(&self) -> Error {
+        let reason = self
+            .budget
+            .exhausted()
+            .map(|r| r.as_str())
+            .unwrap_or("budget");
+        Error::interp(format!("bounded check interrupted: {reason} exhausted"))
     }
 
     /// The slot resolver shared by captured states and compiled VCs.
@@ -369,6 +390,9 @@ impl CheckSession {
             body, set, &mut state, &mut sc, &mut steps, 200_000, &mut sink,
         )
         .map_err(|e| e.render(&self.map))?;
+        if self.budget.consume_check_fuel(steps).is_err() {
+            return Err(self.budget_error());
+        }
         sink.snapshots.push((StateOrigin::Final, state));
         Ok(sink.snapshots)
     }
@@ -389,6 +413,9 @@ impl CheckSession {
             max_steps: 200_000,
         };
         tracer.run(&self.kernel.body, &mut state)?;
+        if self.budget.consume_check_fuel(tracer.steps).is_err() {
+            return Err(self.budget_error());
+        }
         tracer.snapshots.push((StateOrigin::Final, state));
         Ok(tracer
             .snapshots
@@ -422,10 +449,10 @@ impl CheckSession {
                     Err(err) => return Some(Err(err.clone())),
                 };
                 match &compiled {
-                    Ok(compiled) => self.scan_unit_compiled(unit, compiled, vcs).map(Ok),
+                    Ok(compiled) => self.scan_unit_compiled(unit, compiled, vcs),
                     // A VC outside the compiled subset: tree-walk the whole
                     // set so evaluation semantics stay those of one engine.
-                    Err(_) => self.scan_unit_interp(unit, vcs).map(Ok),
+                    Err(_) => self.scan_unit_interp(unit, vcs),
                 }
             },
         );
@@ -443,28 +470,38 @@ impl CheckSession {
         unit: &CapturedUnit,
         compiled: &CompiledVcSet,
         vcs: &[Vc],
-    ) -> Option<Counterexample> {
+    ) -> Option<Result<Counterexample>> {
         let mut sc = compiled.scratch::<ModInt>();
         for (origin, state) in &unit.states {
             for (k, vc) in vcs.iter().enumerate() {
                 if !origin.in_scope(&vc.scope) {
                     continue;
                 }
-                match compiled.check(k, state, &mut sc) {
+                // One fuel unit per (state, VC) check; the compiled check
+                // itself polls at quantifier back-edges.
+                if self.budget.consume_check_fuel(1).is_err() {
+                    return Some(Err(self.budget_error()));
+                }
+                match compiled.check_budgeted(k, state, &mut sc, &self.budget) {
                     Ok(VcOutcome::Violated) => {
-                        return Some(Counterexample {
+                        return Some(Ok(Counterexample {
                             vc_name: vc.name.clone(),
                             origin: format!("{origin} (size {}, trial {})", unit.size, unit.trial),
-                        });
+                        }));
                     }
                     Ok(_) => {}
                     Err(err) => {
+                        // A budget interruption must not masquerade as a
+                        // rejection: it says nothing about the candidate.
+                        if self.budget.exhausted().is_some() {
+                            return Some(Err(self.budget_error()));
+                        }
                         // Evaluation errors (out-of-bounds candidate
                         // indices) also reject the candidate.
-                        return Some(Counterexample {
+                        return Some(Ok(Counterexample {
                             vc_name: vc.name.clone(),
                             origin: format!("evaluation error: {}", err.render(&self.map)),
-                        });
+                        }));
                     }
                 }
             }
@@ -472,25 +509,31 @@ impl CheckSession {
         None
     }
 
-    fn scan_unit_interp(&self, unit: &CapturedUnit, vcs: &[Vc]) -> Option<Counterexample> {
+    fn scan_unit_interp(&self, unit: &CapturedUnit, vcs: &[Vc]) -> Option<Result<Counterexample>> {
         for ((origin, _), state) in unit.states.iter().zip(unit.oracle_states()) {
             for vc in vcs {
                 if !origin.in_scope(&vc.scope) {
                     continue;
                 }
+                if self.budget.consume_check_fuel(1).is_err() {
+                    return Some(Err(self.budget_error()));
+                }
                 match check_vc_on_state(vc, state) {
                     Ok(VcOutcome::Violated) => {
-                        return Some(Counterexample {
+                        return Some(Ok(Counterexample {
                             vc_name: vc.name.clone(),
                             origin: format!("{origin} (size {}, trial {})", unit.size, unit.trial),
-                        });
+                        }));
                     }
                     Ok(_) => {}
                     Err(err) => {
-                        return Some(Counterexample {
+                        if self.budget.exhausted().is_some() {
+                            return Some(Err(self.budget_error()));
+                        }
+                        return Some(Ok(Counterexample {
                             vc_name: vc.name.clone(),
                             origin: format!("evaluation error: {err}"),
-                        });
+                        }));
                     }
                 }
             }

@@ -24,6 +24,7 @@
 use crate::lin::{LinCtx, SplitCase, SPLIT_CASES};
 use crate::norm::{NAtom, NormErr, NormExpr, Store, SymState};
 use std::collections::BTreeMap;
+use stng_intern::guard::Budget;
 use stng_intern::Symbol;
 use stng_ir::ir::{Affine, IrExpr, IrStmt};
 use stng_pred::lang::{Pred, QuantClause};
@@ -92,9 +93,18 @@ impl SmtLite {
     /// of proof attempts spent (the case-split search effort), for
     /// benchmarking instrumentation.
     pub fn verify_all_counting(&self, vcs: &[Vc]) -> (Verdict, usize) {
+        self.verify_all_governed(vcs, &Budget::unlimited())
+    }
+
+    /// Like [`SmtLite::verify_all_counting`], but every proof attempt also
+    /// charges the shared [`Budget`] (attempt pool + wall-clock deadline).
+    /// Exhaustion yields `Verdict::Unknown` — sound but incomplete, exactly
+    /// like the prover's own internal limits; the caller distinguishes the
+    /// cases via [`Budget::exhausted`].
+    pub fn verify_all_governed(&self, vcs: &[Vc], budget: &Budget) -> (Verdict, usize) {
         let mut attempts = 0;
         for vc in vcs {
-            let (verdict, spent) = self.verify_vc_counting(vc);
+            let (verdict, spent) = self.verify_vc_governed(vc, budget);
             attempts += spent;
             if let Verdict::Unknown(reason) = verdict {
                 return (Verdict::Unknown(format!("{}: {reason}", vc.name)), attempts);
@@ -111,12 +121,19 @@ impl SmtLite {
     /// Like [`SmtLite::verify_vc`], additionally returning the number of
     /// proof attempts spent.
     pub fn verify_vc_counting(&self, vc: &Vc) -> (Verdict, usize) {
+        self.verify_vc_governed(vc, &Budget::unlimited())
+    }
+
+    /// Budget-governed single-VC verification; see
+    /// [`SmtLite::verify_all_governed`].
+    pub fn verify_vc_governed(&self, vc: &Vc, budget: &Budget) -> (Verdict, usize) {
         let mut session = ProofSession {
             vc,
             hyp_clauses: Vec::new(),
             hyp_real_env: Default::default(),
             attempts: 0,
             max_attempts: self.max_attempts,
+            budget,
         };
         let mut hyp_real_env = BTreeMap::new();
         // Partition hypotheses.
@@ -173,6 +190,7 @@ struct ProofSession<'a> {
     hyp_real_env: std::sync::Arc<BTreeMap<Symbol, NormExpr>>,
     attempts: usize,
     max_attempts: usize,
+    budget: &'a Budget,
 }
 
 impl<'a> ProofSession<'a> {
@@ -183,6 +201,12 @@ impl<'a> ProofSession<'a> {
         self.attempts += 1;
         if self.attempts > self.max_attempts {
             return Err("proof attempt budget exhausted".to_string());
+        }
+        // One poll per case-split attempt: charges the kernel-level attempt
+        // pool and checks the wall-clock deadline. The prover stays sound —
+        // exhaustion is just one more way to answer Unknown.
+        if let Err(reason) = self.budget.consume_prover_attempts(1) {
+            return Err(format!("prover budget exhausted ({reason})"));
         }
         match self.attempt(ctx) {
             Ok(()) => Ok(()),

@@ -21,5 +21,12 @@ pub mod memory;
 pub mod pipeline;
 pub mod translate;
 
+/// Resource governance (budgets, degradation reasons, fault injection) —
+/// re-exported from `stng-intern`, the lowest crate all three engines see.
+/// See `docs/robustness.md` for the degradation ladder.
+pub mod guard {
+    pub use stng_intern::guard::{fault, Budget, DegradeReason};
+}
+
 pub use pipeline::{KernelOutcome, KernelReport, LiftCache, LiftReport, Stng};
 pub use translate::{StencilSummary, TranslationError};

@@ -5,13 +5,14 @@
 use crate::translate::StencilSummary;
 use std::sync::Arc;
 use std::time::Duration;
+use stng_intern::guard::{Budget, DegradeReason};
 use stng_ir::canon::{canonicalize, Canon};
 use stng_ir::identify::classify_loops;
 use stng_ir::ir::Kernel;
 use stng_ir::lower::{liftability_check, lower_fragment};
 use stng_ir::parser::parse_program;
 use stng_pred::lang::Postcondition;
-use stng_synth::cegis::{synthesize_with_phases, SynthesisConfig};
+use stng_synth::cegis::{synthesize_governed_with_phases, SynthesisConfig, SynthesisFailure};
 use stng_synth::{ControlBits, PhaseTimings};
 
 /// A pluggable lifting-result cache, consulted by [`Stng`] after lowering
@@ -63,11 +64,29 @@ pub enum KernelOutcome {
         soundly_verified: bool,
         /// Number of CEGIS iterations.
         cegis_iterations: usize,
+        /// When a resource budget cut the sound-proof stage short and the
+        /// summary was accepted through bounded validation instead, the
+        /// limit that tripped. `None` for ungoverned runs.
+        degraded: Option<DegradeReason>,
     },
     /// The kernel was a candidate but could not be lifted.
     Untranslated {
         /// Why lifting failed.
         reason: String,
+    },
+    /// The resource budget ran out before even bounded validation could
+    /// finish; the kernel was abandoned, the rest of the batch unaffected.
+    Timeout {
+        /// The limit that tripped.
+        reason: DegradeReason,
+        /// Human-readable context.
+        detail: String,
+    },
+    /// A worker panicked while lifting this kernel; the panic was isolated
+    /// and the rest of the batch completed normally.
+    Crashed {
+        /// The panic message.
+        panic: String,
     },
 }
 
@@ -75,6 +94,16 @@ impl KernelOutcome {
     /// True when the kernel was lifted.
     pub fn is_translated(&self) -> bool {
         matches!(self, KernelOutcome::Translated { .. })
+    }
+
+    /// True when a budget or a caught panic (rather than the kernel itself)
+    /// decided this outcome — such results are never cached.
+    pub fn is_budget_affected(&self) -> bool {
+        match self {
+            KernelOutcome::Translated { degraded, .. } => degraded.is_some(),
+            KernelOutcome::Untranslated { .. } => false,
+            KernelOutcome::Timeout { .. } | KernelOutcome::Crashed { .. } => true,
+        }
     }
 }
 
@@ -146,6 +175,12 @@ pub struct Stng {
     /// Optional lifting-result cache consulted between lowering and
     /// synthesis.
     pub cache: Option<Arc<dyn LiftCache>>,
+    /// Resource budget threaded through synthesis for every kernel. The
+    /// default is unlimited — identical behaviour to an ungoverned
+    /// pipeline. Deliberately *not* part of [`SynthesisConfig`]: budgets
+    /// describe how long a run may take, not what it computes, so they
+    /// must not perturb cache config digests.
+    pub budget: Budget,
 }
 
 impl std::fmt::Debug for Stng {
@@ -153,6 +188,7 @@ impl std::fmt::Debug for Stng {
         f.debug_struct("Stng")
             .field("config", &self.config)
             .field("cache", &self.cache.as_ref().map(|_| "<LiftCache>"))
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -167,6 +203,12 @@ impl Stng {
     /// [`Stng::lift_source`] consults it per kernel before synthesizing.
     pub fn with_cache(mut self, cache: Arc<dyn LiftCache>) -> Stng {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a resource budget governing every subsequent lift.
+    pub fn with_budget(mut self, budget: Budget) -> Stng {
+        self.budget = budget;
         self
     }
 
@@ -226,6 +268,10 @@ impl Stng {
         }
         let mut report = self.lift_lowered(&fragment.name, kernel, started);
         if let (Some(cache), Some(canon)) = (&self.cache, &canon) {
+            // Budget-affected outcomes (degraded, timed out, crashed) say
+            // nothing durable about the kernel, so they never enter the
+            // cache — but `record` is still called: it is also how the
+            // single-flight claim on this fingerprint is released.
             if let Some(kernel) = &report.kernel {
                 cache.record(kernel, canon, &self.config, &report);
             }
@@ -259,7 +305,8 @@ impl Stng {
                 phase: PhaseTimings::default(),
             };
         }
-        let (result, failure_phase) = synthesize_with_phases(&kernel, &self.config);
+        let (result, failure_phase) =
+            synthesize_governed_with_phases(&kernel, &self.config, &self.budget);
         match result {
             Ok(outcome) => {
                 let summary = StencilSummary::from_postcondition(&kernel.name, &outcome.post);
@@ -272,6 +319,7 @@ impl Stng {
                             summary,
                             soundly_verified: outcome.soundly_verified,
                             cegis_iterations: outcome.cegis_iterations,
+                            degraded: outcome.degraded,
                         },
                         synthesis_time: outcome.synthesis_time,
                         control_bits: outcome.control_bits,
@@ -300,8 +348,14 @@ impl Stng {
             Err(err) => KernelReport {
                 name: fragment_name.to_string(),
                 kernel: Some(kernel),
-                outcome: KernelOutcome::Untranslated {
-                    reason: err.to_string(),
+                outcome: match err {
+                    SynthesisFailure::Timeout { reason, detail } => {
+                        KernelOutcome::Timeout { reason, detail }
+                    }
+                    SynthesisFailure::Crashed { panic } => KernelOutcome::Crashed { panic },
+                    other => KernelOutcome::Untranslated {
+                        reason: other.to_string(),
+                    },
                 },
                 synthesis_time: started.elapsed(),
                 control_bits: ControlBits::default(),

@@ -4,8 +4,11 @@
 use crate::control::ControlBits;
 use crate::invariant::invariant_candidates;
 use crate::postcond::PostcondSynthesizer;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use stng_intern::guard::{fault, Budget, DegradeReason};
 use stng_ir::interp::{run_kernel, ArrayData, State};
 use stng_ir::ir::{Kernel, ParamKind};
 use stng_ir::lower::liftability_check;
@@ -28,6 +31,14 @@ pub enum SynthesisFailure {
     /// A postcondition was found but it could not be validated even by
     /// bounded checking.
     NotValidated(String),
+    /// The resource budget ran out before even the bounded-validation
+    /// fallback could finish; nothing can be said about the kernel.
+    Timeout {
+        reason: DegradeReason,
+        detail: String,
+    },
+    /// A candidate worker panicked; the panic was isolated to this kernel.
+    Crashed { panic: String },
 }
 
 impl std::fmt::Display for SynthesisFailure {
@@ -36,6 +47,10 @@ impl std::fmt::Display for SynthesisFailure {
             SynthesisFailure::NotLiftable(m) => write!(f, "not liftable: {m}"),
             SynthesisFailure::NoPostcondition(m) => write!(f, "no postcondition found: {m}"),
             SynthesisFailure::NotValidated(m) => write!(f, "candidate not validated: {m}"),
+            SynthesisFailure::Timeout { reason, detail } => {
+                write!(f, "timed out ({reason}): {detail}")
+            }
+            SynthesisFailure::Crashed { panic } => write!(f, "worker crashed: {panic}"),
         }
     }
 }
@@ -142,6 +157,12 @@ pub struct SynthesisOutcome {
     pub peak_candidates: usize,
     /// Whether the summary is backed by a full proof from the verifier.
     pub soundly_verified: bool,
+    /// When the resource budget cut the sound-proof stage short and the
+    /// summary was accepted through the bounded-validation fallback, the
+    /// first limit that tripped. `None` for ungoverned (or ungoverned-
+    /// equivalent) runs — including ordinary "prover answered Unknown"
+    /// degradations, which are not budget-induced.
+    pub degraded: Option<DegradeReason>,
     /// Wall-clock time spent synthesizing (Table 1, "Sketch Time").
     pub synthesis_time: Duration,
     /// Per-phase checking times and the capture-reuse counter.
@@ -181,7 +202,37 @@ pub fn synthesize_with_phases(
     kernel: &Kernel,
     config: &SynthesisConfig,
 ) -> (Result<SynthesisOutcome, SynthesisFailure>, PhaseTimings) {
+    synthesize_governed_with_phases(kernel, config, &Budget::unlimited())
+}
+
+/// Budget-governed synthesis. The [`Budget`] is threaded cooperatively
+/// through all three engines — the candidate loop (polled per candidate),
+/// the case-split prover (polled per proof attempt), and the bounded
+/// checker (fuel per capture step / VC check, deadline at back-edges). The
+/// degradation ladder on exhaustion:
+///
+/// 1. prover attempts run dry → the bounded-validation fallback still runs;
+///    an accepted summary carries `soundly_verified = false` and
+///    `degraded = Some(ProverAttempts)`;
+/// 2. deadline/fuel/cancellation trip → [`SynthesisFailure::Timeout`];
+/// 3. a candidate worker panics → the panic is caught, the remaining
+///    candidates are skipped, and the kernel fails with
+///    [`SynthesisFailure::Crashed`] — never the whole process.
+pub fn synthesize_governed_with_phases(
+    kernel: &Kernel,
+    config: &SynthesisConfig,
+    budget: &Budget,
+) -> (Result<SynthesisOutcome, SynthesisFailure>, PhaseTimings) {
     let start = Instant::now();
+    if let Err(reason) = budget.check_time() {
+        return (
+            Err(SynthesisFailure::Timeout {
+                reason,
+                detail: "budget exhausted before synthesis started".to_string(),
+            }),
+            PhaseTimings::default(),
+        );
+    }
     if let Err(reason) = liftability_check(kernel) {
         return (
             Err(SynthesisFailure::NotLiftable(reason)),
@@ -235,23 +286,54 @@ pub fn synthesize_with_phases(
                 // the candidate-dependent VCs are recompiled between
                 // iterations. Capture errors reject every candidate, as
                 // they would have per candidate before.
-                let session = CheckSession::new(bounded, kernel.clone());
+                let session = CheckSession::with_budget(bounded, kernel.clone(), budget.clone());
                 let prove_ns = AtomicU64::new(0);
+                // A caught worker panic is recorded here and halts the scan;
+                // the first panic message wins (candidates race, but the
+                // kernel fails with Crashed either way).
+                let panicked: Mutex<Option<String>> = Mutex::new(None);
+                let halt = AtomicBool::new(false);
                 let accepted = stng_intern::parallel::find_first(
                     &inv_candidates.candidates,
                     config.parallelism,
                     |_, invariants| {
-                        let vcs = generate_vcs(&nest, &kernel.assumptions, invariants, &post);
-                        // Fast screen: bounded checking on reachable states.
-                        match session.find_counterexample(&vcs) {
-                            Ok(None) => {}
-                            Ok(Some(_)) | Err(_) => return None,
+                        // First-success semantics under cancellation: a
+                        // tripped budget (or a crashed sibling) skips the
+                        // remaining candidates instead of screening them.
+                        if halt.load(Ordering::Relaxed) || budget.exhausted().is_some() {
+                            return None;
                         }
-                        // Sound check.
-                        let proving = Instant::now();
-                        let (verdict, attempts) = config.prover.verify_all_counting(&vcs);
-                        prove_ns.fetch_add(proving.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        verdict.is_valid().then_some(attempts)
+                        let checked = catch_unwind(AssertUnwindSafe(|| {
+                            if fault::panic_candidate(&kernel.name) {
+                                panic!("injected candidate panic");
+                            }
+                            let vcs = generate_vcs(&nest, &kernel.assumptions, invariants, &post);
+                            // Fast screen: bounded checking on reachable states.
+                            match session.find_counterexample(&vcs) {
+                                Ok(None) => {}
+                                Ok(Some(_)) | Err(_) => return None,
+                            }
+                            // Sound check.
+                            if let Some(stall) = fault::prover_stall(&kernel.name) {
+                                std::thread::sleep(stall);
+                            }
+                            let proving = Instant::now();
+                            let (verdict, attempts) =
+                                config.prover.verify_all_governed(&vcs, budget);
+                            prove_ns
+                                .fetch_add(proving.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            verdict.is_valid().then_some(attempts)
+                        }));
+                        match checked {
+                            Ok(result) => result,
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                let mut slot = panicked.lock().unwrap();
+                                slot.get_or_insert(msg);
+                                halt.store(true, Ordering::Relaxed);
+                                None
+                            }
+                        }
                     },
                 );
                 phase.capture_ns = session.capture_ns();
@@ -269,11 +351,15 @@ pub fn synthesize_with_phases(
                             prover_attempts: attempts,
                             peak_candidates,
                             soundly_verified: true,
+                            degraded: None,
                             synthesis_time: start.elapsed(),
                             phase,
                         }),
                         phase,
                     );
+                }
+                if let Some(panic) = panicked.into_inner().unwrap() {
+                    return (Err(SynthesisFailure::Crashed { panic }), phase);
                 }
                 iterations = peak_candidates;
             }
@@ -289,14 +375,35 @@ pub fn synthesize_with_phases(
         );
     }
 
+    // Whatever limit cut the sound-proof stage short is what the fallback
+    // result gets stamped with; an untripped budget means the prover just
+    // answered Unknown, which is not a budget degradation.
+    let degraded = budget.exhausted();
+
     // Step 3 (fallback): extended bounded validation of the postcondition
     // against full concrete executions. The result is flagged as not soundly
-    // verified; callers surface that distinction (see DESIGN.md §6).
+    // verified; callers surface that distinction (see DESIGN.md §6). A
+    // budget whose deadline or fuel is already gone cannot validate anything
+    // — that is the Timeout rung of the ladder.
     let validating = Instant::now();
-    let validated =
-        validate_post_bounded(kernel, &post, &config.validation_sizes, config.parallelism);
+    let validated = validate_post_bounded(
+        kernel,
+        &post,
+        &config.validation_sizes,
+        config.parallelism,
+        budget,
+    );
     phase.bounded_ns += validating.elapsed().as_nanos() as u64;
     if let Err(reason) = validated {
+        if let Some(tripped) = budget.exhausted().filter(|r| r.halts_validation()) {
+            return (
+                Err(SynthesisFailure::Timeout {
+                    reason: tripped,
+                    detail: reason,
+                }),
+                phase,
+            );
+        }
         return (Err(SynthesisFailure::NotValidated(reason)), phase);
     }
     (
@@ -309,11 +416,23 @@ pub fn synthesize_with_phases(
             prover_attempts: 0,
             peak_candidates,
             soundly_verified: false,
+            degraded,
             synthesis_time: start.elapsed(),
             phase,
         }),
         phase,
     )
+}
+
+/// Renders a caught panic payload as a message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Validates a postcondition by running the kernel concretely (modular data
@@ -323,9 +442,18 @@ fn validate_post_bounded(
     post: &Postcondition,
     sizes: &[i64],
     parallelism: usize,
+    budget: &Budget,
 ) -> Result<(), String> {
     let indexed: Vec<(usize, i64)> = sizes.iter().copied().enumerate().collect();
     let results = stng_intern::parallel::map(&indexed, parallelism, |&(trial, size)| {
+        // One deadline/fuel poll per validation unit; the concrete runs
+        // themselves are bounded by the interpreter's own fuel.
+        if let Err(reason) = budget.check_time() {
+            return Err(format!("validation interrupted: {reason} exhausted"));
+        }
+        if budget.consume_check_fuel(1).is_err() {
+            return Err("validation interrupted: check-fuel exhausted".to_string());
+        }
         validate_post_at_size(kernel, post, trial, size)
     });
     results.into_iter().collect()
@@ -446,6 +574,62 @@ end procedure
         );
         let text = outcome.post.to_string();
         assert!(text.contains("step 2"), "post: {text}");
+    }
+
+    #[test]
+    fn prover_attempt_budget_degrades_to_bounded_validation() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        // One prover attempt is nowhere near enough for the Hoare proof; the
+        // kernel must still be accepted, through the validation fallback,
+        // with the degradation recorded.
+        let budget = Budget::limited(None, Some(1), None);
+        let (result, _) =
+            synthesize_governed_with_phases(&kernel, &SynthesisConfig::default(), &budget);
+        let outcome = result.unwrap();
+        assert!(!outcome.soundly_verified);
+        assert_eq!(outcome.degraded, Some(DegradeReason::ProverAttempts));
+        assert!(outcome.invariants.is_none());
+        assert_eq!(budget.exhausted(), Some(DegradeReason::ProverAttempts));
+    }
+
+    #[test]
+    fn exhausted_fuel_times_out_instead_of_validating() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        // Ten fuel units cannot even capture one bounded-check state, and
+        // fuel exhaustion also halts the validation fallback: the ladder
+        // bottoms out at Timeout, not at a silent bogus acceptance.
+        let budget = Budget::limited(None, None, Some(10));
+        let (result, _) =
+            synthesize_governed_with_phases(&kernel, &SynthesisConfig::default(), &budget);
+        match result {
+            Err(SynthesisFailure::Timeout { reason, .. }) => {
+                assert_eq!(reason, DegradeReason::CheckFuel);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_deadline_times_out_before_synthesis() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let budget = Budget::limited(Some(Duration::from_nanos(0)), None, None);
+        std::thread::sleep(Duration::from_millis(1));
+        let (result, _) =
+            synthesize_governed_with_phases(&kernel, &SynthesisConfig::default(), &budget);
+        assert!(matches!(
+            result,
+            Err(SynthesisFailure::Timeout {
+                reason: DegradeReason::Deadline,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ungoverned_run_reports_no_degradation() {
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let outcome = synthesize(&kernel).unwrap();
+        assert_eq!(outcome.degraded, None);
     }
 
     #[test]

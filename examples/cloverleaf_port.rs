@@ -45,6 +45,12 @@ fn main() {
                 KernelOutcome::Untranslated { reason } => {
                     println!("  {:<10} NOT translated: {reason}", corpus_kernel.name);
                 }
+                other => {
+                    println!(
+                        "  {:<10} cut short by resource governance: {other:?}",
+                        corpus_kernel.name
+                    );
+                }
             }
         }
     }

@@ -48,5 +48,8 @@ fn main() {
         KernelOutcome::Untranslated { reason } => {
             println!("kernel did not lift: {reason}");
         }
+        other => {
+            println!("kernel lift cut short by resource governance: {other:?}");
+        }
     }
 }

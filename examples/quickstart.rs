@@ -21,6 +21,7 @@ fn main() {
                 summary,
                 soundly_verified,
                 cegis_iterations,
+                ..
             } => {
                 println!("  lifted summary (postcondition):\n    {post}");
                 println!(
@@ -42,6 +43,9 @@ fn main() {
             }
             KernelOutcome::Untranslated { reason } => {
                 println!("  not translated: {reason}");
+            }
+            other => {
+                println!("  cut short by resource governance: {other:?}");
             }
         }
     }
