@@ -1,11 +1,11 @@
 //! Machine-readable benchmark emitter: lifts every corpus kernel, times the
-//! end-to-end pipeline, and writes `BENCH_5.json` at the workspace root so
+//! end-to-end pipeline, and writes `BENCH_6.json` at the workspace root so
 //! the performance trajectory is tracked from PR to PR.
 //!
 //! Usage:
 //!
 //! * `cargo bench --bench bench_json` — measures the current tree and writes
-//!   `BENCH_5.json`. When `BENCH_baseline.json` exists at the workspace root,
+//!   `BENCH_6.json`. When `BENCH_baseline.json` exists at the workspace root,
 //!   its numbers are embedded under `"baseline"` and an end-to-end speedup is
 //!   computed.
 //! * `BENCH_SAVE_BASELINE=1 cargo bench --bench bench_json` — additionally
@@ -18,16 +18,16 @@
 //! hit must reproduce the cold pass's report exactly.
 //!
 //! The run doubles as the **regression gate**: every kernel recorded as
-//! translated in the frozen `BENCH_4.json` (the previous PR's snapshot) must
+//! translated in the frozen `BENCH_5.json` (the previous PR's snapshot) must
 //! still translate, the warm pass must hit on every lookup, parity must
 //! hold, every soundly verified kernel's capture counter must equal the
 //! checker's `grid_sizes × trials_per_size` unit count (reachable states
-//! captured once per CEGIS session rather than once per candidate), and —
-//! new with resource governance — the whole corpus, lifted under an armed
-//! but generous budget (`bench_stng` attaches one), must finish within 5%
-//! of the previous snapshot's total, bounding the zero-fault cost of the
-//! budget bookkeeping; otherwise the process exits non-zero, which fails
-//! the CI jobs.
+//! captured once per CEGIS session rather than once per candidate), the
+//! whole corpus, lifted under an armed but generous budget (`bench_stng`
+//! attaches one), must finish within 5% of the previous snapshot's total,
+//! and — new with compiled proving — the corpus-total prove phase must be
+//! at least 1.5× faster than the previous snapshot's; otherwise the process
+//! exits non-zero, which fails the CI jobs.
 //!
 //! The JSON is emitted by hand (no serde in the offline build environment);
 //! the schema is flat and stable on purpose.
@@ -54,6 +54,9 @@ struct KernelMeasurement {
     bounded_ms: f64,
     prove_ms: f64,
     captures: usize,
+    oblig_hits: u64,
+    oblig_misses: u64,
+    core_hits: u64,
 }
 
 fn measure() -> (Vec<KernelMeasurement>, f64) {
@@ -103,6 +106,9 @@ fn measure() -> (Vec<KernelMeasurement>, f64) {
             bounded_ms: phase.bounded_ms(),
             prove_ms: phase.prove_ms(),
             captures: phase.captures,
+            oblig_hits: phase.oblig_hits,
+            oblig_misses: phase.oblig_misses,
+            core_hits: phase.core_hits,
         });
     }
     (rows, total_ms)
@@ -120,7 +126,8 @@ fn kernels_json(rows: &[KernelMeasurement]) -> String {
              \"soundly_verified\": {}, \"cegis_iterations\": {}, \"prover_attempts\": {}, \
              \"peak_candidates\": {}, \"control_bits\": {}, \"postcond_nodes\": {}, \
              \"capture_ms\": {:.3}, \"bounded_ms\": {:.3}, \"prove_ms\": {:.3}, \
-             \"captures\": {}}}",
+             \"captures\": {}, \"oblig_hits\": {}, \"oblig_misses\": {}, \
+             \"core_hits\": {}}}",
             row.name,
             row.suite,
             row.lift_ms,
@@ -135,6 +142,9 @@ fn kernels_json(rows: &[KernelMeasurement]) -> String {
             row.bounded_ms,
             row.prove_ms,
             row.captures,
+            row.oblig_hits,
+            row.oblig_misses,
+            row.core_hits,
         )
         .expect("writing to a String cannot fail");
     }
@@ -148,6 +158,20 @@ fn parse_total(json: &str) -> Option<f64> {
     let at = json.find(key)? + key.len();
     let rest = &json[at..];
     let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the corpus-total `prove_ms` from a previous snapshot's
+/// `"phases"` summary line (per-kernel lines also carry a `prove_ms` key, so
+/// the phases line is located first).
+fn parse_phase_prove(json: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"phases\""))?;
+    let key = "\"prove_ms\": ";
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}'])?;
     rest[..end].trim().parse().ok()
 }
 
@@ -254,20 +278,32 @@ fn main() {
         kernels_json(&rows)
     )
     .expect("writing to a String cannot fail");
-    // Phase breakdown: where checking time goes across the whole corpus.
+    // Phase breakdown: where checking time goes across the whole corpus,
+    // plus the compiled-proving counters (obligation memo and learned-core
+    // hits) that explain the prove column.
     let (cap_total, bounded_total, prove_total): (f64, f64, f64) =
         rows.iter().fold((0.0, 0.0, 0.0), |(c, b, p), r| {
             (c + r.capture_ms, b + r.bounded_ms, p + r.prove_ms)
         });
+    let (hits_total, misses_total, cores_total) = rows.iter().fold((0, 0, 0), |(h, m, c), r| {
+        (h + r.oblig_hits, m + r.oblig_misses, c + r.core_hits)
+    });
+    let memo_rate = hits_total as f64 / (hits_total + misses_total).max(1) as f64;
     writeln!(
         out,
         "  \"phases\": {{\"capture_ms\": {cap_total:.3}, \"bounded_ms\": {bounded_total:.3}, \
-         \"prove_ms\": {prove_total:.3}}},",
+         \"prove_ms\": {prove_total:.3}, \"oblig_hits\": {hits_total}, \
+         \"oblig_misses\": {misses_total}, \"core_hits\": {cores_total}}},",
     )
     .expect("writing to a String cannot fail");
     println!(
         "phase breakdown: capture {cap_total:.1} ms, bounded check {bounded_total:.1} ms, \
          prove {prove_total:.1} ms (of {total_ms:.1} ms total)"
+    );
+    println!(
+        "prover memo: {hits_total} hits / {misses_total} misses ({:.1}% hit rate), \
+         {cores_total} learned-core short-circuits",
+        memo_rate * 100.0
     );
     writeln!(
         out,
@@ -299,15 +335,15 @@ fn main() {
         println!("end-to-end lifting: {total_ms:.1} ms (no baseline snapshot found)");
     }
     out.push_str("  \"source\": \"cargo bench --bench bench_json\"\n}\n");
-    std::fs::write(root.join("BENCH_5.json"), out).expect("BENCH_5.json is writable");
-    println!("wrote BENCH_5.json");
+    std::fs::write(root.join("BENCH_6.json"), out).expect("BENCH_6.json is writable");
+    println!("wrote BENCH_6.json");
 
     let mut failed = false;
     // Regression gates against the previous PR's frozen snapshot:
-    // everything that lifted must still lift, and the governed (but
-    // unfaulted) corpus must not have slowed more than 5% — the budget
-    // polls and fuel accounting have to be near-free on the happy path.
-    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_4.json")) {
+    // everything that lifted must still lift, the governed (but unfaulted)
+    // corpus must not have slowed more than 5%, and compiled proving must
+    // have bought at least a 1.5x corpus-total prove-phase improvement.
+    if let Ok(prior) = std::fs::read_to_string(root.join("BENCH_5.json")) {
         let must_lift = previously_lifting(&prior);
         let regressed: Vec<&String> = must_lift
             .iter()
@@ -335,6 +371,23 @@ fn main() {
                 println!(
                     "governance overhead gate: governed corpus {total_ms:.1} ms within 5% \
                      of prior {prior_total:.1} ms"
+                );
+            }
+        }
+        if let Some(prior_prove) = parse_phase_prove(&prior) {
+            if prove_total > prior_prove / 1.5 {
+                eprintln!(
+                    "PROVE-PHASE REGRESSION: corpus-total prove {prove_total:.1} ms is not \
+                     1.5x faster than the prior snapshot's {prior_prove:.1} ms \
+                     (needed <= {:.1} ms)",
+                    prior_prove / 1.5
+                );
+                failed = true;
+            } else {
+                println!(
+                    "compiled-proving gate: corpus-total prove {prove_total:.1} ms, \
+                     {:.2}x faster than prior {prior_prove:.1} ms",
+                    prior_prove / prove_total
                 );
             }
         }

@@ -33,7 +33,12 @@ fn print_deopt_table() {
                 let code = serial_c(&summary.funcs[0].0, &region);
                 (after, code.lines().count())
             }
-            KernelOutcome::Untranslated { .. } => (before, 0),
+            // Untranslated (or budget-terminated, which the ungoverned bench
+            // configuration never produces): the original code is all there
+            // is, so the de-opt speedup equals the original's.
+            KernelOutcome::Untranslated { .. }
+            | KernelOutcome::Timeout { .. }
+            | KernelOutcome::Crashed { .. } => (before, 0),
         };
         println!(
             "{:<12} {:>15.4}x {:>15.2}x {:>14}",

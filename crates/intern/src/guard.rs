@@ -254,14 +254,22 @@ impl Budget {
     /// Charge `n` prover attempts against this budget chain; also polls the
     /// clock. Exhaustion is sticky.
     pub fn consume_prover_attempts(&self, n: u64) -> Result<(), DegradeReason> {
-        self.consume(n, |inner| inner.prover_attempts.as_ref(), DegradeReason::ProverAttempts)?;
+        self.consume(
+            n,
+            |inner| inner.prover_attempts.as_ref(),
+            DegradeReason::ProverAttempts,
+        )?;
         self.check_time()
     }
 
     /// Charge `n` units of bounded-check fuel against this budget chain;
     /// also polls the clock. Exhaustion is sticky.
     pub fn consume_check_fuel(&self, n: u64) -> Result<(), DegradeReason> {
-        self.consume(n, |inner| inner.check_fuel.as_ref(), DegradeReason::CheckFuel)?;
+        self.consume(
+            n,
+            |inner| inner.check_fuel.as_ref(),
+            DegradeReason::CheckFuel,
+        )?;
         self.check_time()
     }
 
@@ -418,7 +426,9 @@ pub mod fault {
             return false;
         }
         let guard = PLAN.lock().unwrap();
-        let Some(plan) = guard.as_ref() else { return false };
+        let Some(plan) = guard.as_ref() else {
+            return false;
+        };
         let fire = fires_periodic(plan.torn_write_period, plan.seed, 0x7ea4, &WRITE_CALLS);
         if fire {
             INJ_TORN.fetch_add(1, Ordering::Relaxed);
@@ -432,7 +442,9 @@ pub mod fault {
             return false;
         }
         let guard = PLAN.lock().unwrap();
-        let Some(plan) = guard.as_ref() else { return false };
+        let Some(plan) = guard.as_ref() else {
+            return false;
+        };
         let fire = fires_periodic(plan.read_error_period, plan.seed, 0x4ead, &READ_CALLS);
         if fire {
             INJ_READ.fetch_add(1, Ordering::Relaxed);
@@ -446,8 +458,13 @@ pub mod fault {
             return false;
         }
         let guard = PLAN.lock().unwrap();
-        let Some(plan) = guard.as_ref() else { return false };
-        let fire = plan.panic_kernels.iter().any(|k| kernel.contains(k.as_str()));
+        let Some(plan) = guard.as_ref() else {
+            return false;
+        };
+        let fire = plan
+            .panic_kernels
+            .iter()
+            .any(|k| kernel.contains(k.as_str()));
         if fire {
             INJ_PANIC.fetch_add(1, Ordering::Relaxed);
         }
@@ -461,7 +478,12 @@ pub mod fault {
         }
         let guard = PLAN.lock().unwrap();
         let plan = guard.as_ref()?;
-        if plan.stall_ms > 0 && plan.stall_kernels.iter().any(|k| kernel.contains(k.as_str())) {
+        if plan.stall_ms > 0
+            && plan
+                .stall_kernels
+                .iter()
+                .any(|k| kernel.contains(k.as_str()))
+        {
             INJ_STALL.fetch_add(1, Ordering::Relaxed);
             return Some(Duration::from_millis(plan.stall_ms));
         }

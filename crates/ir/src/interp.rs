@@ -661,12 +661,7 @@ end procedure
             params: vec![],
             locals: vec![],
             body: vec![IrStmt::Loop {
-                domain: IterDomain::new(
-                    "i",
-                    IrExpr::Int(10),
-                    IrExpr::Int(i64::MIN + 1),
-                    -1,
-                ),
+                domain: IterDomain::new("i", IrExpr::Int(10), IrExpr::Int(i64::MIN + 1), -1),
                 body: vec![],
             }],
             assumptions: vec![],
@@ -677,7 +672,7 @@ end procedure
         assert!(err.to_string().contains("budget"));
         // The default-fuel entry point is also covered: `run_kernel` now uses
         // DEFAULT_FUEL rather than u64::MAX, so it, too, would terminate.
-        assert!(DEFAULT_FUEL < u64::MAX);
+        const { assert!(DEFAULT_FUEL < u64::MAX) };
     }
 
     #[test]

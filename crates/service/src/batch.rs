@@ -215,11 +215,22 @@ impl BatchReport {
                             ),
                         ];
                         if timings {
+                            // Memo/core counters live with the timings: hit
+                            // totals depend on how candidate workers and
+                            // sibling kernels interleave, so they are
+                            // schedule-dependent exactly like durations and
+                            // must stay out of the canonical encoding.
                             fields.extend([
                                 ("lift_ms", Json::Num((k.lift_ms * 1e3).round() / 1e3)),
                                 ("capture_ms", ms(k.report.phase.capture_ns)),
                                 ("bounded_ms", ms(k.report.phase.bounded_ns)),
                                 ("prove_ms", ms(k.report.phase.prove_ns)),
+                                ("oblig_hits", Json::Num(k.report.phase.oblig_hits as f64)),
+                                (
+                                    "oblig_misses",
+                                    Json::Num(k.report.phase.oblig_misses as f64),
+                                ),
+                                ("core_hits", Json::Num(k.report.phase.core_hits as f64)),
                             ]);
                         }
                         fields.extend([
@@ -302,11 +313,7 @@ pub fn run_batch(sources: &[BatchSource], options: &BatchOptions) -> std::io::Re
     // The batch-wide budget spans all passes; per-source child budgets
     // charge it, so a dead batch deadline cuts every remaining kernel over
     // to timeout rows instead of letting the tail run long.
-    let batch_budget = Budget::limited(
-        options.deadline_ms.map(Duration::from_millis),
-        None,
-        None,
-    );
+    let batch_budget = Budget::limited(options.deadline_ms.map(Duration::from_millis), None, None);
     for number in 1..=options.passes {
         report
             .passes
@@ -368,10 +375,7 @@ fn lift_source_governed(
         };
         match catch_unwind(AssertUnwindSafe(|| stng.lift_source(&src.source))) {
             Ok(Ok(lift)) => {
-                let cut_short = lift
-                    .kernels
-                    .iter()
-                    .any(|k| k.outcome.is_budget_affected());
+                let cut_short = lift.kernels.iter().any(|k| k.outcome.is_budget_affected());
                 if !cut_short {
                     return SourceOutcome::Lifted(lift);
                 }

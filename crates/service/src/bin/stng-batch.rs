@@ -19,6 +19,10 @@
 //! * `--mem-capacity <n>` — memory-tier capacity in entries (default 4096).
 //! * `--threads <n>` — lifting worker threads (default: all cores).
 //! * `--no-sweep` — keep the expression arenas between passes.
+//! * `--profile` — print a per-kernel phase-breakdown table for the final
+//!   pass (capture / bounded / prove times plus the prover's obligation-memo
+//!   and learned-core hit rates), so prover wins are visible without
+//!   parsing the JSON report.
 //! * `--json <path>` — write the full per-kernel report as JSON.
 //! * `--deadline-ms <n>` — wall-clock budget for the whole batch; once it
 //!   is gone, remaining kernels report as timed out instead of running.
@@ -40,6 +44,7 @@ struct Args {
     options: BatchOptions,
     json_out: Option<std::path::PathBuf>,
     check_warm: bool,
+    profile: bool,
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -47,8 +52,9 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: stng-batch [--corpus | --dir <path> | --manifest <path>] \
          [--passes <n>] [--cache-dir <path>] [--mem-capacity <n>] \
-         [--threads <n>] [--no-sweep] [--json <path>] [--check-warm] \
-         [--deadline-ms <n>] [--kernel-timeout-ms <n>] [--retries <n>]"
+         [--threads <n>] [--no-sweep] [--profile] [--json <path>] \
+         [--check-warm] [--deadline-ms <n>] [--kernel-timeout-ms <n>] \
+         [--retries <n>]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
     let mut options = BatchOptions::default();
     let mut json_out = None;
     let mut check_warm = false;
+    let mut profile = false;
 
     let next_value = |flag: &str, raw: &mut dyn Iterator<Item = String>| {
         raw.next().ok_or(format!("{flag} requires a value"))
@@ -122,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--retries: {e}"))?;
             }
             "--no-sweep" => options.sweep_between = false,
+            "--profile" => profile = true,
             "--json" => json_out = Some(next_value("--json", &mut raw)?.into()),
             "--check-warm" => check_warm = true,
             other => return Err(format!("unknown argument {other:?}")),
@@ -136,7 +144,63 @@ fn parse_args() -> Result<Args, String> {
         options,
         json_out,
         check_warm,
+        profile,
     })
+}
+
+/// `--profile`: per-kernel phase breakdown of the final pass. Cache-served
+/// rows replay the original lift's phase counters, so on a warm pass the
+/// table shows what the lift cost when it actually ran.
+fn print_profile(pass: &stng_service::batch::BatchPass) {
+    println!(
+        "\nprofile (pass {}): per-kernel phase breakdown\n\
+         {:<24} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}",
+        pass.number,
+        "kernel",
+        "lift_ms",
+        "capt_ms",
+        "bound_ms",
+        "prove_ms",
+        "memo%",
+        "oblig",
+        "cores"
+    );
+    let mut totals = (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0u64, 0u64, 0u64);
+    for k in &pass.kernels {
+        let p = &k.report.phase;
+        let rate = p
+            .oblig_hit_rate()
+            .map(|r| format!("{:.1}", r * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6}",
+            k.kernel_name,
+            k.lift_ms,
+            p.capture_ms(),
+            p.bounded_ms(),
+            p.prove_ms(),
+            rate,
+            p.oblig_hits + p.oblig_misses,
+            p.core_hits,
+        );
+        totals.0 += k.lift_ms;
+        totals.1 += p.capture_ms();
+        totals.2 += p.bounded_ms();
+        totals.3 += p.prove_ms();
+        totals.4 += p.oblig_hits;
+        totals.5 += p.oblig_misses;
+        totals.6 += p.core_hits;
+    }
+    let total_oblig = totals.4 + totals.5;
+    let rate = if total_oblig > 0 {
+        format!("{:.1}", totals.4 as f64 * 100.0 / total_oblig as f64)
+    } else {
+        "-".to_string()
+    };
+    println!(
+        "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6}",
+        "total", totals.0, totals.1, totals.2, totals.3, rate, total_oblig, totals.6
+    );
 }
 
 fn main() -> ExitCode {
@@ -202,6 +266,11 @@ fn main() -> ExitCode {
                 "  disk faults: {} entr(ies) quarantined, {} read retr(ies)",
                 pass.cache.quarantined, pass.cache.io_retries
             );
+        }
+    }
+    if args.profile {
+        if let Some(pass) = report.passes.last() {
+            print_profile(pass);
         }
     }
     for stat in memory::arena_stats() {

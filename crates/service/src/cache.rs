@@ -37,9 +37,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use stng_intern::guard::fault;
 use stng::pipeline::{KernelOutcome, KernelReport, LiftCache};
 use stng::translate::StencilSummary;
+use stng_intern::guard::fault;
 use stng_ir::canon::{self, Canon};
 use stng_ir::ir::Kernel;
 use stng_pred::lang::{Postcondition, QuantClause};
@@ -380,8 +380,7 @@ fn decode_checked(text: &str) -> Result<CachedLift, String> {
     let (line, body) = text
         .split_once('\n')
         .ok_or("entry is missing its checksum line")?;
-    let expected =
-        u64::from_str_radix(line.trim(), 16).map_err(|_| "malformed checksum line")?;
+    let expected = u64::from_str_radix(line.trim(), 16).map_err(|_| "malformed checksum line")?;
     let actual = canon::fnv1a64(body.as_bytes(), CHECKSUM_SEED);
     if actual != expected {
         return Err(format!(

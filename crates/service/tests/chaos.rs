@@ -50,7 +50,14 @@ fn faulted_corpus_batch_completes_and_classifies_every_kernel() {
         // escaping the driver.
         let tag = outcome_tag(&k.report.outcome);
         assert!(
-            ["translated", "degraded", "untranslated", "timeout", "crashed"].contains(&tag),
+            [
+                "translated",
+                "degraded",
+                "untranslated",
+                "timeout",
+                "crashed"
+            ]
+            .contains(&tag),
             "unclassified outcome for {}",
             k.kernel_name
         );
@@ -89,10 +96,7 @@ fn faulted_corpus_batch_completes_and_classifies_every_kernel() {
         injected.candidate_panics > 0,
         "no candidate panics: {injected:?}"
     );
-    assert!(
-        injected.prover_stalls > 0,
-        "no prover stalls: {injected:?}"
-    );
+    assert!(injected.prover_stalls > 0, "no prover stalls: {injected:?}");
     // Injected read errors were retried, not surfaced.
     assert!(report.cache.stats().io_retries > 0);
 

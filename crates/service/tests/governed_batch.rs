@@ -42,8 +42,7 @@ fn dead_batch_deadline_yields_timeout_rows_not_a_hang() {
 #[test]
 fn ungoverned_batch_reports_no_degradation() {
     let sources = corpus_subset(&["simple0", "heat0"]);
-    let report =
-        batch::run_batch(&sources, &BatchOptions::default()).expect("memory-only");
+    let report = batch::run_batch(&sources, &BatchOptions::default()).expect("memory-only");
     let (translated, degraded, untranslated, timeout, crashed) = report.passes[0].summary();
     assert_eq!(translated, 2, "both kernels lift without budgets");
     assert_eq!((degraded, untranslated, timeout, crashed), (0, 0, 0, 0));
@@ -89,8 +88,7 @@ fn starved_prover_budget_degrades_and_retries_escalate_past_it() {
 #[test]
 fn batch_json_carries_outcome_and_summary_fields() {
     let sources = corpus_subset(&["simple0"]);
-    let report =
-        batch::run_batch(&sources, &BatchOptions::default()).expect("memory-only");
+    let report = batch::run_batch(&sources, &BatchOptions::default()).expect("memory-only");
     let text = report.to_json().to_string();
     assert!(text.contains("\"schema\":2"), "schema bumped: {text}");
     assert!(text.contains("\"outcome\":\"translated\""));

@@ -13,50 +13,241 @@
 //! substitutes `i = lo + step·k`, facts like `step·t ≤ step·k − 1` tighten
 //! to `t ≤ k − 1`, i.e. two aligned counters that differ must differ by a
 //! whole stride.
+//!
+//! Feasibility queries run through a three-stage compiled pipeline:
+//!
+//! 1. every context maintains its canonical constraint set (tightened,
+//!    sorted, deduplicated) *incrementally* — extending a context for a
+//!    case-split branch inserts one canonical row instead of re-normalizing
+//!    the whole system per query;
+//! 2. the canonical set is looked up in the global verdict memo, and on a
+//!    miss checked against the *learned infeasibility cores* (minimal
+//!    constraint subsets previously proven UNSAT) — any query containing a
+//!    core is UNSAT without elimination;
+//! 3. remaining queries run the slot-addressed dense elimination of
+//!    [`crate::lin_compile`], which also extracts new cores from its
+//!    contradiction provenance.
+//!
+//! Contexts created with [`LinCtx::new_legacy`] bypass all three stages and
+//! run the original tree-walking elimination directly — the independent
+//! oracle the corpus-wide differential test compares against.
 
 use std::collections::BTreeSet;
-use stng_intern::{Memo, Symbol};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+use stng_intern::{epoch, ArenaStats, ConsSet, Memo, Symbol};
 use stng_ir::ir::{Affine, CmpOp, IrExpr};
 
 /// Maximum number of constraints Fourier–Motzkin is allowed to generate
 /// before giving up (returning "possibly feasible", which is always safe).
-const FM_CONSTRAINT_CAP: usize = 4000;
+pub(crate) const FM_CONSTRAINT_CAP: usize = 4000;
+
+/// Maximum members a learned core may have; provenance subsets that stay
+/// bigger after minimization are not worth the per-query subsumption scans.
+const CORE_MAX_LEN: usize = 8;
+
+/// Maximum number of learned cores kept live at once.
+const CORE_STORE_CAP: usize = 256;
+
+/// Global hash-cons table of canonical (tightened) constraint rows. Every
+/// row a compiled context carries lives here exactly once, so a context's
+/// canonical set is a vector of pointers: hashing a feasibility-query key
+/// hashes addresses instead of walking `BTreeMap`s, equality is pointer
+/// comparison, and extending a context for one query is a memcpy.
+static ROWS: ConsSet<Affine> = ConsSet::new();
+
+/// A hash-consed canonical constraint row. Equality and hashing are pointer
+/// operations (sound because [`ROWS`] stores each row value once); ordering
+/// is by row *value*, which keeps the canonical set sorted by content — the
+/// property the elimination-order fidelity and the sorted-subset core scans
+/// depend on. Value-equal rows are pointer-equal by construction, so the
+/// `Eq`/`Ord` pair stays consistent.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RowRef(pub(crate) &'static Affine);
+
+impl PartialEq for RowRef {
+    fn eq(&self, other: &RowRef) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+impl Eq for RowRef {}
+impl std::hash::Hash for RowRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0 as *const Affine as usize).hash(state);
+    }
+}
+impl PartialOrd for RowRef {
+    fn partial_cmp(&self, other: &RowRef) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RowRef {
+    fn cmp(&self, other: &RowRef) -> std::cmp::Ordering {
+        self.0.cmp(other.0)
+    }
+}
+impl std::borrow::Borrow<Affine> for RowRef {
+    fn borrow(&self) -> &Affine {
+        self.0
+    }
+}
 
 /// Global memo of Fourier–Motzkin feasibility verdicts, keyed on the sorted,
-/// deduplicated constraint set. The prover's case-split search asks the same
-/// entailment questions under the same (or prefix-shared) contexts thousands
-/// of times; a hit here replaces a full elimination with one table lookup.
-static FM_MEMO: Memo<Vec<Affine>, bool> = Memo::new();
+/// deduplicated constraint set (as interned rows). The prover's case-split
+/// search asks the same entailment questions under the same (or
+/// prefix-shared) contexts thousands of times; a hit here replaces a full
+/// elimination with a pointer-hash table lookup.
+static FM_MEMO: Memo<Vec<RowRef>, bool> = Memo::new();
 
-/// Occupancy snapshot of the Fourier–Motzkin verdict memo.
-pub fn arena_stats() -> stng_intern::ArenaStats {
-    FM_MEMO.stats("solve.fm_memo")
+/// A learned core (sorted constraint subset) with the epoch of its last use.
+type TaggedCore = (Vec<Affine>, AtomicU64);
+
+/// Learned infeasibility cores: minimal constraint subsets (sorted, so
+/// subset tests are linear merges) proven UNSAT by elimination, each tagged
+/// with the epoch of its last use so sweeps keep hot cores.
+static CORES: OnceLock<RwLock<Vec<TaggedCore>>> = OnceLock::new();
+
+/// Number of feasibility queries short-circuited by a learned core.
+static CORE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total core short-circuits since process start (monotonic; callers read
+/// deltas around a synthesis run).
+pub fn core_hit_count() -> u64 {
+    CORE_HITS.load(Ordering::Relaxed)
 }
 
-/// Sweeps Fourier–Motzkin verdicts inserted before `cutoff`. Verdicts are
-/// plain booleans keyed on owned constraint sets, so this is always safe.
+/// Occupancy snapshots of the Fourier–Motzkin verdict memo and the learned
+/// core store.
+pub fn arena_stats() -> Vec<ArenaStats> {
+    let cores = CORES
+        .get()
+        .map(|l| l.read().expect("core store poisoned").len())
+        .unwrap_or(0);
+    vec![
+        ROWS.stats("solve.lin_rows"),
+        FM_MEMO.stats("solve.fm_memo"),
+        ArenaStats::new("solve.lin_cores", cores, std::mem::size_of::<Vec<Affine>>()),
+    ]
+}
+
+/// Sweeps interned rows, Fourier–Motzkin verdicts, and learned cores.
+/// Verdict-memo keys hold raw row addresses, so evicting *any* row must
+/// drop *every* memo entry — a surviving entry could otherwise alias a
+/// recycled allocation; the memo is cleared wholesale (it rebuilds in one
+/// pass). Rows themselves are only referenced by live [`LinCtx`]s, none of
+/// which exist across a sweep (sweeps run between pipeline invocations
+/// only), and cores are owned constraint subsets, so both evict safely.
 pub fn retain_epoch(cutoff: u64) -> usize {
-    FM_MEMO.retain_epoch(cutoff)
+    let mut evicted = ROWS.retain_epoch(cutoff);
+    evicted += FM_MEMO.retain_epoch(u64::MAX);
+    if let Some(lock) = CORES.get() {
+        let mut cores = lock.write().expect("core store poisoned");
+        let before = cores.len();
+        cores.retain(|(_, tag)| tag.load(Ordering::Relaxed) >= cutoff);
+        cores.shrink_to_fit();
+        evicted += before - cores.len();
+    }
+    evicted
 }
 
-/// Canonicalizes (tighten + sort + dedup) and checks feasibility through the
-/// memo.
-fn fm_infeasible_cached(constraints: &[Affine]) -> bool {
+/// `needle ⊆ haystack`, both sorted ascending by row value.
+fn sorted_subset<A, B>(needle: &[A], haystack: &[B]) -> bool
+where
+    A: std::borrow::Borrow<Affine>,
+    B: std::borrow::Borrow<Affine>,
+{
+    let mut it = haystack.iter().map(|h| h.borrow());
+    'members: for m in needle.iter().map(|m| m.borrow()) {
+        for h in it.by_ref() {
+            match h.cmp(m) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'members,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Checks `key` (sorted) against the learned cores; a containing query is
+/// UNSAT by monotonicity. Hits re-tag the core with the current epoch.
+fn core_subsumed(key: &[RowRef]) -> bool {
+    let Some(lock) = CORES.get() else {
+        return false;
+    };
+    let cores = lock.read().expect("core store poisoned");
+    let now = epoch::current();
+    for (core, tag) in cores.iter() {
+        if core.len() <= key.len() && sorted_subset(core, key) {
+            tag.store(now, Ordering::Relaxed);
+            CORE_HITS.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+    false
+}
+
+/// Records a freshly learned core (already minimized and verified UNSAT by
+/// the dense engine). Cores subsumed by an existing one are dropped; cores
+/// that subsume existing ones replace them.
+fn learn_core(mut core: Vec<Affine>) {
+    if core.is_empty() || core.len() > CORE_MAX_LEN {
+        return;
+    }
+    core.sort();
+    let lock = CORES.get_or_init(Default::default);
+    let mut cores = lock.write().expect("core store poisoned");
+    if cores
+        .iter()
+        .any(|(existing, _)| existing.len() <= core.len() && sorted_subset(existing, &core))
+    {
+        return;
+    }
+    cores.retain(|(existing, _)| !sorted_subset(&core, existing));
+    if cores.len() >= CORE_STORE_CAP {
+        return;
+    }
+    cores.push((core, AtomicU64::new(epoch::current())));
+}
+
+/// The compiled feasibility pipeline over a canonical (tightened, sorted,
+/// deduplicated) constraint set: memo, then learned cores, then dense
+/// elimination with core extraction.
+fn fm_query(key: &Vec<RowRef>) -> bool {
+    if let Some(hit) = FM_MEMO.get(key) {
+        return hit;
+    }
+    if core_subsumed(key) {
+        FM_MEMO.insert(key.clone(), true);
+        return true;
+    }
+    let (infeasible, core) = crate::lin_compile::fm_analyze(key);
+    if let Some(members) = core {
+        learn_core(members.iter().map(|&i| key[i].0.clone()).collect());
+    }
+    FM_MEMO.insert(key.clone(), infeasible);
+    infeasible
+}
+
+/// Canonicalizes a raw constraint set the way the legacy path always did:
+/// tighten every row, sort, deduplicate.
+fn canonical(constraints: &[Affine]) -> Vec<Affine> {
     let mut key: Vec<Affine> = constraints.iter().map(|c| tighten(c.clone())).collect();
     key.sort();
     key.dedup();
-    if let Some(hit) = FM_MEMO.get(&key) {
-        return hit;
-    }
-    let verdict = fm_infeasible(&key);
-    FM_MEMO.insert(key, verdict);
-    verdict
+    key
+}
+
+/// Interns the canonical form of one raw constraint.
+fn intern_row(c: &Affine) -> RowRef {
+    RowRef(ROWS.intern(tighten(c.clone())))
 }
 
 use stng_ir::ir::gcd;
 
 /// `⌈a / b⌉` for positive `b`.
-fn ceil_div(a: i64, b: i64) -> i64 {
+pub(crate) fn ceil_div(a: i64, b: i64) -> i64 {
     -((-a).div_euclid(b))
 }
 
@@ -94,12 +285,33 @@ pub struct LinCtx {
     /// entering the context. Values are fully reduced (they mention no
     /// defined variable).
     defs: Vec<(Symbol, Affine)>,
+    /// The canonical view of `constraints` — tightened, sorted (by value),
+    /// deduplicated, as interned rows — maintained incrementally: assuming
+    /// a constraint inserts one canonical row; installing a definition
+    /// rebuilds it. This is the elimination context the compiled query
+    /// pipeline keys on.
+    canon: Vec<RowRef>,
+    /// Legacy contexts bypass the memo/core/dense pipeline and run the
+    /// tree-walking elimination directly (the differential oracle).
+    legacy: bool,
 }
 
 impl LinCtx {
     /// An empty (trivially satisfiable) context.
     pub fn new() -> LinCtx {
         LinCtx::default()
+    }
+
+    /// An empty context whose feasibility queries run the original
+    /// tree-walking Fourier–Motzkin directly — no verdict memo, no learned
+    /// cores, no dense engine. Extensions ([`Clone`], [`LinCtx::with_case`])
+    /// inherit the flag, so a proof search started legacy stays legacy
+    /// throughout; the differential test relies on that independence.
+    pub fn new_legacy() -> LinCtx {
+        LinCtx {
+            legacy: true,
+            ..LinCtx::default()
+        }
     }
 
     /// Number of constraints currently in the context.
@@ -110,6 +322,16 @@ impl LinCtx {
     /// Returns `true` when the context has no constraints.
     pub fn is_empty(&self) -> bool {
         self.constraints.is_empty()
+    }
+
+    /// The canonical constraint set (tightened, sorted, deduplicated) plus
+    /// the definition layer — everything a feasibility or entailment query
+    /// can observe, in the shape the prover's obligation memo hashes.
+    pub fn obligation_key(&self) -> (Vec<Affine>, Vec<(Symbol, Affine)>) {
+        (
+            self.canon.iter().map(|r| r.0.clone()).collect(),
+            self.defs.clone(),
+        )
     }
 
     /// Applies the definition layer to an affine expression.
@@ -126,6 +348,15 @@ impl LinCtx {
             }
         }
         aff
+    }
+
+    /// Inserts the canonical form of `c` into the sorted canonical set.
+    fn push_constraint(&mut self, c: Affine) {
+        let row = intern_row(&c);
+        if let Err(pos) = self.canon.binary_search(&row) {
+            self.canon.insert(pos, row);
+        }
+        self.constraints.push(c);
     }
 
     /// Records the exact definition `var = value` and folds it into the
@@ -150,6 +381,14 @@ impl LinCtx {
             }
         }
         self.defs.push((var, value));
+        // Substitution can rewrite any constraint: rebuild the canonical
+        // view wholesale (definitions arrive once per context, before the
+        // query-heavy case-split phase extends it incrementally). Interned
+        // rows sort by value exactly like the owned rows they mirror.
+        self.canon = canonical(&self.constraints)
+            .iter()
+            .map(|c| RowRef(ROWS.intern(c.clone())))
+            .collect();
     }
 
     /// Decides `m | aff` syntactically under the definition layer: after
@@ -167,14 +406,14 @@ impl LinCtx {
     /// Adds `lhs ≤ rhs`.
     pub fn assume_le(&mut self, lhs: &Affine, rhs: &Affine) {
         let c = self.reduced(lhs.sub(rhs));
-        self.constraints.push(c);
+        self.push_constraint(c);
     }
 
     /// Adds `lhs < rhs` (integer semantics: `lhs ≤ rhs − 1`).
     pub fn assume_lt(&mut self, lhs: &Affine, rhs: &Affine) {
         let mut c = self.reduced(lhs.sub(rhs));
         c.constant += 1;
-        self.constraints.push(c);
+        self.push_constraint(c);
     }
 
     /// Adds `lhs = rhs`.
@@ -220,7 +459,39 @@ impl LinCtx {
     /// Returns `true` when the context is provably infeasible (has no
     /// rational, hence no integer, solutions).
     pub fn is_infeasible(&self) -> bool {
-        fm_infeasible_cached(&self.constraints)
+        if self.legacy {
+            return fm_infeasible(&canonical(&self.constraints));
+        }
+        fm_query(&self.canon)
+    }
+
+    /// Refutation query: is the context together with the (already reduced)
+    /// row `neg ≤ 0` infeasible?
+    fn refutes(&self, neg: Affine) -> bool {
+        if self.legacy {
+            let mut cs = self.constraints.clone();
+            cs.push(neg);
+            return fm_infeasible(&canonical(&cs));
+        }
+        let neg = tighten(neg);
+        // Constant-only negations need no elimination: `c > 0` is a
+        // contradiction all by itself, and `c ≤ 0` is inert — the
+        // conjunction is infeasible exactly when the context already is.
+        if neg.terms.is_empty() {
+            return neg.constant > 0 || fm_query(&self.canon);
+        }
+        let neg = RowRef(ROWS.intern(neg));
+        match self.canon.binary_search(&neg) {
+            // The negation is already a context row: same canonical set.
+            Ok(_) => fm_query(&self.canon),
+            Err(pos) => {
+                let mut key = Vec::with_capacity(self.canon.len() + 1);
+                key.extend_from_slice(&self.canon[..pos]);
+                key.push(neg);
+                key.extend_from_slice(&self.canon[pos..]);
+                fm_query(&key)
+            }
+        }
     }
 
     /// Checks whether the context entails `lhs ≤ rhs`.
@@ -228,9 +499,7 @@ impl LinCtx {
         // Negation over the integers: lhs ≥ rhs + 1, i.e. rhs + 1 − lhs ≤ 0.
         let mut neg = self.reduced(rhs.sub(lhs));
         neg.constant += 1;
-        let mut cs = self.constraints.clone();
-        cs.push(neg);
-        fm_infeasible_cached(&cs)
+        self.refutes(neg)
     }
 
     /// Checks whether the context entails `lhs = rhs`.
@@ -252,9 +521,7 @@ impl LinCtx {
         // c ≤ 0 entailed iff context ∧ (c ≥ 1) infeasible.
         let mut neg = self.reduced(c.scale(-1));
         neg.constant += 1;
-        let mut cs = self.constraints.clone();
-        cs.push(neg);
-        fm_infeasible_cached(&cs)
+        self.refutes(neg)
     }
 
     /// Checks whether the context entails the boolean expression `e`
@@ -313,7 +580,10 @@ pub enum SplitCase {
 pub const SPLIT_CASES: [SplitCase; 3] = [SplitCase::Less, SplitCase::Equal, SplitCase::Greater];
 
 /// Fourier–Motzkin feasibility check: returns `true` when the system
-/// `{ c ≤ 0 }` is provably infeasible over the rationals.
+/// `{ c ≤ 0 }` is provably infeasible over the rationals. This is the
+/// tree-walking reference engine; compiled contexts only reach it through
+/// [`crate::lin_compile`]'s transliteration, legacy contexts run it
+/// directly.
 fn fm_infeasible(constraints: &[Affine]) -> bool {
     let mut cs: Vec<Affine> = constraints.to_vec();
     loop {
@@ -535,5 +805,65 @@ mod tests {
         assert!(!ctx.is_infeasible());
         ctx.assume_le(&constant(3), &var("y"));
         assert!(ctx.is_infeasible());
+    }
+
+    /// Every query a compiled context can answer, a legacy context answers
+    /// identically (unit-sized differential; the corpus-wide version lives
+    /// in `tests/prover_differential.rs`).
+    #[test]
+    fn legacy_and_compiled_contexts_agree() {
+        let build = |mut ctx: LinCtx| {
+            ctx.assume_le(&var("i"), &var("n"));
+            ctx.assume_lt(&var("j"), &var("i"));
+            ctx.assume_le(&constant(0), &var("j"));
+            ctx.define("s", &constant(1).add(&var("w").scale(3)));
+            ctx.assume_le(&constant(0), &var("w"));
+            ctx
+        };
+        let compiled = build(LinCtx::new());
+        let legacy = build(LinCtx::new_legacy());
+        let probes = [
+            (var("j"), var("n")),
+            (var("n"), var("j")),
+            (var("i"), var("i")),
+            (constant(0), var("s")),
+            (var("s"), constant(0)),
+            (var("j"), var("i")),
+        ];
+        for (lhs, rhs) in &probes {
+            assert_eq!(compiled.entails_le(lhs, rhs), legacy.entails_le(lhs, rhs));
+            assert_eq!(compiled.entails_eq(lhs, rhs), legacy.entails_eq(lhs, rhs));
+            assert_eq!(compiled.entails_ne(lhs, rhs), legacy.entails_ne(lhs, rhs));
+        }
+        assert_eq!(compiled.is_infeasible(), legacy.is_infeasible());
+        let conflicted = |mut ctx: LinCtx| {
+            ctx.assume_lt(&var("n"), &var("j"));
+            ctx.is_infeasible()
+        };
+        assert_eq!(conflicted(compiled.clone()), conflicted(legacy.clone()));
+        assert!(conflicted(compiled));
+    }
+
+    #[test]
+    fn learned_cores_short_circuit_supersets() {
+        // Prove a small contradiction, then ask a strictly larger context
+        // containing it: the verdict must come back infeasible and the core
+        // hit counter must advance (the superset query is fresh, so it
+        // cannot be a memo hit).
+        let mut small = LinCtx::new();
+        small.assume_le(&var("corex"), &constant(3));
+        small.assume_le(&constant(5), &var("corex"));
+        assert!(small.is_infeasible());
+        let before = core_hit_count();
+        let mut big = LinCtx::new();
+        big.assume_le(&var("corea"), &var("coreb"));
+        big.assume_le(&var("corex"), &constant(3));
+        big.assume_le(&var("coreb"), &constant(7));
+        big.assume_le(&constant(5), &var("corex"));
+        assert!(big.is_infeasible());
+        assert!(
+            core_hit_count() > before,
+            "superset query must hit the core"
+        );
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::lin::{LinCtx, SplitCase, SPLIT_CASES};
 use crate::norm::{NAtom, NormErr, NormExpr, Store, SymState};
+use crate::oblig::ProverSession;
 use std::collections::BTreeMap;
 use stng_intern::guard::Budget;
 use stng_intern::Symbol;
@@ -102,9 +103,41 @@ impl SmtLite {
     /// like the prover's own internal limits; the caller distinguishes the
     /// cases via [`Budget::exhausted`].
     pub fn verify_all_governed(&self, vcs: &[Vc], budget: &Budget) -> (Verdict, usize) {
+        self.verify_all_with(vcs, budget, None, false)
+    }
+
+    /// Memoizing verification: like [`SmtLite::verify_all_governed`] but
+    /// every settled case-split subtree is recorded in (and replayed from)
+    /// the [`ProverSession`], which CEGIS shares across all candidates of
+    /// one kernel. Memo hits charge neither the returned attempt count nor
+    /// the [`Budget`] — only genuinely new obligations cost anything.
+    pub fn verify_all_session(
+        &self,
+        vcs: &[Vc],
+        budget: &Budget,
+        session: &ProverSession,
+    ) -> (Verdict, usize) {
+        self.verify_all_with(vcs, budget, Some(session), false)
+    }
+
+    /// Oracle verification: identical logic, but every [`LinCtx`] runs the
+    /// original tree-walking Fourier–Motzkin with no verdict memo, learned
+    /// cores, or obligation memoization. The corpus-wide differential test
+    /// pins `verify_all_session` ≡ `verify_all_governed` ≡ this.
+    pub fn verify_all_legacy(&self, vcs: &[Vc], budget: &Budget) -> (Verdict, usize) {
+        self.verify_all_with(vcs, budget, None, true)
+    }
+
+    fn verify_all_with(
+        &self,
+        vcs: &[Vc],
+        budget: &Budget,
+        session: Option<&ProverSession>,
+        legacy: bool,
+    ) -> (Verdict, usize) {
         let mut attempts = 0;
         for vc in vcs {
-            let (verdict, spent) = self.verify_vc_governed(vc, budget);
+            let (verdict, spent) = self.verify_vc_with(vc, budget, session, legacy);
             attempts += spent;
             if let Verdict::Unknown(reason) = verdict {
                 return (Verdict::Unknown(format!("{}: {reason}", vc.name)), attempts);
@@ -127,6 +160,20 @@ impl SmtLite {
     /// Budget-governed single-VC verification; see
     /// [`SmtLite::verify_all_governed`].
     pub fn verify_vc_governed(&self, vc: &Vc, budget: &Budget) -> (Verdict, usize) {
+        self.verify_vc_with(vc, budget, None, false)
+    }
+
+    fn verify_vc_with(
+        &self,
+        vc: &Vc,
+        budget: &Budget,
+        memo: Option<&ProverSession>,
+        legacy: bool,
+    ) -> (Verdict, usize) {
+        // The memo key's VC component is the full structural rendering:
+        // distinct candidates' distinct VCs get distinct ids, shared ones
+        // (loop bounds, frame conditions) collapse onto one.
+        let vc_key = memo.map(|m| m.vc_id(&format!("{vc:?}"))).unwrap_or(0);
         let mut session = ProofSession {
             vc,
             hyp_clauses: Vec::new(),
@@ -134,10 +181,16 @@ impl SmtLite {
             attempts: 0,
             max_attempts: self.max_attempts,
             budget,
+            memo,
+            vc_key,
         };
         let mut hyp_real_env = BTreeMap::new();
         // Partition hypotheses.
-        let mut base_ctx = LinCtx::new();
+        let mut base_ctx = if legacy {
+            LinCtx::new_legacy()
+        } else {
+            LinCtx::new()
+        };
         for hyp in &vc.hypotheses {
             for conjunct in hyp.conjuncts() {
                 match conjunct {
@@ -191,12 +244,26 @@ struct ProofSession<'a> {
     attempts: usize,
     max_attempts: usize,
     budget: &'a Budget,
+    /// Kernel-level obligation memo shared across candidates; `None` runs
+    /// the un-memoized search.
+    memo: Option<&'a ProverSession>,
+    /// This VC's id in the memo's key space.
+    vc_key: u32,
 }
 
 impl<'a> ProofSession<'a> {
     fn prove(&mut self, ctx: &LinCtx, depth: usize) -> Result<(), String> {
         if ctx.is_infeasible() {
             return Ok(());
+        }
+        // Settled subtree? Replaying a memoized verdict charges nothing —
+        // neither the attempt counter nor the governed budget — so a warm
+        // memo can never push a kernel onto the degradation ladder.
+        let handle = self.memo.map(|m| m.ctx_handle(ctx));
+        if let (Some(memo), Some(handle)) = (self.memo, handle) {
+            if let Some(verdict) = memo.lookup(self.vc_key, handle, depth) {
+                return verdict;
+            }
         }
         self.attempts += 1;
         if self.attempts > self.max_attempts {
@@ -208,29 +275,49 @@ impl<'a> ProofSession<'a> {
         if let Err(reason) = self.budget.consume_prover_attempts(1) {
             return Err(format!("prover budget exhausted ({reason})"));
         }
-        match self.attempt(ctx) {
+        let verdict = match self.attempt(ctx) {
             Ok(()) => Ok(()),
             Err(Failure::Hard(msg)) => Err(msg),
             Err(Failure::Ambiguous(a, b)) => {
                 if depth == 0 {
-                    return Err("case-split depth exhausted (ambiguous array access)".to_string());
+                    Err("case-split depth exhausted (ambiguous array access)".to_string())
+                } else {
+                    self.split(ctx, depth, &a, &b)
                 }
-                self.split(ctx, depth, &a, &b)
             }
             Err(Failure::Coverage(candidates, msg)) => {
                 if depth == 0 {
-                    return Err(format!("case-split depth exhausted: {msg}"));
-                }
-                let mut last_err = msg;
-                for (a, b) in candidates {
-                    match self.split(ctx, depth, &a, &b) {
-                        Ok(()) => return Ok(()),
-                        Err(e) => last_err = e,
+                    Err(format!("case-split depth exhausted: {msg}"))
+                } else {
+                    let mut last_err = msg;
+                    let mut closed = false;
+                    for (a, b) in candidates {
+                        match self.split(ctx, depth, &a, &b) {
+                            Ok(()) => {
+                                closed = true;
+                                break;
+                            }
+                            Err(e) => last_err = e,
+                        }
+                    }
+                    if closed {
+                        Ok(())
+                    } else {
+                        Err(format!("no case split closed the goal: {last_err}"))
                     }
                 }
-                Err(format!("no case split closed the goal: {last_err}"))
+            }
+        };
+        // Memoize clean outcomes only: a verdict reached after tripping the
+        // attempt cap or the governed budget reflects resource exhaustion,
+        // not the obligation, and a later candidate with budget left must
+        // be allowed to retry it.
+        if let (Some(memo), Some(handle)) = (self.memo, handle) {
+            if self.attempts <= self.max_attempts && self.budget.exhausted().is_none() {
+                memo.record(self.vc_key, handle, depth, verdict.clone());
             }
         }
+        verdict
     }
 
     fn split(&mut self, ctx: &LinCtx, depth: usize, a: &Affine, b: &Affine) -> Result<(), String> {
@@ -681,6 +768,39 @@ mod tests {
         );
         let prover = SmtLite::new();
         assert!(!prover.verify_all(&vcs).is_valid());
+    }
+
+    #[test]
+    fn warm_session_memo_replays_without_charging_budget() {
+        let vcs = running_example_vcs();
+        let prover = SmtLite::new();
+        let session = ProverSession::new();
+        let (cold, spent) = prover.verify_all_session(&vcs, &Budget::unlimited(), &session);
+        assert!(cold.is_valid());
+        assert!(spent > 0, "cold pass must do real proof work");
+        assert!(session.misses() > 0);
+        // Re-verifying the same VCs through the warm session must succeed
+        // from the memo alone: zero attempts charged, and a zero-token
+        // attempt budget never trips — a warm memo can never push a kernel
+        // onto the degradation ladder.
+        let zero = Budget::limited(None, Some(0), None);
+        let (warm, spent_warm) = prover.verify_all_session(&vcs, &zero, &session);
+        assert!(warm.is_valid());
+        assert_eq!(spent_warm, 0, "memo hits must not count as attempts");
+        assert!(
+            zero.exhausted().is_none(),
+            "memo hits must not charge the governed budget"
+        );
+    }
+
+    #[test]
+    fn legacy_oracle_agrees_on_the_running_example() {
+        let vcs = running_example_vcs();
+        let prover = SmtLite::new();
+        let (compiled, _) = prover.verify_all_governed(&vcs, &Budget::unlimited());
+        let (legacy, _) = prover.verify_all_legacy(&vcs, &Budget::unlimited());
+        assert_eq!(compiled, legacy);
+        assert!(legacy.is_valid());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use stng_pred::eval::eval_pred;
 use stng_pred::lang::{Invariant, Postcondition};
 use stng_pred::vcgen::{analyze_loop_nest, generate_vcs};
 use stng_solve::bounded::CheckSession;
-use stng_solve::{BoundedChecker, SmtLite};
+use stng_solve::{BoundedChecker, ProverSession, SmtLite};
 use stng_sym::{choose_small_bounds, symbolic_execute};
 
 /// Why synthesis failed for a kernel.
@@ -116,6 +116,17 @@ pub struct PhaseTimings {
     /// this is exactly `grid_sizes × trials_per_size` however many
     /// candidates were screened — the invariant the bench gate pins.
     pub captures: usize,
+    /// Proof obligations answered from the kernel's prover-session memo
+    /// (case-split subtrees shared across sibling branches and candidates).
+    pub oblig_hits: u64,
+    /// Proof obligations the prover actually had to work on.
+    pub oblig_misses: u64,
+    /// Feasibility queries short-circuited by a learned infeasibility core
+    /// during this kernel's proving phase. The core store is global, so
+    /// under cross-kernel parallelism this delta can include siblings' hits
+    /// — a profiling signal, not an invariant (and, like all timing fields,
+    /// excluded from canonical reports).
+    pub core_hits: u64,
 }
 
 impl PhaseTimings {
@@ -132,6 +143,13 @@ impl PhaseTimings {
     /// Proving time in milliseconds.
     pub fn prove_ms(&self) -> f64 {
         self.prove_ns as f64 / 1e6
+    }
+
+    /// Fraction of proof obligations answered from the session memo, or
+    /// `None` when the prover never ran.
+    pub fn oblig_hit_rate(&self) -> Option<f64> {
+        let total = self.oblig_hits + self.oblig_misses;
+        (total > 0).then(|| self.oblig_hits as f64 / total as f64)
     }
 }
 
@@ -287,6 +305,13 @@ pub fn synthesize_governed_with_phases(
                 // iterations. Capture errors reject every candidate, as
                 // they would have per candidate before.
                 let session = CheckSession::with_budget(bounded, kernel.clone(), budget.clone());
+                // One prover session for the whole candidate set: settled
+                // case-split subtrees are shared across candidates (most VCs
+                // — loop bounds, frame conditions — are identical from one
+                // candidate to the next), and memo hits charge neither
+                // attempts nor the governed budget.
+                let prover_session = ProverSession::new();
+                let core_hits_before = stng_solve::lin::core_hit_count();
                 let prove_ns = AtomicU64::new(0);
                 // A caught worker panic is recorded here and halts the scan;
                 // the first panic message wins (candidates race, but the
@@ -319,7 +344,9 @@ pub fn synthesize_governed_with_phases(
                             }
                             let proving = Instant::now();
                             let (verdict, attempts) =
-                                config.prover.verify_all_governed(&vcs, budget);
+                                config
+                                    .prover
+                                    .verify_all_session(&vcs, budget, &prover_session);
                             prove_ns
                                 .fetch_add(proving.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             verdict.is_valid().then_some(attempts)
@@ -340,6 +367,10 @@ pub fn synthesize_governed_with_phases(
                 phase.bounded_ns = session.check_ns();
                 phase.captures = session.capture_count();
                 phase.prove_ns = prove_ns.into_inner();
+                phase.oblig_hits = prover_session.hits();
+                phase.oblig_misses = prover_session.misses();
+                phase.core_hits =
+                    stng_solve::lin::core_hit_count().saturating_sub(core_hits_before);
                 if let Some((k, attempts)) = accepted {
                     return (
                         Ok(SynthesisOutcome {
@@ -590,6 +621,54 @@ end procedure
         assert_eq!(outcome.degraded, Some(DegradeReason::ProverAttempts));
         assert!(outcome.invariants.is_none());
         assert_eq!(budget.exhausted(), Some(DegradeReason::ProverAttempts));
+    }
+
+    #[test]
+    fn memo_miss_charging_is_deterministic_across_runs() {
+        // PR 5 pinned counter-only budget determinism at the service layer;
+        // with obligation memoization the charged quantity is memo *misses*,
+        // which must be just as deterministic: the same kernel synthesized
+        // twice from fresh, equal attempt budgets (single-threaded) must
+        // agree on outcome, degradation, attempt count, and exhaustion —
+        // even though the second run sees warm global FM memos and learned
+        // cores (those accelerate queries; they must not change verdicts or
+        // charging).
+        let kernel = kernel_from_source(fixtures::RUNNING_EXAMPLE, 0).unwrap();
+        let config = SynthesisConfig {
+            parallelism: 1,
+            bounded: BoundedChecker {
+                parallelism: 1,
+                ..BoundedChecker::default()
+            },
+            ..SynthesisConfig::default()
+        };
+        for attempts in [Some(2), None] {
+            let run = || {
+                let budget = Budget::limited(None, attempts, None);
+                let (result, phase) = synthesize_governed_with_phases(&kernel, &config, &budget);
+                let outcome = result.unwrap();
+                (
+                    outcome.soundly_verified,
+                    outcome.degraded,
+                    outcome.prover_attempts,
+                    budget.exhausted(),
+                    phase.oblig_misses,
+                )
+            };
+            let first = run();
+            let second = run();
+            assert_eq!(first, second, "attempt budget {attempts:?}");
+            match attempts {
+                // Two attempts cannot finish the Hoare proof: the kernel
+                // must land on the degradation ladder, identically.
+                Some(_) => assert_eq!(first.1, Some(DegradeReason::ProverAttempts)),
+                // Ungoverned: soundly verified with no degradation.
+                None => {
+                    assert!(first.0);
+                    assert_eq!(first.1, None);
+                }
+            }
+        }
     }
 
     #[test]
