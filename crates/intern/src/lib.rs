@@ -116,6 +116,24 @@ impl Symbol {
         Symbol(leaked)
     }
 
+    /// Interns a string that is already `'static` (span/metric name
+    /// constants): a miss inserts the reference itself instead of leaking a
+    /// copy. Symbols are exempt from epoch sweeps, so names interned this
+    /// way stay valid for the life of the process — the property the
+    /// `stng-obs` recorder relies on for events that outlive arena sweeps.
+    pub fn intern_static(name: &'static str) -> Symbol {
+        let lock = SYMBOLS.get_or_init(Default::default);
+        if let Some(&found) = lock.read().expect("symbol table poisoned").get(name) {
+            return Symbol(found);
+        }
+        let mut table = lock.write().expect("symbol table poisoned");
+        if let Some(&found) = table.get(name) {
+            return Symbol(found);
+        }
+        table.insert(name);
+        Symbol(name)
+    }
+
     /// The interned string.
     pub fn as_str(self) -> &'static str {
         self.0

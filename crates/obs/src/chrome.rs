@@ -1,0 +1,249 @@
+//! Chrome trace-event export: turns recorded thread rings into the JSON
+//! Trace Event Format that Perfetto and `chrome://tracing` load directly.
+//!
+//! Each recorded thread becomes one track: a `"M"` thread-name metadata
+//! record, `"X"` complete events for matched open/close span pairs (nested
+//! spans nest on the track), and `"i"` instant events. Timestamps are the
+//! recorder's arm-epoch nanoseconds converted to the format's microseconds.
+//!
+//! Matching is a per-thread stack — guards are `!Send`, so a well-formed
+//! ring closes spans in LIFO order on the thread that opened them.
+//! [`wellformedness`] reports any violation; the nesting tests assert zero.
+
+use crate::recorder::{Event, EventKind, ThreadTrace};
+use std::fmt::Write as _;
+
+/// Nesting audit of one thread's ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Wellformedness {
+    /// Spans still open at the end of the ring (snapshot mid-span).
+    pub unmatched_opens: usize,
+    /// Closes with no matching open, or closing a different span than the
+    /// innermost open one — impossible unless guards leak across threads.
+    pub mismatched_closes: usize,
+}
+
+impl Wellformedness {
+    /// No violations.
+    pub fn is_clean(&self) -> bool {
+        self.unmatched_opens == 0 && self.mismatched_closes == 0
+    }
+}
+
+/// Audits span nesting on one thread: every `Close` must match the
+/// innermost open span of the same name, and a quiescent snapshot must
+/// leave the stack empty.
+pub fn wellformedness(trace: &ThreadTrace) -> Wellformedness {
+    let mut stack: Vec<&Event> = Vec::new();
+    let mut report = Wellformedness::default();
+    for event in &trace.events {
+        match event.kind {
+            EventKind::Open => stack.push(event),
+            EventKind::Close => match stack.pop() {
+                Some(open) if open.name == event.name => {}
+                _ => report.mismatched_closes += 1,
+            },
+            EventKind::Instant => {}
+        }
+    }
+    report.unmatched_opens = stack.len();
+    report
+}
+
+/// Counts spans (open events) named `name` across all threads.
+pub fn span_count(threads: &[ThreadTrace], name: &str) -> usize {
+    threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.kind == EventKind::Open && e.name.as_str() == name)
+        .count()
+}
+
+/// The close-event details of every span named `name`, across threads (the
+/// kernel names of `lift.kernel` spans, the hit/miss of cache lookups…).
+pub fn span_details(threads: &[ThreadTrace], name: &str) -> Vec<&'static str> {
+    threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| e.kind == EventKind::Close && e.name.as_str() == name)
+        .filter_map(|e| e.detail.map(|d| d.as_str()))
+        .collect()
+}
+
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail")
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_args(out: &mut String, detail: Option<&str>, arg: u64) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(detail) = detail {
+        write!(out, "\"detail\":\"{}\"", escaped(detail)).expect("infallible");
+        first = false;
+    }
+    if arg != 0 {
+        if !first {
+            out.push(',');
+        }
+        write!(out, "\"arg\":{arg}").expect("infallible");
+    }
+    out.push('}');
+}
+
+/// Renders thread traces as a Chrome trace-event JSON document. Spans left
+/// open by a mid-run snapshot are emitted as `"B"` begin events so the
+/// trace still loads; a quiescent export has none.
+pub fn trace_json(threads: &[ThreadTrace]) -> String {
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |line: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n  ");
+        out.push_str(&line);
+    };
+    for thread in threads {
+        emit(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                thread.tid,
+                escaped(&thread.thread)
+            ),
+            &mut first,
+        );
+        // Match open/close pairs into "X" complete events. The completes
+        // are emitted at close time; Perfetto sorts by ts, so order in the
+        // array does not matter.
+        let mut stack: Vec<&Event> = Vec::new();
+        for event in &thread.events {
+            match event.kind {
+                EventKind::Open => stack.push(event),
+                EventKind::Close => {
+                    let Some(open) = stack.pop().filter(|o| o.name == event.name) else {
+                        continue; // audited separately by `wellformedness`
+                    };
+                    let mut line = format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                         \"name\":\"{}\"",
+                        thread.tid,
+                        us(open.ts_ns),
+                        us(event.ts_ns.saturating_sub(open.ts_ns)),
+                        escaped(event.name.as_str())
+                    );
+                    write_args(&mut line, event.detail.map(|d| d.as_str()), event.arg);
+                    line.push('}');
+                    emit(line, &mut first);
+                }
+                EventKind::Instant => {
+                    let mut line = format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"s\":\"t\",\
+                         \"name\":\"{}\"",
+                        thread.tid,
+                        us(event.ts_ns),
+                        escaped(event.name.as_str())
+                    );
+                    write_args(&mut line, event.detail.map(|d| d.as_str()), event.arg);
+                    line.push('}');
+                    emit(line, &mut first);
+                }
+            }
+        }
+        for open in stack {
+            emit(
+                format!(
+                    "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"name\":\"{}\"}}",
+                    thread.tid,
+                    us(open.ts_ns),
+                    escaped(open.name.as_str())
+                ),
+                &mut first,
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Event, EventKind, ThreadTrace};
+    use stng_intern::Symbol;
+
+    fn ev(name: &str, kind: EventKind, ts_ns: u64) -> Event {
+        Event {
+            name: Symbol::intern(name),
+            kind,
+            ts_ns,
+            detail: None,
+            arg: 0,
+        }
+    }
+
+    fn trace(events: Vec<Event>) -> ThreadTrace {
+        ThreadTrace {
+            thread: "t".to_string(),
+            tid: 0,
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn matched_spans_export_as_complete_events() {
+        let t = trace(vec![
+            ev("outer", EventKind::Open, 1_000),
+            ev("inner", EventKind::Open, 2_000),
+            ev("inner", EventKind::Close, 3_000),
+            ev("ping", EventKind::Instant, 3_500),
+            ev("outer", EventKind::Close, 4_000),
+        ]);
+        assert!(wellformedness(&t).is_clean());
+        let json = trace_json(&[t]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"inner\""));
+        assert!(json.contains("\"dur\":1.000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(!json.contains("\"ph\":\"B\""));
+    }
+
+    #[test]
+    fn unmatched_events_are_audited_and_still_load() {
+        let t = trace(vec![
+            ev("a", EventKind::Open, 1_000),
+            ev("b", EventKind::Close, 2_000),
+        ]);
+        let audit = wellformedness(&t);
+        assert_eq!(audit.mismatched_closes, 1);
+        assert_eq!(audit.unmatched_opens, 0);
+        let open_only = trace(vec![ev("a", EventKind::Open, 1_000)]);
+        assert_eq!(wellformedness(&open_only).unmatched_opens, 1);
+        assert!(trace_json(&[open_only]).contains("\"ph\":\"B\""));
+    }
+
+    #[test]
+    fn helpers_count_and_collect_details() {
+        let mut close = ev("lift.kernel", EventKind::Close, 2_000);
+        close.detail = Some(Symbol::intern("heat3d"));
+        let t = trace(vec![ev("lift.kernel", EventKind::Open, 1_000), close]);
+        let threads = [t];
+        assert_eq!(span_count(&threads, "lift.kernel"), 1);
+        assert_eq!(span_details(&threads, "lift.kernel"), vec!["heat3d"]);
+    }
+}

@@ -237,6 +237,7 @@ pub fn generate_vcs(
         nest.levels.len(),
         "one invariant per loop level is required"
     );
+    let _span = stng_obs::span(&stng_obs::names::PRED_VCGEN);
     let depth = nest.levels.len();
     let assume_preds: Vec<Pred> = assumptions.iter().cloned().map(Pred::Bool).collect();
     let int_scalars = nest.vars();

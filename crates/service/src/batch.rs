@@ -235,6 +235,10 @@ impl BatchReport {
                         }
                         fields.extend([
                             ("captures", nu(k.report.phase.captures)),
+                            // Whether the lifting cache served this kernel:
+                            // deterministic (pass structure fixes hits), so
+                            // it stays in the canonical encoding.
+                            ("cached", Json::Bool(k.report.cached)),
                             ("outcome", s(outcome_tag(&k.report.outcome))),
                             ("translated", Json::Bool(translated)),
                             ("soundly_verified", Json::Bool(soundly)),
@@ -409,6 +413,7 @@ fn synthetic_row(src: &BatchSource, tag: &str, ms: f64, outcome: KernelOutcome) 
             prover_attempts: 0,
             peak_candidates: 0,
             fingerprint: None,
+            cached: false,
             phase: Default::default(),
         },
     }

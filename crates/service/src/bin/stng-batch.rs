@@ -21,9 +21,16 @@
 //! * `--no-sweep` — keep the expression arenas between passes.
 //! * `--profile` — print a per-kernel phase-breakdown table for the final
 //!   pass (capture / bounded / prove times plus the prover's obligation-memo
-//!   and learned-core hit rates), so prover wins are visible without
-//!   parsing the JSON report.
+//!   and learned-core hit rates, and whether the cache served the row), so
+//!   prover wins are visible without parsing the JSON report.
 //! * `--json <path>` — write the full per-kernel report as JSON.
+//! * `--trace-out <path>` — arm the span recorder for the whole batch and
+//!   write a Chrome trace-event JSON file (loadable in Perfetto /
+//!   `chrome://tracing`, one track per worker thread). The written trace is
+//!   self-validated: it must parse and carry a `lift.kernel` span for every
+//!   translated kernel.
+//! * `--metrics-json <path>` — write a snapshot of the metrics registry
+//!   (counters, time accumulators, arena gauges, histograms) as JSON.
 //! * `--deadline-ms <n>` — wall-clock budget for the whole batch; once it
 //!   is gone, remaining kernels report as timed out instead of running.
 //! * `--kernel-timeout-ms <n>` — wall-clock budget per source, doubled on
@@ -43,6 +50,8 @@ struct Args {
     sources: Vec<BatchSource>,
     options: BatchOptions,
     json_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
     check_warm: bool,
     profile: bool,
 }
@@ -53,6 +62,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: stng-batch [--corpus | --dir <path> | --manifest <path>] \
          [--passes <n>] [--cache-dir <path>] [--mem-capacity <n>] \
          [--threads <n>] [--no-sweep] [--profile] [--json <path>] \
+         [--trace-out <path>] [--metrics-json <path>] \
          [--check-warm] [--deadline-ms <n>] [--kernel-timeout-ms <n>] \
          [--retries <n>]"
     );
@@ -64,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
     let mut sources: Option<Vec<BatchSource>> = None;
     let mut options = BatchOptions::default();
     let mut json_out = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut check_warm = false;
     let mut profile = false;
 
@@ -131,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
             "--no-sweep" => options.sweep_between = false,
             "--profile" => profile = true,
             "--json" => json_out = Some(next_value("--json", &mut raw)?.into()),
+            "--trace-out" => trace_out = Some(next_value("--trace-out", &mut raw)?.into()),
+            "--metrics-json" => metrics_out = Some(next_value("--metrics-json", &mut raw)?.into()),
             "--check-warm" => check_warm = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -143,6 +157,8 @@ fn parse_args() -> Result<Args, String> {
         sources: sources.unwrap_or_else(batch::corpus_sources),
         options,
         json_out,
+        trace_out,
+        metrics_out,
         check_warm,
         profile,
     })
@@ -154,7 +170,7 @@ fn parse_args() -> Result<Args, String> {
 fn print_profile(pass: &stng_service::batch::BatchPass) {
     println!(
         "\nprofile (pass {}): per-kernel phase breakdown\n\
-         {:<24} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6}",
+         {:<24} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6}",
         pass.number,
         "kernel",
         "lift_ms",
@@ -163,9 +179,12 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
         "prove_ms",
         "memo%",
         "oblig",
-        "cores"
+        "cores",
+        "cached"
     );
-    let mut totals = (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0u64, 0u64, 0u64);
+    let mut total = stng_synth::PhaseTimings::default();
+    let mut total_lift_ms = 0.0f64;
+    let mut total_cached = 0usize;
     for k in &pass.kernels {
         let p = &k.report.phase;
         let rate = p
@@ -173,7 +192,7 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
             .map(|r| format!("{:.1}", r * 100.0))
             .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6}",
+            "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6}",
             k.kernel_name,
             k.lift_ms,
             p.capture_ms(),
@@ -182,24 +201,27 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
             rate,
             p.oblig_hits + p.oblig_misses,
             p.core_hits,
+            if k.report.cached { "yes" } else { "no" },
         );
-        totals.0 += k.lift_ms;
-        totals.1 += p.capture_ms();
-        totals.2 += p.bounded_ms();
-        totals.3 += p.prove_ms();
-        totals.4 += p.oblig_hits;
-        totals.5 += p.oblig_misses;
-        totals.6 += p.core_hits;
+        total_lift_ms += k.lift_ms;
+        total_cached += k.report.cached as usize;
+        total.absorb(p);
     }
-    let total_oblig = totals.4 + totals.5;
-    let rate = if total_oblig > 0 {
-        format!("{:.1}", totals.4 as f64 * 100.0 / total_oblig as f64)
-    } else {
-        "-".to_string()
-    };
+    let rate = total
+        .oblig_hit_rate()
+        .map(|r| format!("{:.1}", r * 100.0))
+        .unwrap_or_else(|| "-".to_string());
     println!(
-        "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6}",
-        "total", totals.0, totals.1, totals.2, totals.3, rate, total_oblig, totals.6
+        "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6}",
+        "total",
+        total_lift_ms,
+        total.capture_ms(),
+        total.bounded_ms(),
+        total.prove_ms(),
+        rate,
+        total.oblig_hits + total.oblig_misses,
+        total.core_hits,
+        format!("{}/{}", total_cached, pass.kernels.len()),
     );
 }
 
@@ -228,6 +250,13 @@ fn main() -> ExitCode {
         },
     );
 
+    // Arm the span recorder for the whole run: every pass, including warm
+    // ones, then contributes `lift.kernel` spans to the exported trace.
+    if args.trace_out.is_some() {
+        stng::obs::recorder::reset();
+        stng::obs::arm();
+    }
+
     let report = match batch::run_batch(&args.sources, &args.options) {
         Ok(report) => report,
         Err(e) => {
@@ -235,6 +264,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace_out.is_some() {
+        stng::obs::disarm();
+    }
 
     for pass in &report.passes {
         let (translated, degraded, untranslated, timeout, crashed) = pass.summary();
@@ -288,10 +320,85 @@ fn main() -> ExitCode {
         println!("wrote {}", path.display());
     }
 
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = write_trace(path, &report) {
+            eprintln!("stng-batch: trace export: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        // Publish the interner/expression arena occupancy as gauges right
+        // before the snapshot, so the metrics file carries the same numbers
+        // the table above printed.
+        for stat in memory::arena_stats() {
+            let entries = stng::obs::metrics::register_dynamic(
+                &format!("arena.{}.entries", stat.name),
+                stng::obs::metrics::MetricKind::Gauge,
+            );
+            entries.set(stat.entries as u64);
+            let bytes = stng::obs::metrics::register_dynamic(
+                &format!("arena.{}.approx_bytes", stat.name),
+                stng::obs::metrics::MetricKind::Gauge,
+            );
+            bytes.set(stat.approx_bytes as u64);
+        }
+        let snapshot = stng::obs::metrics::snapshot_json();
+        if let Err(e) = std::fs::write(path, snapshot + "\n") {
+            eprintln!("stng-batch: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
     if args.check_warm {
         return check_warm_gate(&report);
     }
     ExitCode::SUCCESS
+}
+
+/// `--trace-out`: export the recorded spans as Chrome trace-event JSON and
+/// self-validate the file — it must parse back, and every kernel the batch
+/// translated must have left at least one `lift.kernel` span. A trace that
+/// silently dropped a kernel's spans is worse than no trace, so validation
+/// failure fails the run.
+fn write_trace(path: &std::path::Path, report: &stng_service::BatchReport) -> Result<(), String> {
+    let threads = stng::obs::recorder::snapshot();
+    let trace = stng::obs::chrome::trace_json(&threads);
+    std::fs::write(path, &trace).map_err(|e| format!("writing {}: {e}", path.display()))?;
+
+    let reread =
+        std::fs::read_to_string(path).map_err(|e| format!("rereading {}: {e}", path.display()))?;
+    stng_service::json::Json::parse(&reread)
+        .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+
+    let lifted: Vec<&'static str> = stng::obs::chrome::span_details(&threads, "lift.kernel");
+    let mut missing = Vec::new();
+    for pass in &report.passes {
+        for k in &pass.kernels {
+            if k.report.outcome.is_translated() && !lifted.contains(&k.report.name.as_str()) {
+                missing.push(k.kernel_name.as_str());
+            }
+        }
+    }
+    missing.sort_unstable();
+    missing.dedup();
+    if !missing.is_empty() {
+        return Err(format!(
+            "{} translated kernel(s) left no lift.kernel span: {}",
+            missing.len(),
+            missing.join(", ")
+        ));
+    }
+
+    let spans: usize = threads.len();
+    println!(
+        "wrote {} ({} thread track(s), {} lift.kernel span(s), all translated kernels covered)",
+        path.display(),
+        spans,
+        lifted.len()
+    );
+    Ok(())
 }
 
 /// The CI cache-smoke gate: the warm (final) pass must hit on every lookup,

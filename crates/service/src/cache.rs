@@ -48,6 +48,23 @@ use stng_synth::cegis::SynthesisConfig;
 /// Number of lock-striped shards of the in-memory tier.
 const SHARDS: usize = 8;
 
+/// Registry mirrors of [`CacheStats`]: the same increments feed both, so
+/// `stng-batch --metrics-json` reports the cache through the one metrics
+/// aggregation point while per-instance metering keeps going through
+/// [`LiftResultCache::stats`] / [`CacheStats::since`].
+mod obs_counters {
+    use stng_obs::metrics::Lazy;
+    pub static HITS: Lazy = Lazy::counter("cache.hits");
+    pub static MISSES: Lazy = Lazy::counter("cache.misses");
+    pub static DISK_HITS: Lazy = Lazy::counter("cache.disk_hits");
+    pub static INSERTS: Lazy = Lazy::counter("cache.inserts");
+    pub static EVICTIONS: Lazy = Lazy::counter("cache.evictions");
+    pub static DISK_WRITES: Lazy = Lazy::counter("cache.disk_writes");
+    pub static QUARANTINED: Lazy = Lazy::counter("cache.quarantined");
+    pub static ORPHANS_SWEPT: Lazy = Lazy::counter("cache.orphans_swept");
+    pub static IO_RETRIES: Lazy = Lazy::counter("cache.io_retries");
+}
+
 /// Cache key: structural fingerprint + pipeline-configuration digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -210,6 +227,7 @@ impl LiftResultCache {
                 && std::fs::remove_file(&path).is_ok()
             {
                 self.orphans_swept.fetch_add(1, Ordering::Relaxed);
+                obs_counters::ORPHANS_SWEPT.add(1);
             }
         }
     }
@@ -235,10 +253,12 @@ impl LiftResultCache {
 
     fn note_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        obs_counters::HITS.add(1);
     }
 
     fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs_counters::MISSES.add(1);
     }
 
     fn get_uncounted(&self, key: &CacheKey, canon_text: &str) -> Option<Arc<CachedLift>> {
@@ -254,6 +274,7 @@ impl LiftResultCache {
         }
         let payload = Arc::new(self.disk_probe(key, canon_text)?);
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        obs_counters::DISK_HITS.add(1);
         self.insert_memory(*key, Arc::clone(&payload));
         Some(payload)
     }
@@ -292,6 +313,7 @@ impl LiftResultCache {
                 }
             }
             self.io_retries.fetch_add(1, Ordering::Relaxed);
+            obs_counters::IO_RETRIES.add(1);
             std::thread::sleep(Duration::from_millis(1u64 << attempt));
         }
         None
@@ -301,6 +323,7 @@ impl LiftResultCache {
     /// falls back to deletion so the bad bytes can never be served again).
     fn quarantine(&self, path: &std::path::Path) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        obs_counters::QUARANTINED.add(1);
         let aside = path.with_extension("json.quarantined");
         if std::fs::rename(path, &aside).is_err() {
             let _ = std::fs::remove_file(path);
@@ -312,6 +335,7 @@ impl LiftResultCache {
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         shard.insert(key, MemEntry { payload, tick });
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        obs_counters::INSERTS.add(1);
         while shard.len() > self.per_shard_capacity {
             let oldest = shard
                 .iter()
@@ -320,6 +344,7 @@ impl LiftResultCache {
                 .expect("non-empty shard");
             shard.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs_counters::EVICTIONS.add(1);
         }
     }
 
@@ -328,6 +353,7 @@ impl LiftResultCache {
         if let Some(path) = self.disk_path(&key) {
             if self.write_disk(&path, &payload) {
                 self.disk_writes.fetch_add(1, Ordering::Relaxed);
+                obs_counters::DISK_WRITES.add(1);
             }
         }
         self.insert_memory(key, Arc::new(payload));
@@ -576,8 +602,10 @@ impl PipelineCache {
             prover_attempts: cached.prover_attempts,
             peak_candidates: cached.peak_candidates,
             phase: cached.phase,
-            // Filled in by the pipeline, which owns the Canon.
+            // Filled in by the pipeline, which owns the Canon (the pipeline
+            // also flips `cached` on its lookup path).
             fingerprint: None,
+            cached: false,
         })
     }
 }

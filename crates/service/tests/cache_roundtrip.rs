@@ -68,9 +68,16 @@ fn persisted_entry_reloads_to_an_equal_report() {
     let warm_cache = Arc::new(PipelineCache::persistent(64, &dir).expect("cache dir"));
     let warm_stng = fast_stng().with_cache(warm_cache.clone());
     let warm = warm_stng.lift_source(&source).expect("parses");
+    assert!(
+        warm.kernels[0].cached,
+        "warm report is flagged cache-served"
+    );
+    assert!(!cold.kernels[0].cached, "cold report is not");
+    let mut warm_as_cold = warm.kernels.clone();
+    warm_as_cold[0].cached = false;
     assert_eq!(
-        warm.kernels, cold.kernels,
-        "warm hit must equal cold report"
+        warm_as_cold, cold.kernels,
+        "warm hit must equal cold report (cached flag aside)"
     );
     let warm_stats = warm_cache.stats();
     assert_eq!(
@@ -186,8 +193,14 @@ end procedure
     let cold = stng.lift_source(source).expect("parses");
     assert_eq!(cold.translated(), 1, "temp-carrying kernel lifts");
     let warm = stng.lift_source(source).expect("parses");
+    assert!(
+        warm.kernels[0].cached,
+        "warm report is flagged cache-served"
+    );
+    let mut warm_as_cold = warm.kernels.clone();
+    warm_as_cold[0].cached = false;
     assert_eq!(
-        warm.kernels, cold.kernels,
+        warm_as_cold, cold.kernels,
         "warm hit reproduces cold report"
     );
     let stats = cache.stats();
@@ -223,7 +236,10 @@ fn untranslated_outcomes_are_cached_too() {
     assert_eq!(first.translated(), 0);
     assert_eq!(first.candidates(), 1);
     let second = stng.lift_source(&source).expect("parses");
-    assert_eq!(second.kernels, first.kernels);
+    assert!(second.kernels[0].cached, "repeat failure is cache-served");
+    let mut second_as_first = second.kernels.clone();
+    second_as_first[0].cached = false;
+    assert_eq!(second_as_first, first.kernels);
     let stats = cache.stats();
     assert_eq!((stats.hits, stats.misses), (1, 1));
     match &second.kernels[0].outcome {

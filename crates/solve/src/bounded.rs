@@ -308,6 +308,7 @@ impl CheckSession {
 
     fn capture(&self) -> &Captured {
         self.captured.get_or_init(|| {
+            let _span = stng_obs::span(&stng_obs::names::BOUNDED_CAPTURE);
             let start = Instant::now();
             // Compile the kernel body once; kernels outside the compiled
             // subset (hand-built IR with conditionals) capture through the
@@ -438,6 +439,7 @@ impl CheckSession {
     /// the tree-walking checker.)
     pub fn find_counterexample(&self, vcs: &[Vc]) -> Result<Option<Counterexample>> {
         let units = self.captured_units();
+        let _span = stng_obs::span(&stng_obs::names::BOUNDED_SCAN);
         let start = Instant::now();
         let compiled = CompiledVcSet::compile(vcs, &self.map);
         let found = stng_intern::parallel::find_first(

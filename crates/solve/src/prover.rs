@@ -256,15 +256,22 @@ impl<'a> ProofSession<'a> {
         if ctx.is_infeasible() {
             return Ok(());
         }
+        // One span per obligation; recursion through `split` nests them, so
+        // an armed trace shows the case-split tree. The close event carries
+        // the memo outcome and the remaining split depth.
+        let mut oblig_span = stng_obs::span(&stng_obs::names::PROVE_OBLIG);
+        oblig_span.arg(depth as u64);
         // Settled subtree? Replaying a memoized verdict charges nothing —
         // neither the attempt counter nor the governed budget — so a warm
         // memo can never push a kernel onto the degradation ladder.
         let handle = self.memo.map(|m| m.ctx_handle(ctx));
         if let (Some(memo), Some(handle)) = (self.memo, handle) {
             if let Some(verdict) = memo.lookup(self.vc_key, handle, depth) {
+                oblig_span.detail(&stng_obs::names::MEMO_HIT);
                 return verdict;
             }
         }
+        oblig_span.detail(&stng_obs::names::MEMO_MISS);
         self.attempts += 1;
         if self.attempts > self.max_attempts {
             return Err("proof attempt budget exhausted".to_string());

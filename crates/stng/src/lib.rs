@@ -28,5 +28,13 @@ pub mod guard {
     pub use stng_intern::guard::{fault, Budget, DegradeReason};
 }
 
+/// Observability — the span recorder, metrics registry, and trace exporters
+/// of `stng-obs`, re-exported so pipeline users arm tracing and export
+/// traces without depending on the substrate crate directly. See
+/// `docs/observability.md`.
+pub mod obs {
+    pub use stng_obs::{arm, armed, chrome, disarm, event, metrics, names, recorder, span};
+}
+
 pub use pipeline::{KernelOutcome, KernelReport, LiftCache, LiftReport, Stng};
 pub use translate::{StencilSummary, TranslationError};

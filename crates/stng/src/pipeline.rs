@@ -6,11 +6,13 @@ use crate::translate::StencilSummary;
 use std::sync::Arc;
 use std::time::Duration;
 use stng_intern::guard::{Budget, DegradeReason};
+use stng_intern::Symbol;
 use stng_ir::canon::{canonicalize, Canon};
 use stng_ir::identify::classify_loops;
 use stng_ir::ir::Kernel;
 use stng_ir::lower::{liftability_check, lower_fragment};
 use stng_ir::parser::parse_program;
+use stng_obs::{names, span};
 use stng_pred::lang::Postcondition;
 use stng_synth::cegis::{synthesize_governed_with_phases, SynthesisConfig, SynthesisFailure};
 use stng_synth::{ControlBits, PhaseTimings};
@@ -130,6 +132,11 @@ pub struct KernelReport {
     /// lifting cache was attached (the pipeline computes the canonical form
     /// anyway for the cache key, so reports surface it for observability).
     pub fingerprint: Option<String>,
+    /// Whether this report was served by the lifting cache (memory or disk)
+    /// instead of a fresh synthesis run. Set by the pipeline on the lookup
+    /// path; never persisted (a rehydrated report is marked at lookup time,
+    /// so the disk schema is unchanged).
+    pub cached: bool,
     /// Per-phase checking times (capture / bounded check / prove) and the
     /// capture-reuse counter of the synthesis run.
     pub phase: PhaseTimings,
@@ -237,7 +244,14 @@ impl Stng {
         fragment: &stng_ir::identify::CandidateFragment,
     ) -> KernelReport {
         let started = std::time::Instant::now();
-        let kernel = match lower_fragment(proc, fragment) {
+        let mut kernel_span = span(&names::LIFT_KERNEL);
+        if stng_obs::armed() {
+            kernel_span.detail_sym(Symbol::intern(&fragment.name));
+        }
+        let lowering = span(&names::LIFT_LOWER);
+        let lowered = lower_fragment(proc, fragment);
+        drop(lowering);
+        let kernel = match lowered {
             Ok(kernel) => kernel,
             Err(err) => {
                 return KernelReport {
@@ -252,6 +266,7 @@ impl Stng {
                     prover_attempts: 0,
                     peak_candidates: 0,
                     fingerprint: None,
+                    cached: false,
                     phase: PhaseTimings::default(),
                 }
             }
@@ -259,10 +274,22 @@ impl Stng {
         // Cache hook: a structural duplicate of an already-lifted kernel
         // skips the whole synthesize/verify stage. The canonical form is
         // computed once and shared by the lookup and the record.
-        let canon = self.cache.as_ref().map(|_| canonicalize(&kernel));
+        let canon = self.cache.as_ref().map(|_| {
+            let _fp = span(&names::LIFT_FINGERPRINT);
+            canonicalize(&kernel)
+        });
         if let (Some(cache), Some(canon)) = (&self.cache, &canon) {
-            if let Some(mut hit) = cache.lookup(&kernel, canon, &fragment.name, &self.config) {
+            let mut lookup_span = span(&names::CACHE_LOOKUP);
+            let hit = cache.lookup(&kernel, canon, &fragment.name, &self.config);
+            lookup_span.detail(if hit.is_some() {
+                &names::HIT
+            } else {
+                &names::MISS
+            });
+            drop(lookup_span);
+            if let Some(mut hit) = hit {
                 hit.fingerprint = Some(canon.fingerprint_hex());
+                hit.cached = true;
                 return hit;
             }
         }
@@ -302,6 +329,7 @@ impl Stng {
                 prover_attempts: 0,
                 peak_candidates: 0,
                 fingerprint: None,
+                cached: false,
                 phase: PhaseTimings::default(),
             };
         }
@@ -327,6 +355,7 @@ impl Stng {
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
                         fingerprint: None,
+                        cached: false,
                         phase: outcome.phase,
                     },
                     Err(err) => KernelReport {
@@ -341,6 +370,7 @@ impl Stng {
                         prover_attempts: outcome.prover_attempts,
                         peak_candidates: outcome.peak_candidates,
                         fingerprint: None,
+                        cached: false,
                         phase: outcome.phase,
                     },
                 }
@@ -363,6 +393,7 @@ impl Stng {
                 prover_attempts: 0,
                 peak_candidates: 0,
                 fingerprint: None,
+                cached: false,
                 // Failed kernels still ran the bounded screen; report where
                 // their checking time went.
                 phase: failure_phase,

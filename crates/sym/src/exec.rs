@@ -103,6 +103,7 @@ pub fn choose_small_bounds(kernel: &Kernel, base: i64) -> HashMap<String, i64> {
 /// Fails when the kernel accesses arrays out of bounds under these bindings
 /// or exceeds the execution step budget.
 pub fn symbolic_execute(kernel: &Kernel, bounds: &HashMap<String, i64>) -> Result<SymbolicRun> {
+    let _span = stng_obs::span(&stng_obs::names::SYM_EXEC);
     let mut state: State<SymExpr> = State::new();
     for (name, value) in bounds {
         state.set_int(name.clone(), *value);

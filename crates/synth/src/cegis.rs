@@ -9,10 +9,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use stng_intern::guard::{fault, Budget, DegradeReason};
+use stng_intern::Symbol;
 use stng_ir::interp::{run_kernel, ArrayData, State};
 use stng_ir::ir::{Kernel, ParamKind};
 use stng_ir::lower::liftability_check;
 use stng_ir::value::{ModInt, MOD_FIELD};
+use stng_obs::metrics::MetricSet;
+use stng_obs::{event, names, span};
 use stng_pred::eval::eval_pred;
 use stng_pred::lang::{Invariant, Postcondition};
 use stng_pred::vcgen::{analyze_loop_nest, generate_vcs};
@@ -130,6 +133,35 @@ pub struct PhaseTimings {
 }
 
 impl PhaseTimings {
+    /// Derives the façade from a per-kernel [`MetricSet`]. The metrics
+    /// registry is the aggregation point; this struct is its stable report
+    /// shape (codec, bench gates, and `--profile` consume it unchanged).
+    pub fn from_metrics(set: &MetricSet) -> PhaseTimings {
+        let ids = stng_obs::metrics::phase();
+        PhaseTimings {
+            capture_ns: set.get(ids.capture_ns),
+            bounded_ns: set.get(ids.bounded_ns),
+            prove_ns: set.get(ids.prove_ns),
+            captures: set.get(ids.captures) as usize,
+            oblig_hits: set.get(ids.oblig_hits),
+            oblig_misses: set.get(ids.oblig_misses),
+            core_hits: set.get(ids.core_hits),
+        }
+    }
+
+    /// Accumulates another kernel's (or run's) timings into this one — the
+    /// one merge every aggregator (profile totals, bench suites, warm-run
+    /// comparisons) shares instead of summing fields by hand.
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        self.capture_ns += other.capture_ns;
+        self.bounded_ns += other.bounded_ns;
+        self.prove_ns += other.prove_ns;
+        self.captures += other.captures;
+        self.oblig_hits += other.oblig_hits;
+        self.oblig_misses += other.oblig_misses;
+        self.core_hits += other.core_hits;
+    }
+
     /// Capture time in milliseconds.
     pub fn capture_ms(&self) -> f64 {
         self.capture_ns as f64 / 1e6
@@ -243,6 +275,11 @@ pub fn synthesize_governed_with_phases(
 ) -> (Result<SynthesisOutcome, SynthesisFailure>, PhaseTimings) {
     let start = Instant::now();
     if let Err(reason) = budget.check_time() {
+        event(
+            &names::BUDGET_TIMEOUT,
+            Some(Symbol::intern(&reason.to_string())),
+            0,
+        );
         return (
             Err(SynthesisFailure::Timeout {
                 reason,
@@ -321,15 +358,22 @@ pub fn synthesize_governed_with_phases(
                 let accepted = stng_intern::parallel::find_first(
                     &inv_candidates.candidates,
                     config.parallelism,
-                    |_, invariants| {
+                    |k, invariants| {
                         // First-success semantics under cancellation: a
                         // tripped budget (or a crashed sibling) skips the
                         // remaining candidates instead of screening them.
                         if halt.load(Ordering::Relaxed) || budget.exhausted().is_some() {
                             return None;
                         }
+                        let mut candidate_span = span(&names::CEGIS_CANDIDATE);
+                        candidate_span.arg(k as u64);
                         let checked = catch_unwind(AssertUnwindSafe(|| {
                             if fault::panic_candidate(&kernel.name) {
+                                event(
+                                    &names::FAULT_INJECTED,
+                                    Some(Symbol::intern("panic_candidate")),
+                                    k as u64,
+                                );
                                 panic!("injected candidate panic");
                             }
                             let vcs = generate_vcs(&nest, &kernel.assumptions, invariants, &post);
@@ -340,13 +384,20 @@ pub fn synthesize_governed_with_phases(
                             }
                             // Sound check.
                             if let Some(stall) = fault::prover_stall(&kernel.name) {
+                                event(
+                                    &names::FAULT_INJECTED,
+                                    Some(Symbol::intern("prover_stall")),
+                                    k as u64,
+                                );
                                 std::thread::sleep(stall);
                             }
                             let proving = Instant::now();
+                            let prove_span = span(&names::PROVE_SESSION);
                             let (verdict, attempts) =
                                 config
                                     .prover
                                     .verify_all_session(&vcs, budget, &prover_session);
+                            drop(prove_span);
                             prove_ns
                                 .fetch_add(proving.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             verdict.is_valid().then_some(attempts)
@@ -355,6 +406,7 @@ pub fn synthesize_governed_with_phases(
                             Ok(result) => result,
                             Err(payload) => {
                                 let msg = panic_message(payload.as_ref());
+                                event(&names::WORKER_CRASHED, None, k as u64);
                                 let mut slot = panicked.lock().unwrap();
                                 slot.get_or_insert(msg);
                                 halt.store(true, Ordering::Relaxed);
@@ -363,14 +415,24 @@ pub fn synthesize_governed_with_phases(
                         }
                     },
                 );
-                phase.capture_ns = session.capture_ns();
-                phase.bounded_ns = session.check_ns();
-                phase.captures = session.capture_count();
-                phase.prove_ns = prove_ns.into_inner();
-                phase.oblig_hits = prover_session.hits();
-                phase.oblig_misses = prover_session.misses();
-                phase.core_hits =
-                    stng_solve::lin::core_hit_count().saturating_sub(core_hits_before);
+                // Per-kernel aggregation goes through the metrics registry:
+                // fill a `MetricSet` from the session counters, derive the
+                // `PhaseTimings` façade from it, and flush it into the
+                // process-wide cells `--metrics-json` exports.
+                let ids = stng_obs::metrics::phase();
+                let kernel_metrics = MetricSet::new();
+                kernel_metrics.add(ids.capture_ns, session.capture_ns());
+                kernel_metrics.add(ids.bounded_ns, session.check_ns());
+                kernel_metrics.add(ids.captures, session.capture_count() as u64);
+                kernel_metrics.add(ids.prove_ns, prove_ns.into_inner());
+                kernel_metrics.add(ids.oblig_hits, prover_session.hits());
+                kernel_metrics.add(ids.oblig_misses, prover_session.misses());
+                kernel_metrics.add(
+                    ids.core_hits,
+                    stng_solve::lin::core_hit_count().saturating_sub(core_hits_before),
+                );
+                phase = PhaseTimings::from_metrics(&kernel_metrics);
+                kernel_metrics.flush();
                 if let Some((k, attempts)) = accepted {
                     return (
                         Ok(SynthesisOutcome {
@@ -410,6 +472,13 @@ pub fn synthesize_governed_with_phases(
     // result gets stamped with; an untripped budget means the prover just
     // answered Unknown, which is not a budget degradation.
     let degraded = budget.exhausted();
+    if let Some(reason) = degraded {
+        event(
+            &names::BUDGET_DEGRADED,
+            Some(Symbol::intern(&reason.to_string())),
+            0,
+        );
+    }
 
     // Step 3 (fallback): extended bounded validation of the postcondition
     // against full concrete executions. The result is flagged as not soundly
@@ -417,6 +486,7 @@ pub fn synthesize_governed_with_phases(
     // budget whose deadline or fuel is already gone cannot validate anything
     // — that is the Timeout rung of the ladder.
     let validating = Instant::now();
+    let validate_span = span(&names::CEGIS_VALIDATE);
     let validated = validate_post_bounded(
         kernel,
         &post,
@@ -424,9 +494,17 @@ pub fn synthesize_governed_with_phases(
         config.parallelism,
         budget,
     );
-    phase.bounded_ns += validating.elapsed().as_nanos() as u64;
+    drop(validate_span);
+    let validate_ns = validating.elapsed().as_nanos() as u64;
+    phase.bounded_ns += validate_ns;
+    stng_obs::metrics::add_global(stng_obs::metrics::phase().bounded_ns, validate_ns);
     if let Err(reason) = validated {
         if let Some(tripped) = budget.exhausted().filter(|r| r.halts_validation()) {
+            event(
+                &names::BUDGET_TIMEOUT,
+                Some(Symbol::intern(&tripped.to_string())),
+                0,
+            );
             return (
                 Err(SynthesisFailure::Timeout {
                     reason: tripped,
