@@ -714,6 +714,558 @@ impl Program {
         self.run(set, st, sc)?;
         Ok(sc.bregs[self.result as usize])
     }
+
+    /// True when the op list contains no short-circuit jumps, i.e. control
+    /// flow cannot diverge across lanes of a batched run.
+    pub fn straight_line(&self) -> bool {
+        self.ops
+            .iter()
+            .all(|op| !matches!(op, Op::BJumpFalse { .. } | Op::BJumpTrue { .. }))
+    }
+
+    /// Runs the program once across every lane set in `active`: op-major,
+    /// lane-minor, over the SoA columns of `batch`. Per-lane semantics are
+    /// exactly [`run`](Self::run) against that lane's state; a lane that
+    /// fails is cleared from the returned mask with its error recorded in
+    /// `errs[lane]` (which must be `None` for every active lane on entry).
+    ///
+    /// Only jump-free programs can be batched — check
+    /// [`straight_line`](Self::straight_line) first and fall back to
+    /// per-lane scalar runs otherwise.
+    pub fn run_batch<V: DataValue>(
+        &self,
+        set: &ProgramSet,
+        batch: &SlotBatch<'_, V>,
+        sc: &mut BatchScratch<V>,
+        mut active: u64,
+        errs: &mut [Option<EvalErr>],
+    ) -> u64 {
+        debug_assert!(self.straight_line(), "run_batch needs a jump-free program");
+        sc.ensure(self, batch.lanes());
+        let lanes = batch.lanes();
+        let fail = |errs: &mut [Option<EvalErr>], active: &mut u64, lane: usize, e: EvalErr| {
+            errs[lane] = Some(e);
+            *active &= !(1u64 << lane);
+        };
+        for op in &self.ops {
+            if active == 0 {
+                break;
+            }
+            match *op {
+                Op::IConst { dst, v } => {
+                    let d = dst as usize * lanes;
+                    sc.iregs[d..d + lanes].fill(v);
+                    sc.iuni[dst as usize] = true;
+                }
+                Op::ISlot { dst, slot } => {
+                    let d = dst as usize * lanes;
+                    for lane in lanes_in(active) {
+                        match batch.int(slot, lane) {
+                            Some(v) => sc.iregs[d + lane] = v,
+                            None => fail(errs, &mut active, lane, EvalErr::UnboundInt(slot)),
+                        }
+                    }
+                    sc.iuni[dst as usize] = false;
+                }
+                Op::ICopy { dst, src } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    if sc.iuni[src as usize] {
+                        let v = sc.iregs[s];
+                        sc.iregs[d..d + lanes].fill(v);
+                        sc.iuni[dst as usize] = true;
+                    } else {
+                        for lane in lanes_in(active) {
+                            sc.iregs[d + lane] = sc.iregs[s + lane];
+                        }
+                        sc.iuni[dst as usize] = false;
+                    }
+                }
+                Op::IAddImm { dst, src, imm } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    if sc.iuni[src as usize] {
+                        let v = sc.iregs[s] + imm;
+                        sc.iregs[d..d + lanes].fill(v);
+                        sc.iuni[dst as usize] = true;
+                    } else {
+                        for lane in lanes_in(active) {
+                            sc.iregs[d + lane] = sc.iregs[s + lane] + imm;
+                        }
+                        sc.iuni[dst as usize] = false;
+                    }
+                }
+                Op::IBin { op, dst, a, b } => {
+                    let (d, x, y) = (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                    let ibin = |l: i64, r: i64| match op {
+                        BinOp::Add => l + r,
+                        BinOp::Sub => l - r,
+                        BinOp::Mul => l * r,
+                        BinOp::Div => {
+                            if r == 0 {
+                                0
+                            } else {
+                                l.div_euclid(r)
+                            }
+                        }
+                    };
+                    if sc.iuni[a as usize] && sc.iuni[b as usize] {
+                        let v = ibin(sc.iregs[x], sc.iregs[y]);
+                        sc.iregs[d..d + lanes].fill(v);
+                        sc.iuni[dst as usize] = true;
+                    } else {
+                        for lane in lanes_in(active) {
+                            sc.iregs[d + lane] = ibin(sc.iregs[x + lane], sc.iregs[y + lane]);
+                        }
+                        sc.iuni[dst as usize] = false;
+                    }
+                }
+                Op::IFn { f, dst, a, b } => {
+                    let (d, x, y) = (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                    let ifn = |l: i64, r: i64| match f {
+                        IntFn::Min => l.min(r),
+                        IntFn::Max => l.max(r),
+                        IntFn::Abs => l.abs(),
+                        IntFn::Mod => {
+                            if r == 0 {
+                                0
+                            } else {
+                                l.rem_euclid(r)
+                            }
+                        }
+                    };
+                    if sc.iuni[a as usize] && sc.iuni[b as usize] {
+                        let v = ifn(sc.iregs[x], sc.iregs[y]);
+                        sc.iregs[d..d + lanes].fill(v);
+                        sc.iuni[dst as usize] = true;
+                    } else {
+                        for lane in lanes_in(active) {
+                            sc.iregs[d + lane] = ifn(sc.iregs[x + lane], sc.iregs[y + lane]);
+                        }
+                        sc.iuni[dst as usize] = false;
+                    }
+                }
+                Op::ILoad { dst, arr, idx, n } => {
+                    let d = dst as usize * lanes;
+                    let shared = sc.shared_offset(batch, arr, idx, n, active);
+                    for lane in lanes_in(active) {
+                        let Some(a) = batch.array(arr, lane) else {
+                            fail(errs, &mut active, lane, EvalErr::UnboundArray(arr));
+                            continue;
+                        };
+                        let off = match shared {
+                            Some(off) => off,
+                            None => {
+                                let mut ix = [0i64; 16];
+                                for (j, cell) in ix.iter_mut().enumerate().take(n as usize) {
+                                    *cell = sc.iregs[(idx as usize + j) * lanes + lane];
+                                }
+                                a.offset(&ix[..n as usize])
+                            }
+                        };
+                        let Some(v) = off.map(|o| &a.data[o]) else {
+                            fail(errs, &mut active, lane, EvalErr::OobLoad(arr));
+                            continue;
+                        };
+                        match v.as_index() {
+                            Some(v) => sc.iregs[d + lane] = v,
+                            None => fail(errs, &mut active, lane, EvalErr::NotIndex(arr)),
+                        }
+                    }
+                    sc.iuni[dst as usize] = false;
+                }
+                Op::DConst { dst, k } => {
+                    let d = dst as usize * lanes;
+                    let v = sc.pool[k as usize].clone();
+                    sc.dregs[d..d + lanes].fill(v);
+                }
+                Op::DScalarOrReg { dst, slot, src } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    for lane in lanes_in(active) {
+                        sc.dregs[d + lane] = match batch.real(slot, lane) {
+                            Some(v) => v.clone(),
+                            None => V::from_const(sc.iregs[s + lane] as f64),
+                        };
+                    }
+                }
+                Op::DScalar { dst, slot } => {
+                    let d = dst as usize * lanes;
+                    for lane in lanes_in(active) {
+                        match batch.real(slot, lane) {
+                            Some(v) => sc.dregs[d + lane] = v.clone(),
+                            None => match batch.int(slot, lane) {
+                                Some(v) => sc.dregs[d + lane] = V::from_const(v as f64),
+                                None => {
+                                    fail(errs, &mut active, lane, EvalErr::UnboundScalar(slot));
+                                }
+                            },
+                        }
+                    }
+                }
+                Op::DCopy { dst, src } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    for lane in lanes_in(active) {
+                        sc.dregs[d + lane] = sc.dregs[s + lane].clone();
+                    }
+                }
+                Op::DBin { op, dst, a, b } => {
+                    let (d, x, y) = (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                    for lane in lanes_in(active) {
+                        let v = {
+                            let (l, r) = (&sc.dregs[x + lane], &sc.dregs[y + lane]);
+                            match op {
+                                BinOp::Add => l.add(r),
+                                BinOp::Sub => l.sub(r),
+                                BinOp::Mul => l.mul(r),
+                                BinOp::Div => l.div(r),
+                            }
+                        };
+                        sc.dregs[d + lane] = v;
+                    }
+                }
+                Op::DCall { f, dst, argv, argc } => {
+                    let d = dst as usize * lanes;
+                    for lane in lanes_in(active) {
+                        sc.callbuf.clear();
+                        for j in 0..argc as usize {
+                            sc.callbuf
+                                .push(sc.dregs[(argv as usize + j) * lanes + lane].clone());
+                        }
+                        let v = V::apply(&set.funcs[f as usize], &sc.callbuf);
+                        sc.dregs[d + lane] = v;
+                    }
+                }
+                Op::DLoad { dst, arr, idx, n } => {
+                    let d = dst as usize * lanes;
+                    let shared = sc.shared_offset(batch, arr, idx, n, active);
+                    for lane in lanes_in(active) {
+                        let Some(a) = batch.array(arr, lane) else {
+                            fail(errs, &mut active, lane, EvalErr::UnboundArray(arr));
+                            continue;
+                        };
+                        let off = match shared {
+                            Some(off) => off,
+                            None => {
+                                let mut ix = [0i64; 16];
+                                for (j, cell) in ix.iter_mut().enumerate().take(n as usize) {
+                                    *cell = sc.iregs[(idx as usize + j) * lanes + lane];
+                                }
+                                a.offset(&ix[..n as usize])
+                            }
+                        };
+                        match off {
+                            Some(o) => sc.dregs[d + lane] = a.data[o].clone(),
+                            None => fail(errs, &mut active, lane, EvalErr::OobLoad(arr)),
+                        }
+                    }
+                }
+                Op::BCmp { op, dst, a, b } => {
+                    let (d, x, y) = (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                    for lane in lanes_in(active) {
+                        sc.bregs[d + lane] = op.eval(sc.iregs[x + lane], sc.iregs[y + lane]);
+                    }
+                }
+                Op::BNot { dst, a } => {
+                    let (d, x) = (dst as usize * lanes, a as usize * lanes);
+                    for lane in lanes_in(active) {
+                        sc.bregs[d + lane] = !sc.bregs[x + lane];
+                    }
+                }
+                Op::BCopy { dst, src } => {
+                    let (d, s) = (dst as usize * lanes, src as usize * lanes);
+                    for lane in lanes_in(active) {
+                        sc.bregs[d + lane] = sc.bregs[s + lane];
+                    }
+                }
+                Op::BJumpFalse { .. } | Op::BJumpTrue { .. } => {
+                    unreachable!("run_batch on a program with short-circuit jumps")
+                }
+            }
+        }
+        active
+    }
+}
+
+// ---------------------------------------------------------- Batched runtime
+
+/// Iterates the set bit positions of a lane mask, lowest lane first.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneIter(u64);
+
+impl Iterator for LaneIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lane = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(lane)
+    }
+}
+
+/// The lanes set in `mask`, lowest first.
+pub fn lanes_in(mask: u64) -> LaneIter {
+    LaneIter(mask)
+}
+
+/// A full mask over the first `lanes` lanes.
+pub fn lane_mask(lanes: usize) -> u64 {
+    debug_assert!((1..=SLOT_BATCH_MAX_LANES).contains(&lanes));
+    if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Maximum number of lanes a [`SlotBatch`] holds: one `u64` mask bit each.
+pub const SLOT_BATCH_MAX_LANES: usize = 64;
+
+/// Structure-of-arrays transpose of up to [`SLOT_BATCH_MAX_LANES`] borrowed
+/// [`SlotState`]s ("lanes"): slot-major, lane-minor columns, so a batched
+/// program run sweeps each slot's values contiguously instead of re-entering
+/// the interpreter per state. Unbound cells are tracked with per-slot lane
+/// bitmasks; a lane whose vector is shorter than another's simply reads the
+/// missing slots as unbound, like the hash-map absent-key behaviour.
+#[derive(Debug)]
+pub struct SlotBatch<'a, V> {
+    lanes: usize,
+    n_scalars: usize,
+    n_arrays: usize,
+    /// Integer cells, `[slot * lanes + lane]`; meaningful where bound.
+    ints: Vec<i64>,
+    /// Per scalar slot: which lanes have a bound integer cell.
+    int_bound: Vec<u64>,
+    /// Real cells, `[slot * lanes + lane]`.
+    reals: Vec<Option<&'a V>>,
+    /// Array cells, `[slot * lanes + lane]`.
+    arrays: Vec<Option<&'a ArrayData<V>>>,
+    /// Per array slot: `true` when every bound lane's array has identical
+    /// dimension bounds, so one flat offset is valid for every lane.
+    dims_uniform: Vec<bool>,
+}
+
+impl<'a, V: DataValue> SlotBatch<'a, V> {
+    /// Transposes the given states into SoA columns. `None` entries are
+    /// placeholder lanes (never activate them in a run); at least one state
+    /// must be present and `states.len()` must not exceed
+    /// [`SLOT_BATCH_MAX_LANES`].
+    pub fn transpose(states: &[Option<&'a SlotState<V>>]) -> SlotBatch<'a, V> {
+        let lanes = states.len();
+        assert!(
+            (1..=SLOT_BATCH_MAX_LANES).contains(&lanes),
+            "batch of {lanes} lanes"
+        );
+        let live = states.iter().flatten();
+        let n_scalars = live
+            .clone()
+            .map(|s| s.ints.len().max(s.reals.len()))
+            .max()
+            .unwrap_or(0);
+        let n_arrays = live.map(|s| s.arrays.len()).max().unwrap_or(0);
+        let mut out = SlotBatch {
+            lanes,
+            n_scalars,
+            n_arrays,
+            ints: vec![0; n_scalars * lanes],
+            int_bound: vec![0; n_scalars],
+            reals: vec![None; n_scalars * lanes],
+            arrays: vec![None; n_arrays * lanes],
+            dims_uniform: vec![false; n_arrays],
+        };
+        for (lane, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            for (slot, cell) in st.ints.iter().enumerate() {
+                if let Some(v) = cell {
+                    out.ints[slot * lanes + lane] = *v;
+                    out.int_bound[slot] |= 1 << lane;
+                }
+            }
+            for (slot, cell) in st.reals.iter().enumerate() {
+                if let Some(v) = cell {
+                    out.reals[slot * lanes + lane] = Some(v);
+                }
+            }
+            for (slot, cell) in st.arrays.iter().enumerate() {
+                if let Some(arr) = cell {
+                    out.arrays[slot * lanes + lane] = Some(arr.as_ref());
+                }
+            }
+        }
+        for slot in 0..n_arrays {
+            let mut bound = out.arrays[slot * lanes..(slot + 1) * lanes]
+                .iter()
+                .flatten();
+            let first = bound.next();
+            out.dims_uniform[slot] = match first {
+                Some(a) => bound.all(|b| b.dims == a.dims),
+                None => false,
+            };
+        }
+        out
+    }
+
+    /// Number of lanes (including placeholder lanes).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Reads lane `lane`'s integer cell for `slot`.
+    pub fn int(&self, slot: u32, lane: usize) -> Option<i64> {
+        let s = slot as usize;
+        if s >= self.n_scalars || self.int_bound[s] & (1u64 << lane) == 0 {
+            None
+        } else {
+            Some(self.ints[s * self.lanes + lane])
+        }
+    }
+
+    /// Reads lane `lane`'s real cell for `slot`.
+    pub fn real(&self, slot: u32, lane: usize) -> Option<&'a V> {
+        let s = slot as usize;
+        if s >= self.n_scalars {
+            None
+        } else {
+            self.reals[s * self.lanes + lane]
+        }
+    }
+
+    /// Reads lane `lane`'s array cell for `slot`.
+    pub fn array(&self, slot: u32, lane: usize) -> Option<&'a ArrayData<V>> {
+        let s = slot as usize;
+        if s >= self.n_arrays {
+            None
+        } else {
+            self.arrays[s * self.lanes + lane]
+        }
+    }
+
+    /// True when every lane binding array `slot` binds it with identical
+    /// dimension bounds, so a flat offset computed against one lane's array
+    /// is valid for every bound lane.
+    pub fn array_dims_uniform(&self, slot: u32) -> bool {
+        let s = slot as usize;
+        s < self.n_arrays && self.dims_uniform[s]
+    }
+}
+
+/// Reusable register banks for batched program execution: the lane-strided
+/// analogue of [`Scratch`], register-major (`[reg * lanes + lane]`). Like
+/// the scalar scratch, banks grow on demand and pinned registers (quantifier
+/// counters broadcast by the caller) survive across runs — but the lane
+/// count is re-bound by [`reserve`](Self::reserve)/each run, so pins must be
+/// re-written whenever the lane count changes.
+#[derive(Debug)]
+pub struct BatchScratch<V> {
+    iregs: Vec<i64>,
+    dregs: Vec<V>,
+    bregs: Vec<bool>,
+    /// Per integer register: `true` when every lane holds the same value
+    /// (pinned broadcasts and constant/arithmetic derivations of them, all
+    /// of which fill whole rows). Lets lane-invariant arithmetic run once
+    /// and lane-invariant array offsets be resolved once per batch.
+    iuni: Vec<bool>,
+    pool: Vec<V>,
+    callbuf: Vec<V>,
+    lanes: usize,
+}
+
+impl<V: DataValue> BatchScratch<V> {
+    /// A batch scratch with the set's constant pool converted into the
+    /// domain.
+    pub fn for_set(set: &ProgramSet) -> BatchScratch<V> {
+        BatchScratch {
+            iregs: Vec::new(),
+            dregs: Vec::new(),
+            bregs: Vec::new(),
+            iuni: Vec::new(),
+            pool: set.pool.iter().map(|&c| V::from_const(c)).collect(),
+            callbuf: Vec::new(),
+            lanes: 0,
+        }
+    }
+
+    /// Grows the banks to fit `prog` at `lanes` lanes without running it —
+    /// used to size the pinned quantifier registers before writing them.
+    pub fn reserve(&mut self, prog: &Program, lanes: usize) {
+        self.ensure(prog, lanes);
+    }
+
+    fn ensure(&mut self, prog: &Program, lanes: usize) {
+        self.lanes = lanes;
+        let ni = prog.iregs as usize * lanes;
+        if self.iregs.len() < ni {
+            self.iregs.resize(ni, 0);
+        }
+        let nd = prog.dregs as usize * lanes;
+        if self.dregs.len() < nd {
+            self.dregs.resize(nd, V::from_const(0.0));
+        }
+        let nb = prog.bregs as usize * lanes;
+        if self.bregs.len() < nb {
+            self.bregs.resize(nb, false);
+        }
+        if self.iuni.len() < prog.iregs as usize {
+            self.iuni.resize(prog.iregs as usize, false);
+        }
+    }
+
+    /// Reads lane `lane` of integer register `r`.
+    pub fn ireg(&self, r: u16, lane: usize) -> i64 {
+        self.iregs[r as usize * self.lanes + lane]
+    }
+
+    /// Reads lane `lane` of data register `r`.
+    pub fn dreg(&self, r: u16, lane: usize) -> &V {
+        &self.dregs[r as usize * self.lanes + lane]
+    }
+
+    /// Reads lane `lane` of boolean register `r`.
+    pub fn breg(&self, r: u16, lane: usize) -> bool {
+        self.bregs[r as usize * self.lanes + lane]
+    }
+
+    /// Writes `v` into integer register `r` of every lane — the batched
+    /// analogue of pinning a quantifier counter. The whole row is filled (a
+    /// vectorizable store that also makes the register lane-uniform by
+    /// construction, letting batched loads resolve their offsets once).
+    pub fn pin_ireg(&mut self, r: u16, v: i64) {
+        let base = r as usize * self.lanes;
+        self.iregs[base..base + self.lanes].fill(v);
+        self.iuni[r as usize] = true;
+    }
+
+    /// True when integer register `r` holds the same value on every lane
+    /// (see [`pin_ireg`](Self::pin_ireg)).
+    pub fn ireg_uniform(&self, r: u16) -> bool {
+        self.iuni[r as usize]
+    }
+
+    /// Resolves a lane-invariant flat offset for a load of rank `n` from
+    /// array `arr` at index registers `idx..idx + n`: `Some(off)` when every
+    /// active lane addresses the same multi-index (all index registers
+    /// lane-uniform) into arrays with identical dims, so `off` — `None` for
+    /// out-of-bounds — stands for every bound lane. Returns `None` when no
+    /// shared offset exists and lanes must resolve their indices one by one.
+    fn shared_offset(
+        &self,
+        batch: &SlotBatch<'_, V>,
+        arr: u32,
+        idx: u16,
+        n: u16,
+        active: u64,
+    ) -> Option<Option<usize>> {
+        if !batch.array_dims_uniform(arr) || !(idx..idx + n).all(|r| self.iuni[r as usize]) {
+            return None;
+        }
+        // Uniform dims make any bound active lane's array representative,
+        // and uniform registers hold their value on every lane (lane 0).
+        let a = lanes_in(active).find_map(|lane| batch.array(arr, lane))?;
+        let mut ix = [0i64; 16];
+        for (j, cell) in ix.iter_mut().enumerate().take(n as usize) {
+            *cell = self.iregs[(idx as usize + j) * self.lanes];
+        }
+        Some(a.offset(&ix[..n as usize]))
+    }
 }
 
 // ------------------------------------------------------------ Slot program

@@ -307,6 +307,9 @@ pub struct PhaseMetrics {
     pub oblig_hits: MetricId,
     pub oblig_misses: MetricId,
     pub core_hits: MetricId,
+    pub screened: MetricId,
+    pub survivors: MetricId,
+    pub batch_scans: MetricId,
 }
 
 /// The phase-metric ids (registered on first use).
@@ -320,6 +323,9 @@ pub fn phase() -> &'static PhaseMetrics {
         oblig_hits: register("prover.oblig_hits", MetricKind::Counter).id(),
         oblig_misses: register("prover.oblig_misses", MetricKind::Counter).id(),
         core_hits: register("prover.core_hits", MetricKind::Counter).id(),
+        screened: register("bounded.screened", MetricKind::Counter).id(),
+        survivors: register("bounded.survivors", MetricKind::Counter).id(),
+        batch_scans: register("bounded.batch_scans", MetricKind::Counter).id(),
     })
 }
 

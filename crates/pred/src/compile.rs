@@ -24,10 +24,11 @@
 use crate::eval::{ValueEq, VcOutcome};
 use crate::lang::{Pred, QuantClause};
 use crate::vcgen::Vc;
+use std::collections::HashMap;
 use stng_intern::guard::Budget;
 use stng_ir::slots::{
-    exec_stmts, CompileErr, Compiler, EvalErr, Program, ProgramSet, Scratch, SlotMap, SlotState,
-    SlotStmt,
+    exec_stmts, lane_mask, lanes_in, BatchScratch, CompileErr, Compiler, EvalErr, Program,
+    ProgramSet, Scratch, SlotBatch, SlotMap, SlotState, SlotStmt, SLOT_BATCH_MAX_LANES,
 };
 
 /// How many quantifier points the compiled enumerator evaluates between
@@ -90,11 +91,22 @@ enum CompiledPred {
 pub struct CompiledVc {
     /// The VC's name (for counterexample reporting).
     pub name: String,
-    hypotheses: Vec<CompiledPred>,
+    /// Hypotheses, each tagged with a set-wide *structural* id: hypotheses
+    /// with identical source predicates share an id, so batch scans can
+    /// memoize their per-state verdicts across VCs (a hypothesis verdict is
+    /// a pure function of (predicate, pre-state), and `false` and `Err` are
+    /// observationally the same — both make the lane vacuous).
+    hypotheses: Vec<(u32, CompiledPred)>,
     body: Vec<SlotStmt>,
     int_scalars: Vec<u32>,
     conclusion: CompiledPred,
 }
+
+/// Memo of hypothesis verdicts for [`CompiledVcSet::check_batch`], keyed by
+/// (structural hypothesis id, caller-chosen state key). Callers share one
+/// memo across every VC scanned against the same state set (one capture
+/// unit, say) and must not reuse it across state sets.
+pub type HypMemo = HashMap<(u32, usize), bool>;
 
 /// A batch of compiled VCs sharing one constant pool and function table.
 #[derive(Debug)]
@@ -118,11 +130,19 @@ impl CompiledVcSet {
     pub fn compile(vcs: &[Vc], map: &SlotMap) -> Result<CompiledVcSet, CompileErr> {
         let mut compiler = Compiler::new(map);
         let mut out = Vec::with_capacity(vcs.len());
+        // Structural hypothesis ids: VC families share invariant predicates
+        // verbatim (the same invariant appears as a hypothesis of several
+        // VCs), so identical source predicates get one id for memoization.
+        let mut hyp_ids: HashMap<String, u32> = HashMap::new();
         for vc in vcs {
             let hypotheses = vc
                 .hypotheses
                 .iter()
-                .map(|h| compile_pred(&mut compiler, map, h))
+                .map(|h| {
+                    let next = hyp_ids.len() as u32;
+                    let uid = *hyp_ids.entry(format!("{h:?}")).or_insert(next);
+                    compile_pred(&mut compiler, map, h).map(|p| (uid, p))
+                })
                 .collect::<Result<_, _>>()?;
             compiler.clear_env();
             let body = compiler.compile_stmts(&vc.body)?;
@@ -176,7 +196,7 @@ impl CompiledVcSet {
         budget: &Budget,
     ) -> Result<VcOutcome, EvalErr> {
         let vc = &self.vcs[k];
-        for hyp in &vc.hypotheses {
+        for (_, hyp) in &vc.hypotheses {
             match eval_pred(hyp, &self.set, pre, sc, budget) {
                 Ok(true) => {}
                 Ok(false) | Err(_) => return Ok(VcOutcome::Vacuous),
@@ -198,6 +218,142 @@ impl CompiledVcSet {
             Ok(VcOutcome::Holds)
         } else {
             Ok(VcOutcome::Violated)
+        }
+    }
+
+    /// A batch scratch space usable with every VC in the set.
+    pub fn batch_scratch<V: ValueEq>(&self) -> BatchScratch<V> {
+        BatchScratch::for_set(&self.set)
+    }
+
+    /// Checks VC `k` against up to [`SLOT_BATCH_MAX_LANES`] pre-states in
+    /// one pass: the batched equivalent of calling
+    /// [`check_budgeted`](Self::check_budgeted) per state, with predicate
+    /// programs executed op-major/lane-minor over SoA-transposed columns.
+    ///
+    /// Per-lane outcomes (including which evaluation error fires first)
+    /// match the scalar engine exactly: mask narrowing reproduces the
+    /// hypothesis short-circuit, bodies run per lane through the scalar
+    /// executor, and quantifier clauses sweep the union box in lexicographic
+    /// order so each lane visits its own points in its own scalar order.
+    /// Fuel is charged at the same rates (1 per body step, 1 per quantifier
+    /// point) but polled at batch granularity, so a tripped budget may
+    /// surface on a different lane than a scalar sweep would pick.
+    ///
+    /// `state_keys` names each lane's pre-state (parallel to `pres`) for
+    /// the hypothesis `memo`: VC families share invariant hypotheses, so
+    /// one memo reused across the VCs of a scan evaluates each distinct
+    /// (hypothesis, state) pair once. A hypothesis verdict is a pure
+    /// function of that pair, and `false`/`Err` both read as "vacuous", so
+    /// memoization is observationally exact.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_batch<V: ValueEq>(
+        &self,
+        k: usize,
+        pres: &[&SlotState<V>],
+        state_keys: &[usize],
+        sc: &mut Scratch<V>,
+        bsc: &mut BatchScratch<V>,
+        memo: &mut HypMemo,
+        budget: &Budget,
+        out: &mut Vec<Result<VcOutcome, EvalErr>>,
+    ) {
+        let lanes = pres.len();
+        debug_assert!((1..=SLOT_BATCH_MAX_LANES).contains(&lanes));
+        debug_assert_eq!(state_keys.len(), lanes);
+        let vc = &self.vcs[k];
+        out.clear();
+        out.resize(lanes, Ok(VcOutcome::Vacuous));
+        let mut errs: Vec<Option<EvalErr>> = vec![None; lanes];
+        let pre_refs: Vec<Option<&SlotState<V>>> = pres.iter().map(|s| Some(*s)).collect();
+        let pre = SlotBatch::transpose(&pre_refs);
+        let mut active = lane_mask(lanes);
+
+        // Hypotheses: a lane whose hypothesis is false *or errors* drops out
+        // as vacuous, mirroring the scalar `Ok(false) | Err(_)` arm. Memo
+        // hits skip evaluation; misses evaluate batched and are recorded.
+        for (uid, hyp) in &vc.hypotheses {
+            if active == 0 {
+                break;
+            }
+            let mut miss = 0u64;
+            for lane in lanes_in(active) {
+                match memo.get(&(*uid, state_keys[lane])) {
+                    Some(true) => {}
+                    Some(false) => active &= !(1u64 << lane),
+                    None => miss |= 1u64 << lane,
+                }
+            }
+            if miss != 0 {
+                let passed = eval_pred_batch(
+                    hyp, &self.set, &pre, &pre_refs, sc, bsc, miss, budget, &mut errs,
+                );
+                for lane in lanes_in(miss) {
+                    let ok = passed & (1u64 << lane) != 0;
+                    memo.insert((*uid, state_keys[lane]), ok);
+                    if !ok {
+                        active &= !(1u64 << lane);
+                    }
+                }
+            }
+        }
+        for e in errs.iter_mut() {
+            *e = None;
+        }
+        if active == 0 {
+            return;
+        }
+
+        // Bodies are loop-free and run per lane through the scalar executor
+        // (assignment dispatch is dynamic per state); errors and the body
+        // fuel charge match the scalar path lane for lane.
+        let mut posts: Vec<Option<SlotState<V>>> = (0..lanes).map(|_| None).collect();
+        for lane in lanes_in(active) {
+            let mut post = pres[lane].clone();
+            for &slot in &vc.int_scalars {
+                post.seed_int_slot(slot);
+            }
+            let mut steps = 0u64;
+            match exec_stmts(&vc.body, &self.set, &mut post, sc, &mut steps, 1_000_000) {
+                Ok(()) => {}
+                Err(e) => {
+                    out[lane] = Err(e);
+                    active &= !(1u64 << lane);
+                    continue;
+                }
+            }
+            if budget.consume_check_fuel(steps).is_err() {
+                out[lane] = Err(EvalErr::Budget);
+                active &= !(1u64 << lane);
+                continue;
+            }
+            posts[lane] = Some(post);
+        }
+        if active == 0 {
+            return;
+        }
+
+        let post_refs: Vec<Option<&SlotState<V>>> = posts.iter().map(Option::as_ref).collect();
+        let post = SlotBatch::transpose(&post_refs);
+        let held = eval_pred_batch(
+            &vc.conclusion,
+            &self.set,
+            &post,
+            &post_refs,
+            sc,
+            bsc,
+            active,
+            budget,
+            &mut errs,
+        );
+        for lane in lanes_in(active) {
+            out[lane] = if held & (1u64 << lane) != 0 {
+                Ok(VcOutcome::Holds)
+            } else if let Some(e) = errs[lane] {
+                Err(e)
+            } else {
+                Ok(VcOutcome::Violated)
+            };
         }
     }
 }
@@ -367,6 +523,322 @@ fn eval_clause<V: ValueEq>(
     }
 }
 
+/// Batched [`eval_pred`]: evaluates the predicate for every lane in
+/// `active` and returns the mask of lanes where it is *true*. A lane that
+/// evaluates to false simply drops out of the returned mask; a lane that
+/// errors additionally records its failure in `errs[lane]` (first error per
+/// lane wins, matching the scalar engine's error-surfacing order). `states`
+/// holds the per-lane originals for the scalar fallbacks (programs with
+/// lane-divergent short-circuit jumps, stride-misaligned clause chunks).
+#[allow(clippy::too_many_arguments)]
+fn eval_pred_batch<V: ValueEq>(
+    pred: &CompiledPred,
+    set: &ProgramSet,
+    batch: &SlotBatch<'_, V>,
+    states: &[Option<&SlotState<V>>],
+    sc: &mut Scratch<V>,
+    bsc: &mut BatchScratch<V>,
+    active: u64,
+    budget: &Budget,
+    errs: &mut [Option<EvalErr>],
+) -> u64 {
+    match pred {
+        CompiledPred::Bool(p) => {
+            if p.straight_line() {
+                let ran = p.run_batch(set, batch, bsc, active, errs);
+                let mut t = 0u64;
+                for lane in lanes_in(ran) {
+                    if bsc.breg(p.result, lane) {
+                        t |= 1u64 << lane;
+                    }
+                }
+                t
+            } else {
+                // Short-circuit jumps diverge across lanes: scalar per lane.
+                let mut t = 0u64;
+                for lane in lanes_in(active) {
+                    match p.eval_bool(set, states[lane].expect("active lane"), sc) {
+                        Ok(true) => t |= 1u64 << lane,
+                        Ok(false) => {}
+                        Err(e) => errs[lane] = Some(e),
+                    }
+                }
+                t
+            }
+        }
+        CompiledPred::DataEq { prog, lhs, rhs } => {
+            let ran = prog.run_batch(set, batch, bsc, active, errs);
+            let mut t = 0u64;
+            for lane in lanes_in(ran) {
+                if bsc.dreg(*lhs, lane).clone().value_eq(bsc.dreg(*rhs, lane)) {
+                    t |= 1u64 << lane;
+                }
+            }
+            t
+        }
+        CompiledPred::Forall(clause) => {
+            eval_clause_batch(clause, set, batch, states, sc, bsc, active, budget, errs)
+        }
+        CompiledPred::Stride { slot, lo, step } => {
+            // The scalar engine reads the variable before evaluating `lo`,
+            // so an unbound variable must win over a lower-bound error.
+            let mut have = 0u64;
+            for lane in lanes_in(active) {
+                if batch.int(*slot, lane).is_some() {
+                    have |= 1u64 << lane;
+                } else {
+                    errs[lane] = Some(EvalErr::UnboundInt(*slot));
+                }
+            }
+            let ran = lo.run_batch(set, batch, bsc, have, errs);
+            let mut t = 0u64;
+            for lane in lanes_in(ran) {
+                let v = batch.int(*slot, lane).expect("bound lane");
+                let l = bsc.ireg(lo.result, lane);
+                if v >= l && (v - l).rem_euclid(*step) == 0 {
+                    t |= 1u64 << lane;
+                }
+            }
+            t
+        }
+        CompiledPred::And(ps) => {
+            // Mask narrowing *is* the per-lane short-circuit: a lane false
+            // or errored in one conjunct never evaluates the next.
+            let mut m = active;
+            for p in ps {
+                if m == 0 {
+                    break;
+                }
+                m = eval_pred_batch(p, set, batch, states, sc, bsc, m, budget, errs);
+            }
+            m
+        }
+    }
+}
+
+/// Per-lane scalar fallback for clause chunks the batched enumerator cannot
+/// share a lattice for.
+fn clause_lanes_scalar<V: ValueEq>(
+    clause: &CompiledClause,
+    set: &ProgramSet,
+    states: &[Option<&SlotState<V>>],
+    sc: &mut Scratch<V>,
+    active: u64,
+    budget: &Budget,
+    errs: &mut [Option<EvalErr>],
+) -> u64 {
+    let mut t = 0u64;
+    for lane in lanes_in(active) {
+        match eval_clause(clause, set, states[lane].expect("active lane"), sc, budget) {
+            Ok(true) => t |= 1u64 << lane,
+            Ok(false) => {}
+            Err(e) => errs[lane] = Some(e),
+        }
+    }
+    t
+}
+
+/// Batched [`eval_clause`]: one lexicographic sweep of the lanes' *union*
+/// box with per-dimension lane masks selecting which lanes each point
+/// belongs to. Restricting the union sweep to a lane's own box preserves
+/// lexicographic order, so every lane sees exactly the scalar enumeration —
+/// same first violation, same first error — while the point program runs
+/// once per point instead of once per (lane, point).
+#[allow(clippy::too_many_arguments)]
+fn eval_clause_batch<V: ValueEq>(
+    clause: &CompiledClause,
+    set: &ProgramSet,
+    batch: &SlotBatch<'_, V>,
+    states: &[Option<&SlotState<V>>],
+    sc: &mut Scratch<V>,
+    bsc: &mut BatchScratch<V>,
+    active: u64,
+    budget: &Budget,
+    errs: &mut [Option<EvalErr>],
+) -> u64 {
+    let batchable = clause.point.straight_line()
+        && clause
+            .bounds
+            .iter()
+            .all(|b| b.lo.straight_line() && b.hi.straight_line());
+    if !batchable {
+        return clause_lanes_scalar(clause, set, states, sc, active, budget, errs);
+    }
+    let n = clause.bounds.len();
+    let lanes = batch.lanes();
+    // Bounds per lane, evaluated in the scalar order (lo then hi, dimension
+    // by dimension) so the first bound error per lane matches the scalar
+    // engine; an errored lane skips the remaining bound programs exactly as
+    // the scalar `?` would.
+    let mut lo = vec![0i64; n * lanes];
+    let mut hi = vec![0i64; n * lanes];
+    let mut ok = active;
+    for (d, b) in clause.bounds.iter().enumerate() {
+        ok = b.lo.run_batch(set, batch, bsc, ok, errs);
+        for lane in lanes_in(ok) {
+            lo[d * lanes + lane] = bsc.ireg(b.lo.result, lane);
+        }
+        ok = b.hi.run_batch(set, batch, bsc, ok, errs);
+        for lane in lanes_in(ok) {
+            hi[d * lanes + lane] = bsc.ireg(b.hi.result, lane);
+        }
+    }
+    // Empty ranges are vacuously true.
+    let mut t = 0u64;
+    let mut enumerate = 0u64;
+    for lane in lanes_in(ok) {
+        if (0..n).any(|d| lo[d * lanes + lane] > hi[d * lanes + lane]) {
+            t |= 1u64 << lane;
+        } else {
+            enumerate |= 1u64 << lane;
+        }
+    }
+    if enumerate == 0 {
+        return t;
+    }
+    // The scalar engine resolves the output array before the first point.
+    for lane in lanes_in(enumerate) {
+        if batch.array(clause.array, lane).is_none() {
+            errs[lane] = Some(EvalErr::UnboundArray(clause.array));
+            enumerate &= !(1u64 << lane);
+        }
+    }
+    if enumerate == 0 {
+        return t;
+    }
+    // A shared lattice per dimension needs every lane's `lo` on the same
+    // residue when the stride exceeds 1; disagreeing chunks fall back to
+    // per-lane scalar enumeration (no corpus kernel hits this today).
+    for (d, b) in clause.bounds.iter().enumerate() {
+        if b.step > 1 {
+            let mut it = lanes_in(enumerate);
+            let r0 = lo[d * lanes + it.next().expect("nonempty mask")].rem_euclid(b.step);
+            if it.any(|lane| lo[d * lanes + lane].rem_euclid(b.step) != r0) {
+                return t | clause_lanes_scalar(clause, set, states, sc, enumerate, budget, errs);
+            }
+        }
+    }
+    // Union box and per-dimension in-range lane masks: `dim_masks[d][j]` is
+    // the set of lanes whose range contains lattice point `ulo[d] + j*step`.
+    let mut ulo = [0i64; MAX_QUANT];
+    for d in 0..n {
+        ulo[d] = lanes_in(enumerate)
+            .map(|l| lo[d * lanes + l])
+            .min()
+            .expect("nonempty mask");
+    }
+    let mut dim_masks: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for (d, b) in clause.bounds.iter().enumerate() {
+        let uhi = lanes_in(enumerate)
+            .map(|l| hi[d * lanes + l])
+            .max()
+            .expect("nonempty mask");
+        let width = ((uhi - ulo[d]).div_euclid(b.step) + 1) as usize;
+        let mut col = vec![0u64; width];
+        for lane in lanes_in(enumerate) {
+            let j0 = ((lo[d * lanes + lane] - ulo[d]) / b.step) as usize;
+            let j1 = ((hi[d * lanes + lane] - ulo[d]).div_euclid(b.step)) as usize;
+            for m in col.iter_mut().take(j1 + 1).skip(j0) {
+                *m |= 1u64 << lane;
+            }
+        }
+        dim_masks.push(col);
+    }
+    // Lexicographic sweep, last dimension fastest. A lane leaves `alive` the
+    // moment its outcome is decided (violation or error); lanes alive after
+    // the sweep saw all their points hold.
+    bsc.reserve(&clause.point, lanes);
+    let mut cur = [0i64; MAX_QUANT];
+    let mut jj = [0usize; MAX_QUANT];
+    cur[..n].copy_from_slice(&ulo[..n]);
+    let mut alive = enumerate;
+    let mut since_poll: u64 = 0;
+    'points: loop {
+        let mut at = alive;
+        for d in 0..n {
+            at &= dim_masks[d][jj[d]];
+        }
+        if at != 0 {
+            for (d, &c) in cur.iter().enumerate().take(n) {
+                bsc.pin_ireg(d as u16, c);
+            }
+            let ran = clause.point.run_batch(set, batch, bsc, at, errs);
+            alive &= !(at & !ran);
+            // The target cell is lane-invariant whenever the index registers
+            // are (always true for straight quantifier-var indices): resolve
+            // the flat offset once and compare per lane.
+            let shared = if ran != 0
+                && batch.array_dims_uniform(clause.array)
+                && (clause.idx..clause.idx + clause.rank).all(|r| bsc.ireg_uniform(r))
+            {
+                let lane = ran.trailing_zeros() as usize;
+                let arr = batch.array(clause.array, lane).expect("checked above");
+                let mut ix = [0i64; MAX_QUANT];
+                for (i, r) in (clause.idx..clause.idx + clause.rank).enumerate() {
+                    ix[i] = bsc.ireg(r, lane);
+                }
+                Some(arr.offset(&ix[..clause.rank as usize]))
+            } else {
+                None
+            };
+            for lane in lanes_in(ran) {
+                let arr = batch.array(clause.array, lane).expect("checked above");
+                let off = match shared {
+                    Some(off) => off,
+                    None => {
+                        let mut ix = [0i64; MAX_QUANT];
+                        for (i, r) in (clause.idx..clause.idx + clause.rank).enumerate() {
+                            ix[i] = bsc.ireg(r, lane);
+                        }
+                        arr.offset(&ix[..clause.rank as usize])
+                    }
+                };
+                match off {
+                    Some(o) => {
+                        if !arr.data[o].value_eq(bsc.dreg(clause.rhs, lane)) {
+                            alive &= !(1u64 << lane);
+                        }
+                    }
+                    None => {
+                        errs[lane] = Some(EvalErr::OobLoad(clause.array));
+                        alive &= !(1u64 << lane);
+                    }
+                }
+            }
+            // Back-edge budget poll at batch granularity: one fuel per
+            // (point, lane), charged every >= POLL_STRIDE accumulated.
+            since_poll += at.count_ones() as u64;
+            if since_poll >= POLL_STRIDE as u64 {
+                if budget.consume_check_fuel(since_poll).is_err() {
+                    for lane in lanes_in(alive) {
+                        errs[lane] = Some(EvalErr::Budget);
+                    }
+                    alive = 0;
+                }
+                since_poll = 0;
+            }
+            if alive == 0 {
+                break 'points;
+            }
+        }
+        let mut d = n;
+        loop {
+            if d == 0 {
+                break 'points;
+            }
+            d -= 1;
+            jj[d] += 1;
+            cur[d] += clause.bounds[d].step;
+            if jj[d] < dim_masks[d].len() {
+                break;
+            }
+            jj[d] = 0;
+            cur[d] = ulo[d];
+        }
+    }
+    t | alive
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +944,78 @@ mod tests {
         let interp2 = check_vc_on_state(&vc, &state).unwrap();
         let fast2 = compiled2.check(0, &slot_state, &mut sc2).unwrap();
         assert_eq!(interp2, fast2);
+    }
+
+    #[test]
+    fn batched_check_agrees_with_scalar_lane_for_lane() {
+        // Correct, violated, and erroring postconditions, each checked on a
+        // batch mixing the initial and final states: every lane's outcome —
+        // including the exact error — must equal the scalar engine's.
+        let (kernel, mut state) = example();
+        let nest = analyze_loop_nest(&kernel).unwrap();
+        let initial = state.clone();
+        run_kernel(&kernel, &mut state).unwrap();
+        let mut wrong = fixtures::running_example_post();
+        wrong.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                stng_ir::ir::IrExpr::var("vi"),
+                stng_ir::ir::IrExpr::var("vj"),
+            ],
+        };
+        let mut erroring = fixtures::running_example_post();
+        erroring.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Load {
+            array: "b".into(),
+            indices: vec![
+                stng_ir::ir::IrExpr::add(
+                    stng_ir::ir::IrExpr::var("vi"),
+                    stng_ir::ir::IrExpr::Int(900),
+                ),
+                stng_ir::ir::IrExpr::var("vj"),
+            ],
+        };
+        let invariants = fixtures::running_example_invariants();
+        for post in [fixtures::running_example_post(), wrong, erroring] {
+            let vcs = generate_vcs(&nest, &kernel.assumptions, &invariants, &post);
+            let map = Arc::new(stng_ir::slots::SlotMap::for_kernel(&kernel));
+            let compiled = CompiledVcSet::compile(&vcs, &map).unwrap();
+            let mut sc = compiled.scratch::<f64>();
+            let mut bsc = compiled.batch_scratch::<f64>();
+            let states: Vec<SlotState<f64>> = [&initial, &state, &initial, &state]
+                .iter()
+                .map(|s| SlotState::from_state(s, &map))
+                .collect();
+            let refs: Vec<&SlotState<f64>> = states.iter().collect();
+            // Lanes 0/2 and 1/3 carry identical states under shared keys, so
+            // the hypothesis memo's cross-lane and cross-VC reuse is on the
+            // differential path too.
+            let keys = [0usize, 1, 0, 1];
+            let mut memo = HypMemo::new();
+            let mut out = Vec::new();
+            for (k, vc) in vcs.iter().enumerate() {
+                compiled.check_batch(
+                    k,
+                    &refs,
+                    &keys,
+                    &mut sc,
+                    &mut bsc,
+                    &mut memo,
+                    &Budget::unlimited(),
+                    &mut out,
+                );
+                assert_eq!(out.len(), refs.len());
+                for (lane, got) in out.iter().enumerate() {
+                    let scalar = compiled.check(k, refs[lane], &mut sc);
+                    match (scalar, got) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, *b, "lane {lane} on {}", vc.name),
+                        (Err(a), Err(b)) => assert_eq!(a, *b, "lane {lane} on {}", vc.name),
+                        (a, b) => {
+                            panic!("divergence lane {lane} on {}: {a:?} vs {b:?}", vc.name)
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

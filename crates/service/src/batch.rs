@@ -231,6 +231,9 @@ impl BatchReport {
                                     Json::Num(k.report.phase.oblig_misses as f64),
                                 ),
                                 ("core_hits", Json::Num(k.report.phase.core_hits as f64)),
+                                ("screened", Json::Num(k.report.phase.screened as f64)),
+                                ("survivors", Json::Num(k.report.phase.survivors as f64)),
+                                ("batch_scans", Json::Num(k.report.phase.batch_scans as f64)),
                             ]);
                         }
                         fields.extend([

@@ -21,8 +21,10 @@
 //! * `--no-sweep` — keep the expression arenas between passes.
 //! * `--profile` — print a per-kernel phase-breakdown table for the final
 //!   pass (capture / bounded / prove times plus the prover's obligation-memo
-//!   and learned-core hit rates, and whether the cache served the row), so
-//!   prover wins are visible without parsing the JSON report.
+//!   and learned-core hit rates, the adaptive bounded screen's
+//!   screened/survivor/batch-sweep counters, and whether the cache served
+//!   the row), so prover and screen wins are visible without parsing the
+//!   JSON report.
 //! * `--json <path>` — write the full per-kernel report as JSON.
 //! * `--trace-out <path>` — arm the span recorder for the whole batch and
 //!   write a Chrome trace-event JSON file (loadable in Perfetto /
@@ -170,7 +172,7 @@ fn parse_args() -> Result<Args, String> {
 fn print_profile(pass: &stng_service::batch::BatchPass) {
     println!(
         "\nprofile (pass {}): per-kernel phase breakdown\n\
-         {:<24} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6}",
+         {:<24} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>6}",
         pass.number,
         "kernel",
         "lift_ms",
@@ -180,6 +182,9 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
         "memo%",
         "oblig",
         "cores",
+        "screen",
+        "surv",
+        "bscan",
         "cached"
     );
     let mut total = stng_synth::PhaseTimings::default();
@@ -192,7 +197,7 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
             .map(|r| format!("{:.1}", r * 100.0))
             .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6}",
+            "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>6}",
             k.kernel_name,
             k.lift_ms,
             p.capture_ms(),
@@ -201,6 +206,9 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
             rate,
             p.oblig_hits + p.oblig_misses,
             p.core_hits,
+            p.screened,
+            p.survivors,
+            p.batch_scans,
             if k.report.cached { "yes" } else { "no" },
         );
         total_lift_ms += k.lift_ms;
@@ -212,7 +220,7 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
         .map(|r| format!("{:.1}", r * 100.0))
         .unwrap_or_else(|| "-".to_string());
     println!(
-        "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6}",
+        "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>6}",
         "total",
         total_lift_ms,
         total.capture_ms(),
@@ -221,6 +229,9 @@ fn print_profile(pass: &stng_service::batch::BatchPass) {
         rate,
         total.oblig_hits + total.oblig_misses,
         total.core_hits,
+        total.screened,
+        total.survivors,
+        total.batch_scans,
         format!("{}/{}", total_cached, pass.kernels.len()),
     );
 }

@@ -339,6 +339,9 @@ fn encode_phase(p: &PhaseTimings) -> Json {
         ("oblig_hits", Json::Num(p.oblig_hits as f64)),
         ("oblig_misses", Json::Num(p.oblig_misses as f64)),
         ("core_hits", Json::Num(p.core_hits as f64)),
+        ("screened", Json::Num(p.screened as f64)),
+        ("survivors", Json::Num(p.survivors as f64)),
+        ("batch_scans", Json::Num(p.batch_scans as f64)),
     ])
 }
 
@@ -351,14 +354,19 @@ fn decode_phase(v: &Json) -> DecodeResult<PhaseTimings> {
         oblig_hits: field(v, "oblig_hits")?.as_u64().ok_or("oblig_hits")?,
         oblig_misses: field(v, "oblig_misses")?.as_u64().ok_or("oblig_misses")?,
         core_hits: field(v, "core_hits")?.as_u64().ok_or("core_hits")?,
+        screened: field(v, "screened")?.as_u64().ok_or("screened")?,
+        survivors: field(v, "survivors")?.as_u64().ok_or("survivors")?,
+        batch_scans: field(v, "batch_scans")?.as_u64().ok_or("batch_scans")?,
     })
 }
 
 /// Current on-disk schema version; bump on any encoding change so stale
 /// files read as misses instead of decode errors. Schema 3 added the
 /// checksum-line framing around the document (see `cache::decode_checked`);
-/// schema 4 added the prover memo/core counters to the phase block.
-pub const SCHEMA: u64 = 4;
+/// schema 4 added the prover memo/core counters to the phase block;
+/// schema 5 added the adaptive bounded-screen counters
+/// (screened/survivors/batch_scans).
+pub const SCHEMA: u64 = 5;
 
 /// Encodes a cache entry into its on-disk JSON document.
 pub fn encode_entry(e: &CachedLift) -> Json {
@@ -498,6 +506,9 @@ mod tests {
                 oblig_hits: 120,
                 oblig_misses: 40,
                 core_hits: 7,
+                screened: 11,
+                survivors: 2,
+                batch_scans: 33,
             },
         };
         let text = encode_entry(&entry).to_string();

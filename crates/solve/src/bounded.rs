@@ -9,8 +9,8 @@
 //! with a counterexample; candidates that survive are handed to
 //! [`crate::prover::SmtLite`] for the final, sound check.
 //!
-//! Two layers keep the screen cheap (this is where CEGIS spends its wall
-//! time on 3D+ kernels):
+//! Several layers keep the screen cheap (this is where CEGIS spends its
+//! wall time on 3D+ kernels):
 //!
 //! * **Compiled checking** — states are slot-addressed
 //!   ([`stng_ir::slots::SlotState`]), captured by a bytecode-compiled
@@ -24,12 +24,31 @@
 //!   [`CheckSession`] owned by the CEGIS loop captures them once into
 //!   immutable snapshots and scans them for every candidate, recompiling
 //!   only the candidate-dependent VCs between iterations.
+//! * **Escalating grid screening** — capture is tiered per grid size and
+//!   lazy: every candidate is scanned against the first (smallest, in the
+//!   configured order) tier's units, and a later tier is captured and
+//!   scanned only when all earlier tiers pass — wrong candidates killed by
+//!   the small grid never pay for the large one. Escalation order is
+//!   deterministic (the configured `grid_sizes` order), so CEGIS
+//!   trajectories and canonical reports stay byte-identical across runs.
+//! * **Kill-rate-ordered VCs** — the session counts counterexamples per VC
+//!   family and scans historically lethal VCs first, so a killed
+//!   candidate's scan short-circuits before paying for the VCs it would
+//!   have survived. The order derives from deterministic counters (never
+//!   timing), and reordering cannot change a candidate's verdict: a
+//!   candidate survives iff *no* VC fails on *any* state.
+//! * **Batched structure-of-arrays execution** — within a unit, each
+//!   compiled VC program runs across all in-scope captured states in one
+//!   op-major pass over SoA-transposed state columns
+//!   ([`stng_ir::slots::SlotBatch`]) instead of re-entering the interpreter
+//!   per state; per-lane outcomes match the scalar engine exactly.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use stng_intern::guard::Budget;
 use stng_ir::error::{Error, Result};
@@ -37,9 +56,10 @@ use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, 
 use stng_ir::ir::{IrStmt, Kernel, ParamKind};
 use stng_ir::slots::{
     exec_stmts_traced, Compiler, LoopTrace, ProgramSet, Scratch, SlotMap, SlotState, SlotStmt,
+    SLOT_BATCH_MAX_LANES,
 };
 use stng_ir::value::{ModInt, MOD_FIELD};
-use stng_pred::compile::CompiledVcSet;
+use stng_pred::compile::{CompiledVcSet, HypMemo};
 use stng_pred::eval::{check_vc_on_state, VcOutcome};
 use stng_pred::vcgen::{Vc, VcScope};
 use stng_sym::choose_small_bounds;
@@ -143,17 +163,6 @@ impl BoundedChecker {
         splitmix(splitmix(self.seed ^ (size as u64)) ^ (trial as u64))
     }
 
-    /// The (size, trial) capture units, in deterministic scan order.
-    fn units(&self) -> Vec<(i64, usize)> {
-        let mut units = Vec::with_capacity(self.grid_sizes.len() * self.trials_per_size);
-        for &size in &self.grid_sizes {
-            for trial in 0..self.trials_per_size {
-                units.push((size, trial));
-            }
-        }
-        units
-    }
-
     /// Checks every VC on every reachable loop-head state of the kernel
     /// under several random small inputs. Returns the first violation found
     /// (in deterministic size → trial → state → VC order, independent of the
@@ -209,7 +218,7 @@ impl CapturedUnit {
     }
 }
 
-/// The session's captured units, in deterministic scan order. A unit whose
+/// One tier's captured units, in deterministic scan order. A unit whose
 /// capture execution failed keeps its error in place, so scanning preserves
 /// the old per-unit semantics: a violation in an earlier unit wins over a
 /// capture error in a later one.
@@ -218,24 +227,40 @@ struct Captured {
     capture_ns: u64,
 }
 
+/// One escalation rung: all the trials of a single grid size, captured
+/// lazily on the first scan that reaches the rung.
+struct Tier {
+    size: i64,
+    captured: OnceLock<Captured>,
+}
+
 /// A bounded-checking session: reachable states captured **once** per
 /// (size, trial) and shared — via `Arc`-backed immutable snapshots — across
 /// every candidate the CEGIS loop screens.
 ///
-/// Capture is lazy (on the first [`CheckSession::find_counterexample`]), so
-/// sessions are free for kernels whose screening never runs, and counted:
-/// [`CheckSession::capture_count`] counts actual capture *executions* (the
-/// counter is incremented inside the unit-execution path, not derived from
-/// stored state), which the benchmarks assert equals the unit count — not
-/// `units × candidates` — so a regression that recaptures states drifts the
-/// counter and fails the gate.
+/// Capture is lazy per *tier* (grid size): the first tier is captured on
+/// the first [`CheckSession::find_counterexample`], and each later tier
+/// only when some candidate survives every earlier one. Capture executions
+/// are counted ([`CheckSession::capture_count`] increments inside the
+/// unit-execution path, not derived from stored state): after a session in
+/// which some candidate survived the full screen the count is exactly
+/// `grid_sizes × trials_per_size`, and it can never exceed that — a
+/// regression that recaptures states drifts the counter and fails the
+/// bench gate.
 pub struct CheckSession {
     checker: BoundedChecker,
     kernel: Kernel,
     map: Arc<SlotMap>,
-    captured: OnceLock<Captured>,
+    tiers: Vec<Tier>,
+    compiled_body: OnceLock<Option<(Vec<SlotStmt>, ProgramSet)>>,
     capture_runs: AtomicU64,
     check_ns: AtomicU64,
+    /// Counterexamples found so far, keyed by VC family name; candidate
+    /// scans try historically lethal VCs first.
+    kill_counts: Mutex<HashMap<String, u64>>,
+    screened: AtomicU64,
+    survivors: AtomicU64,
+    batch_scans: AtomicU64,
     budget: Budget,
 }
 
@@ -253,13 +278,26 @@ impl CheckSession {
     /// from genuine evaluation failures via [`Budget::exhausted`].
     pub fn with_budget(checker: BoundedChecker, kernel: Kernel, budget: Budget) -> CheckSession {
         let map = Arc::new(SlotMap::for_kernel(&kernel));
+        let tiers = checker
+            .grid_sizes
+            .iter()
+            .map(|&size| Tier {
+                size,
+                captured: OnceLock::new(),
+            })
+            .collect();
         CheckSession {
             checker,
             kernel,
             map,
-            captured: OnceLock::new(),
+            tiers,
+            compiled_body: OnceLock::new(),
             capture_runs: AtomicU64::new(0),
             check_ns: AtomicU64::new(0),
+            kill_counts: Mutex::new(HashMap::new()),
+            screened: AtomicU64::new(0),
+            survivors: AtomicU64::new(0),
+            batch_scans: AtomicU64::new(0),
             budget,
         }
     }
@@ -279,18 +317,22 @@ impl CheckSession {
     }
 
     /// Number of (size, trial) capture executions performed so far (0
-    /// before first use; afterwards exactly `grid_sizes × trials_per_size`,
-    /// however many candidates were screened — any recapture drifts it).
+    /// before first use; at most `grid_sizes × trials_per_size`, and
+    /// exactly that once some candidate survives the full screen — any
+    /// recapture drifts it). With lazy tiered capture, a session whose
+    /// candidates all die on the first tier captures only that tier.
     pub fn capture_count(&self) -> usize {
         self.capture_runs.load(Ordering::Relaxed) as usize
     }
 
-    /// Wall time spent capturing states, in nanoseconds.
+    /// Wall time spent capturing states, in nanoseconds (summed over the
+    /// tiers captured so far).
     pub fn capture_ns(&self) -> u64 {
-        match self.captured.get() {
-            Some(captured) => captured.capture_ns,
-            None => 0,
-        }
+        self.tiers
+            .iter()
+            .filter_map(|t| t.captured.get())
+            .map(|c| c.capture_ns)
+            .sum()
     }
 
     /// Cumulative wall time spent scanning states against VCs, in
@@ -300,28 +342,62 @@ impl CheckSession {
         self.check_ns.load(Ordering::Relaxed)
     }
 
-    /// The per-unit capture results, in scan order (capturing now if this
-    /// is the first use). A unit whose capture failed holds its error.
-    pub fn captured_units(&self) -> &[std::result::Result<CapturedUnit, Error>] {
-        &self.capture().units
+    /// Candidates screened (one per [`find_counterexample`] call).
+    ///
+    /// [`find_counterexample`]: Self::find_counterexample
+    pub fn screened(&self) -> u64 {
+        self.screened.load(Ordering::Relaxed)
     }
 
-    fn capture(&self) -> &Captured {
-        self.captured.get_or_init(|| {
+    /// Candidates that survived the full screen (no counterexample on any
+    /// tier).
+    pub fn survivors(&self) -> u64 {
+        self.survivors.load(Ordering::Relaxed)
+    }
+
+    /// Batched (VC program × state chunk) executions performed by the
+    /// SoA scan path.
+    pub fn batch_scans(&self) -> u64 {
+        self.batch_scans.load(Ordering::Relaxed)
+    }
+
+    /// The per-unit capture results of every tier, in scan order (capturing
+    /// all tiers now if needed). A unit whose capture failed holds its
+    /// error.
+    pub fn captured_units(&self) -> Vec<&std::result::Result<CapturedUnit, Error>> {
+        (0..self.tiers.len())
+            .flat_map(|t| self.capture_tier(t).units.iter())
+            .collect()
+    }
+
+    /// The kernel body compiled once per session; kernels outside the
+    /// compiled subset (hand-built IR with conditionals) capture through
+    /// the tree-walking tracer instead.
+    fn compiled_body(&self) -> Option<&(Vec<SlotStmt>, ProgramSet)> {
+        self.compiled_body
+            .get_or_init(|| {
+                let mut compiler = Compiler::new(&self.map);
+                compiler
+                    .compile_stmts(&self.kernel.body)
+                    .ok()
+                    .map(|body| (body, compiler.into_set()))
+            })
+            .as_ref()
+    }
+
+    /// Captures tier `t` (all trials of one grid size) on first touch.
+    fn capture_tier(&self, t: usize) -> &Captured {
+        let tier = &self.tiers[t];
+        tier.captured.get_or_init(|| {
             let _span = stng_obs::span(&stng_obs::names::BOUNDED_CAPTURE);
             let start = Instant::now();
-            // Compile the kernel body once; kernels outside the compiled
-            // subset (hand-built IR with conditionals) capture through the
-            // tree-walking tracer instead.
-            let mut compiler = Compiler::new(&self.map);
-            let compiled = compiler
-                .compile_stmts(&self.kernel.body)
-                .ok()
-                .map(|body| (body, compiler.into_set()));
-            let units = self.checker.units();
+            let compiled = self.compiled_body();
+            let units: Vec<(i64, usize)> = (0..self.checker.trials_per_size)
+                .map(|trial| (tier.size, trial))
+                .collect();
             let units =
                 stng_intern::parallel::map(&units, self.checker.parallelism, |&(size, trial)| {
-                    match &compiled {
+                    match compiled {
                         Some((body, set)) => self
                             .capture_unit_compiled(body, set, size, trial)
                             .map(|states| CapturedUnit::new(size, trial, states)),
@@ -425,9 +501,40 @@ impl CheckSession {
             .collect())
     }
 
-    /// Checks every VC on every captured state. Returns the first violation
-    /// in deterministic size → trial → state → VC order, independent of the
-    /// thread count, or `None` when all checks pass.
+    /// The candidate scan order over VC indices: historically lethal VC
+    /// families first (kill counts descending), original index as the
+    /// deterministic tie-break. A fresh session has no kills, so the order
+    /// starts as the input order.
+    fn kill_order(&self, vcs: &[Vc]) -> Vec<usize> {
+        let counts = self.kill_counts.lock().unwrap_or_else(|p| p.into_inner());
+        let mut order: Vec<usize> = (0..vcs.len()).collect();
+        order.sort_by_key(|&k| {
+            (
+                std::cmp::Reverse(counts.get(&vcs[k].name).copied().unwrap_or(0)),
+                k,
+            )
+        });
+        order
+    }
+
+    fn record_kill(&self, vc_name: &str) {
+        let mut counts = self.kill_counts.lock().unwrap_or_else(|p| p.into_inner());
+        *counts.entry(vc_name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Checks the candidate's VCs against the captured states, escalating
+    /// tier by tier: the first tier's units are scanned first, and a later
+    /// tier is captured/scanned only when every earlier tier passes.
+    /// Returns the first violation found (deterministic: tiers in
+    /// `grid_sizes` order, units in trial order, VCs in the session's
+    /// kill-rate order, states in execution order — independent of the
+    /// thread count), or `None` when all checks pass.
+    ///
+    /// Which counterexample is reported can differ from the exhaustive
+    /// state-major scan (the kill-rate order puts lethal VC families
+    /// first), but *whether* one exists cannot: a candidate survives iff no
+    /// VC fails on any state of any tier, which no ordering changes. The
+    /// adaptive-vs-exhaustive differential suite pins this corpus-wide.
     ///
     /// # Errors
     ///
@@ -438,36 +545,175 @@ impl CheckSession {
     /// errors are rejections, not errors: they become counterexamples, as in
     /// the tree-walking checker.)
     pub fn find_counterexample(&self, vcs: &[Vc]) -> Result<Option<Counterexample>> {
-        let units = self.captured_units();
         let _span = stng_obs::span(&stng_obs::names::BOUNDED_SCAN);
         let start = Instant::now();
+        self.screened.fetch_add(1, Ordering::Relaxed);
         let compiled = CompiledVcSet::compile(vcs, &self.map);
-        let found = stng_intern::parallel::find_first(
-            units,
-            self.checker.parallelism,
-            |_, unit| -> Option<Result<Counterexample>> {
-                let unit = match unit {
-                    Ok(unit) => unit,
-                    Err(err) => return Some(Err(err.clone())),
-                };
-                match &compiled {
-                    Ok(compiled) => self.scan_unit_compiled(unit, compiled, vcs),
-                    // A VC outside the compiled subset: tree-walk the whole
-                    // set so evaluation semantics stay those of one engine.
-                    Err(_) => self.scan_unit_interp(unit, vcs),
+        let order = self.kill_order(vcs);
+        let mut result: Result<Option<Counterexample>> = Ok(None);
+        for t in 0..self.tiers.len() {
+            let mut rung = stng_obs::span(&stng_obs::names::BOUNDED_TIER);
+            rung.arg(self.tiers[t].size as u64);
+            let captured = self.capture_tier(t);
+            let found = stng_intern::parallel::find_first(
+                &captured.units,
+                self.checker.parallelism,
+                |_, unit| -> Option<Result<Counterexample>> {
+                    let unit = match unit {
+                        Ok(unit) => unit,
+                        Err(err) => return Some(Err(err.clone())),
+                    };
+                    match &compiled {
+                        Ok(compiled) => self.scan_unit_batched(unit, compiled, vcs, &order),
+                        // A VC outside the compiled subset: tree-walk the
+                        // whole set so evaluation semantics stay those of
+                        // one engine.
+                        Err(_) => self.scan_unit_interp(unit, vcs),
+                    }
+                },
+            );
+            match found {
+                None => {}
+                Some((_, Ok(cex))) => {
+                    result = Ok(Some(cex));
+                    break;
                 }
-            },
-        );
+                Some((_, Err(err))) => {
+                    result = Err(err);
+                    break;
+                }
+            }
+        }
         self.check_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        match found {
-            None => Ok(None),
-            Some((_, Ok(cex))) => Ok(Some(cex)),
-            Some((_, Err(err))) => Err(err),
+        match &result {
+            Ok(None) => {
+                self.survivors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Some(cex)) => self.record_kill(&cex.vc_name),
+            Err(_) => {}
         }
+        result
     }
 
-    fn scan_unit_compiled(
+    /// Exhaustive reference scan: captures every tier up front and checks
+    /// every VC on every state in the legacy size → trial → state → VC
+    /// order with the scalar engine — no escalation, no kill-rate
+    /// ordering, no batching. The adaptive differential suite compares
+    /// [`find_counterexample`](Self::find_counterexample) against this.
+    pub fn find_counterexample_exhaustive(&self, vcs: &[Vc]) -> Result<Option<Counterexample>> {
+        let compiled = CompiledVcSet::compile(vcs, &self.map);
+        for t in 0..self.tiers.len() {
+            for unit in &self.capture_tier(t).units {
+                let unit = match unit {
+                    Ok(unit) => unit,
+                    Err(err) => return Err(err.clone()),
+                };
+                let found = match &compiled {
+                    Ok(compiled) => self.scan_unit_scalar(unit, compiled, vcs),
+                    Err(_) => self.scan_unit_interp(unit, vcs),
+                };
+                match found {
+                    None => {}
+                    Some(Ok(cex)) => return Ok(Some(cex)),
+                    Some(Err(err)) => return Err(err),
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Batched unit scan: VCs in kill-rate order, each VC's program run
+    /// across all in-scope states of the unit in SoA chunks. Within a
+    /// chunk lanes are reported in state order, so the scan stays
+    /// deterministic; the first failing lane of the first failing VC wins.
+    fn scan_unit_batched(
+        &self,
+        unit: &CapturedUnit,
+        compiled: &CompiledVcSet,
+        vcs: &[Vc],
+        order: &[usize],
+    ) -> Option<Result<Counterexample>> {
+        let mut sc = compiled.scratch::<ModInt>();
+        let mut bsc = compiled.batch_scratch::<ModInt>();
+        let mut out = Vec::new();
+        let mut lanes: Vec<&SlotState<ModInt>> = Vec::new();
+        let mut keys: Vec<usize> = Vec::new();
+        let mut origins: Vec<&StateOrigin> = Vec::new();
+        // Hypothesis-verdict memo, shared across the candidate's VCs for
+        // this unit: VC families repeat invariant hypotheses on the same
+        // states, so each distinct (hypothesis, state) pair evaluates once.
+        let mut memo = HypMemo::new();
+        for &k in order {
+            let vc = &vcs[k];
+            lanes.clear();
+            keys.clear();
+            origins.clear();
+            for (j, (origin, state)) in unit.states.iter().enumerate() {
+                if origin.in_scope(&vc.scope) {
+                    lanes.push(state);
+                    keys.push(j);
+                    origins.push(origin);
+                }
+            }
+            let mut offset = 0;
+            while offset < lanes.len() {
+                let end = (offset + SLOT_BATCH_MAX_LANES).min(lanes.len());
+                let chunk = &lanes[offset..end];
+                // One fuel unit per (state, VC) check, charged per chunk;
+                // the batched check itself polls at quantifier back-edges.
+                if self.budget.consume_check_fuel(chunk.len() as u64).is_err() {
+                    return Some(Err(self.budget_error()));
+                }
+                self.batch_scans.fetch_add(1, Ordering::Relaxed);
+                compiled.check_batch(
+                    k,
+                    chunk,
+                    &keys[offset..end],
+                    &mut sc,
+                    &mut bsc,
+                    &mut memo,
+                    &self.budget,
+                    &mut out,
+                );
+                for (lane, outcome) in out.iter().enumerate() {
+                    match outcome {
+                        Ok(VcOutcome::Violated) => {
+                            let origin = origins[offset + lane];
+                            return Some(Ok(Counterexample {
+                                vc_name: vc.name.clone(),
+                                origin: format!(
+                                    "{origin} (size {}, trial {})",
+                                    unit.size, unit.trial
+                                ),
+                            }));
+                        }
+                        Ok(_) => {}
+                        Err(err) => {
+                            // A budget interruption must not masquerade as
+                            // a rejection: it says nothing about the
+                            // candidate.
+                            if self.budget.exhausted().is_some() {
+                                return Some(Err(self.budget_error()));
+                            }
+                            // Evaluation errors (out-of-bounds candidate
+                            // indices) also reject the candidate.
+                            return Some(Ok(Counterexample {
+                                vc_name: vc.name.clone(),
+                                origin: format!("evaluation error: {}", err.render(&self.map)),
+                            }));
+                        }
+                    }
+                }
+                offset = end;
+            }
+        }
+        None
+    }
+
+    /// Legacy state-major scalar scan of one unit: the exhaustive
+    /// reference the differential suite compares the batched path against.
+    fn scan_unit_scalar(
         &self,
         unit: &CapturedUnit,
         compiled: &CompiledVcSet,
@@ -493,13 +739,9 @@ impl CheckSession {
                     }
                     Ok(_) => {}
                     Err(err) => {
-                        // A budget interruption must not masquerade as a
-                        // rejection: it says nothing about the candidate.
                         if self.budget.exhausted().is_some() {
                             return Some(Err(self.budget_error()));
                         }
-                        // Evaluation errors (out-of-bounds candidate
-                        // indices) also reject the candidate.
                         return Some(Ok(Counterexample {
                             vc_name: vc.name.clone(),
                             origin: format!("evaluation error: {}", err.render(&self.map)),
@@ -748,6 +990,49 @@ mod tests {
         );
         assert!(session.capture_ns() > 0);
         assert!(session.check_ns() > 0);
+        assert_eq!(session.screened(), 5);
+        assert_eq!(session.survivors(), 5, "every candidate survived");
+        assert!(session.batch_scans() > 0);
+    }
+
+    #[test]
+    fn killed_candidates_capture_only_the_first_tier() {
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Real(0.0);
+        let (kernel, vcs) = vcs_with(post, fixtures::running_example_invariants());
+        let checker = BoundedChecker::new();
+        let session = CheckSession::new(checker.clone(), kernel);
+        for _ in 0..3 {
+            assert!(session.find_counterexample(&vcs).unwrap().is_some());
+        }
+        assert_eq!(
+            session.capture_count(),
+            checker.trials_per_size,
+            "a candidate killed on the smallest tier never captures larger tiers"
+        );
+        assert_eq!(session.screened(), 3);
+        assert_eq!(session.survivors(), 0);
+    }
+
+    #[test]
+    fn kill_ordering_preserves_counterexample_presence() {
+        // After the first kill the session reorders VCs by kill rate; the
+        // reported counterexample may change, but presence may not — and
+        // the exhaustive reference scan must agree throughout.
+        let mut post = fixtures::running_example_post();
+        post.clauses[0].eq.rhs = stng_ir::ir::IrExpr::Real(0.0);
+        let (kernel, vcs) = vcs_with(post, fixtures::running_example_invariants());
+        let session = CheckSession::new(BoundedChecker::new(), kernel);
+        let first = session.find_counterexample(&vcs).unwrap().unwrap();
+        let second = session.find_counterexample(&vcs).unwrap().unwrap();
+        // Same candidate re-screened in one session: the kill-rate order is
+        // derived from counters, so the rerun is deterministic.
+        assert_eq!(first.vc_name, second.vc_name);
+        assert_eq!(first.origin, second.origin);
+        assert!(session
+            .find_counterexample_exhaustive(&vcs)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -130,6 +130,15 @@ pub struct PhaseTimings {
     /// — a profiling signal, not an invariant (and, like all timing fields,
     /// excluded from canonical reports).
     pub core_hits: u64,
+    /// Candidates screened by the adaptive bounded checker (one per
+    /// `find_counterexample` call on the session).
+    pub screened: u64,
+    /// Screened candidates that survived every tier and went to the prover.
+    pub survivors: u64,
+    /// Batched SoA program sweeps executed (one per ≤64-state chunk per VC
+    /// per unit actually scanned). Schedule-dependent under multi-threaded
+    /// screening — a profiling signal, excluded from canonical reports.
+    pub batch_scans: u64,
 }
 
 impl PhaseTimings {
@@ -146,6 +155,9 @@ impl PhaseTimings {
             oblig_hits: set.get(ids.oblig_hits),
             oblig_misses: set.get(ids.oblig_misses),
             core_hits: set.get(ids.core_hits),
+            screened: set.get(ids.screened),
+            survivors: set.get(ids.survivors),
+            batch_scans: set.get(ids.batch_scans),
         }
     }
 
@@ -160,6 +172,9 @@ impl PhaseTimings {
         self.oblig_hits += other.oblig_hits;
         self.oblig_misses += other.oblig_misses;
         self.core_hits += other.core_hits;
+        self.screened += other.screened;
+        self.survivors += other.survivors;
+        self.batch_scans += other.batch_scans;
     }
 
     /// Capture time in milliseconds.
@@ -424,6 +439,9 @@ pub fn synthesize_governed_with_phases(
                 kernel_metrics.add(ids.capture_ns, session.capture_ns());
                 kernel_metrics.add(ids.bounded_ns, session.check_ns());
                 kernel_metrics.add(ids.captures, session.capture_count() as u64);
+                kernel_metrics.add(ids.screened, session.screened());
+                kernel_metrics.add(ids.survivors, session.survivors());
+                kernel_metrics.add(ids.batch_scans, session.batch_scans());
                 kernel_metrics.add(ids.prove_ns, prove_ns.into_inner());
                 kernel_metrics.add(ids.oblig_hits, prover_session.hits());
                 kernel_metrics.add(ids.oblig_misses, prover_session.misses());
