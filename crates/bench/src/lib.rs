@@ -257,8 +257,8 @@ pub fn median(values: &mut [f64]) -> f64 {
 /// resource budget (an hour of wall clock, counters far beyond any corpus
 /// kernel), so every benchmark run exercises the real governed code paths
 /// (polls, fuel accounting) instead of the null unlimited budget. The
-/// `bench_json` gate holds the cost of that bookkeeping under 5% of the
-/// previous snapshot's total.
+/// `bench_json` gate holds the cost of that bookkeeping under 5% of an
+/// ungoverned control pass measured in the same run.
 pub fn bench_stng() -> Stng {
     let mut stng = Stng::new();
     stng.config.prover.max_attempts = 1500;

@@ -71,6 +71,10 @@ pub mod names {
     pub static SYM_EXEC: Name = Name::new("sym.exec");
     /// VC generation for one candidate.
     pub static PRED_VCGEN: Name = Name::new("pred.vcgen");
+    /// One `stng-verify` layer (detail: layer name).
+    pub static VERIFY_LAYER: Name = Name::new("verify.layer");
+    /// One `stng-verify` check or differential oracle (detail: check name).
+    pub static VERIFY_CHECK: Name = Name::new("verify.check");
 
     /// Cache-lookup outcome details.
     pub static HIT: Name = Name::new("hit");

@@ -321,10 +321,21 @@ impl LiftResultCache {
 
     /// Renames a corrupt entry to `<name>.json.quarantined` (best-effort;
     /// falls back to deletion so the bad bytes can never be served again).
+    ///
+    /// Repeated corruption of the same entry must not overwrite the
+    /// evidence of earlier incidents: when the plain quarantine name is
+    /// taken, a monotonically increasing numeric suffix is appended
+    /// (`.json.quarantined.1`, `.2`, …). Every incident — first or repeat —
+    /// counts in `CacheStats::quarantined`.
     fn quarantine(&self, path: &std::path::Path) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
         obs_counters::QUARANTINED.add(1);
-        let aside = path.with_extension("json.quarantined");
+        let mut aside = path.with_extension("json.quarantined");
+        let mut repeat = 0u32;
+        while aside.exists() {
+            repeat += 1;
+            aside = path.with_extension(format!("json.quarantined.{repeat}"));
+        }
         if std::fs::rename(path, &aside).is_err() {
             let _ = std::fs::remove_file(path);
         }
@@ -856,6 +867,43 @@ mod tests {
         // The next store reclaims the slot and the entry is servable again.
         fresh.put(key(42), payload("text42"));
         assert!(fresh.get(&key(42), "text42").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_corruption_keeps_every_piece_of_evidence() {
+        let dir = std::env::temp_dir().join(format!(
+            "stng-cache-requarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = LiftResultCache::persistent(64, &dir)
+            .unwrap()
+            .disk_path(&key(42))
+            .unwrap();
+        // Corrupt the same entry three times; each probe must quarantine to
+        // a fresh name instead of clobbering the previous evidence file. A
+        // fresh instance per round keeps the probe on the disk tier.
+        for round in 0..3u64 {
+            {
+                let writer = LiftResultCache::persistent(64, &dir).unwrap();
+                writer.put(key(42), payload("text42"));
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, format!("{}-round{round}", &text[..text.len() / 2])).unwrap();
+            let probe = LiftResultCache::persistent(64, &dir).unwrap();
+            assert!(probe.get(&key(42), "text42").is_none());
+            assert_eq!(probe.stats().quarantined, 1, "each repeat is counted");
+        }
+        assert!(path.with_extension("json.quarantined").exists());
+        assert!(path.with_extension("json.quarantined.1").exists());
+        assert!(path.with_extension("json.quarantined.2").exists());
+        // Each evidence file holds its own incident's bytes.
+        let first = std::fs::read_to_string(path.with_extension("json.quarantined")).unwrap();
+        let third = std::fs::read_to_string(path.with_extension("json.quarantined.2")).unwrap();
+        assert!(first.ends_with("-round0"));
+        assert!(third.ends_with("-round2"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,7 @@
 #![cfg(feature = "fault-inject")]
 
 use stng::guard::fault::FaultPlan;
+use stng::KernelOutcome;
 use stng_service::batch::{self, outcome_tag, BatchOptions};
 use stng_service::chaos;
 
@@ -29,6 +30,7 @@ fn faulted_corpus_batch_completes_and_classifies_every_kernel() {
         panic_kernels: vec!["lap0".to_string()],
         stall_kernels: vec!["grad0".to_string()],
         stall_ms: 400,
+        ..FaultPlan::default()
     };
     let guard = chaos::armed(plan);
 
@@ -111,6 +113,98 @@ fn faulted_corpus_batch_completes_and_classifies_every_kernel() {
     assert!(report2.passes[0].kernels.len() >= sources.len());
 
     drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adaptive_tier_faults_are_classified_never_wedged() {
+    let dir = temp_dir("tiers");
+    let plan = FaultPlan {
+        seed: 0x71E2,
+        // A panic inside the lazy `OnceLock` tier capture: std leaves the
+        // cell uninitialized and propagates, so the worker's catch_unwind
+        // must isolate the kernel as crashed.
+        tier_panic_kernels: vec!["div0".to_string()],
+        // A stall inside the initializer: the per-source deadline trips
+        // mid-escalation and the kernel lands on a budget-affected rung.
+        tier_stall_kernels: vec!["heat0".to_string()],
+        stall_ms: 400,
+        // Torn state when escalating past the smallest tier: the screen
+        // reports a capture error and every candidate is rejected, so no
+        // invariant can be proven — the kernel must not come out soundly
+        // verified. (The extended bounded-validation fallback may still
+        // accept it: that rung runs full concrete executions and never
+        // touches the torn capture machinery.)
+        torn_tier_kernels: vec!["lap0".to_string()],
+        ..FaultPlan::default()
+    };
+    let guard = chaos::armed(plan);
+
+    let sources = batch::corpus_sources();
+    let options = BatchOptions {
+        cache_dir: Some(dir.clone()),
+        kernel_timeout_ms: Some(150),
+        retries: 1,
+        ..BatchOptions::default()
+    };
+    let report = batch::run_batch(&sources, &options).expect("cache dir usable");
+    let pass = &report.passes[0];
+    assert!(pass.kernels.len() >= sources.len(), "no kernel dropped");
+
+    let row = |name: &str| {
+        pass.kernels
+            .iter()
+            .find(|k| k.source_name == name)
+            .unwrap_or_else(|| panic!("{name} row present"))
+    };
+
+    assert_eq!(
+        outcome_tag(&row("div0").report.outcome),
+        "crashed",
+        "tier-capture panic must surface as crashed, got {:?}",
+        row("div0").report.outcome
+    );
+    assert!(
+        row("heat0").report.outcome.is_budget_affected(),
+        "tier-capture stall must trip the per-source budget, got {:?}",
+        row("heat0").report.outcome
+    );
+    let lap0 = &row("lap0").report.outcome;
+    match lap0 {
+        KernelOutcome::Translated {
+            soundly_verified, ..
+        } => assert!(
+            !soundly_verified,
+            "torn tier state rejects every candidate, so a sound proof is \
+             impossible — got a soundly-verified translation"
+        ),
+        KernelOutcome::Untranslated { .. }
+        | KernelOutcome::Timeout { .. }
+        | KernelOutcome::Crashed { .. } => {}
+    }
+
+    let injected = guard.injected();
+    assert!(injected.tier_panics > 0, "no tier panics: {injected:?}");
+    assert!(injected.tier_stalls > 0, "no tier stalls: {injected:?}");
+    assert!(injected.torn_tiers > 0, "no torn tiers: {injected:?}");
+
+    // Disarmed rerun over the same cache directory: every faulted kernel
+    // recovers — the poisoned `OnceLock` never wedges the session.
+    drop(guard);
+    let report2 = batch::run_batch(&sources, &options).expect("cache dir usable");
+    let pass2 = &report2.passes[0];
+    for name in ["div0", "heat0", "lap0"] {
+        let k = pass2
+            .kernels
+            .iter()
+            .find(|k| k.source_name == name)
+            .unwrap_or_else(|| panic!("{name} row present"));
+        assert!(
+            !matches!(outcome_tag(&k.report.outcome), "crashed" | "timeout"),
+            "{name} must recover once faults are disarmed, got {:?}",
+            k.report.outcome
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

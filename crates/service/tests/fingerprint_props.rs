@@ -179,6 +179,57 @@ fn fingerprint_is_sensitive_to_coefficient_and_domain_changes() {
     );
 }
 
+/// KNOWN WEAKNESS (pinned, ROADMAP carried item): the canonicalizer renames
+/// parameters by **declaration position** (`p0`, `p1`, …), so two kernels
+/// that perform the identical computation but declare their parameters in a
+/// different order canonicalize to different texts and *miss* the lifting
+/// cache. Real legacy suites hit this: mechanical extraction tools order
+/// parameters by first use, hand-written variants by convention.
+///
+/// This test pins the current (weak) behavior so the planned kind-stratified
+/// canonicalization — rename within each parameter kind by first *body*
+/// occurrence instead of by signature position — has a red→green target:
+/// when that lands, flip both `assert_ne!` below to `assert_eq!` and move
+/// the pair into `expected_collisions` above.
+#[test]
+fn parameter_order_permutations_currently_miss_the_cache() {
+    const ORIGINAL: &str = r#"
+procedure pperm_a(n, src, dst)
+  integer :: n
+  real, dimension(0:n) :: src
+  real, dimension(0:n) :: dst
+  integer :: i
+  do i = 1, n-1
+    dst(i) = src(i-1) + src(i+1)
+  enddo
+end procedure
+"#;
+    // The same computation with the two array parameters declared in the
+    // opposite order — a pure signature permutation.
+    const PERMUTED: &str = r#"
+procedure pperm_b(n, dst, src)
+  integer :: n
+  real, dimension(0:n) :: dst
+  real, dimension(0:n) :: src
+  integer :: i
+  do i = 1, n-1
+    dst(i) = src(i-1) + src(i+1)
+  enddo
+end procedure
+"#;
+    let original = kernel_from_source(ORIGINAL, 0).expect("original lowers");
+    let permuted = kernel_from_source(PERMUTED, 0).expect("permuted lowers");
+    let canon_a = canonicalize(&original);
+    let canon_b = canonicalize(&permuted);
+    assert_ne!(
+        canon_a.fingerprint, canon_b.fingerprint,
+        "positional canonicalization separates parameter-order permutations \
+         today; if this started colliding, kind-stratified canonicalization \
+         has landed — promote this pair to expected_collisions instead"
+    );
+    assert_ne!(canon_a.text, canon_b.text);
+}
+
 #[test]
 fn distinct_corpus_kernels_do_not_collide() {
     let kernels = lowered_corpus();

@@ -50,7 +50,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
-use stng_intern::guard::Budget;
+use stng_intern::guard::{fault, Budget};
 use stng_ir::error::{Error, Result};
 use stng_ir::interp::{eval_bool_expr, eval_data_expr, eval_int_expr, ArrayData, State};
 use stng_ir::ir::{IrStmt, Kernel, ParamKind};
@@ -390,6 +390,28 @@ impl CheckSession {
         let tier = &self.tiers[t];
         tier.captured.get_or_init(|| {
             let _span = stng_obs::span(&stng_obs::names::BOUNDED_CAPTURE);
+            // Fault sites for the lazy tier machinery (no-ops while the
+            // registry is disarmed). A panic here propagates out of
+            // `get_or_init` with the cell left uninitialized — the chaos
+            // suite pins that this surfaces as `Crashed`, never a wedge.
+            if fault::tier_capture_panic(&self.kernel.name) {
+                panic!(
+                    "fault-inject: tier capture panic in '{}' (grid size {})",
+                    self.kernel.name, tier.size
+                );
+            }
+            if let Some(pause) = fault::tier_capture_stall(&self.kernel.name) {
+                std::thread::sleep(pause);
+            }
+            if t > 0 && fault::torn_tier_capture(&self.kernel.name) {
+                return Captured {
+                    units: vec![Err(Error::interp(format!(
+                        "fault-inject: torn state while escalating '{}' to grid size {}",
+                        self.kernel.name, tier.size
+                    )))],
+                    capture_ns: 0,
+                };
+            }
             let start = Instant::now();
             let compiled = self.compiled_body();
             let units: Vec<(i64, usize)> = (0..self.checker.trials_per_size)
@@ -1169,5 +1191,104 @@ mod tests {
         assert_eq!(checker.seed, 0x5717_1e57);
         assert_eq!(checker.unit_seed(3, 0), 0x7aad_d091_7a12_84f7);
         assert_eq!(checker.unit_seed(4, 2), 0x77c2_9d85_a5b3_492a);
+    }
+
+    /// The fault registry is process-global, so the tier-fault tests must
+    /// not arm/disarm concurrently with each other.
+    static FAULT_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// A panic injected inside the lazy tier capture must leave the
+    /// `OnceLock` uninitialized — not poisoned — so the same session (and a
+    /// fresh one) recovers once the fault is disarmed. The kernel name
+    /// carries a unique substring because the fault registry is
+    /// process-global and other tests may run concurrently.
+    #[test]
+    fn tier_capture_panic_does_not_wedge_the_session() {
+        use stng_intern::guard::fault::{self, FaultPlan};
+        let _serial = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let (mut kernel, vcs) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        kernel.name = "tier_panic_wedge_probe".into();
+        let session = CheckSession::new(BoundedChecker::new(), kernel);
+
+        fault::arm(FaultPlan {
+            tier_panic_kernels: vec!["tier_panic_wedge_probe".into()],
+            ..FaultPlan::default()
+        });
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.find_counterexample(&vcs)
+        }));
+        fault::disarm();
+        assert!(hit.is_err(), "armed capture should panic");
+
+        // Same session, fault disarmed: the cell was never initialized, so
+        // capture simply runs again and the screen completes normally.
+        assert!(session.find_counterexample(&vcs).unwrap().is_none());
+    }
+
+    /// Torn state during tier escalation surfaces as a classified capture
+    /// error (never a panic or a hang), and only once the session actually
+    /// escalates past the first tier.
+    #[test]
+    fn torn_tier_escalation_is_a_classified_error() {
+        use stng_intern::guard::fault::{self, FaultPlan};
+        let _serial = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let (mut kernel, vcs) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        kernel.name = "torn_tier_probe".into();
+        let session = CheckSession::new(BoundedChecker::new(), kernel);
+
+        fault::arm(FaultPlan {
+            torn_tier_kernels: vec!["torn_tier_probe".into()],
+            ..FaultPlan::default()
+        });
+        // The correct candidate passes tier 0, escalates, and hits the torn
+        // second tier.
+        let err = session.find_counterexample(&vcs).unwrap_err();
+        let injected = fault::injected();
+        fault::disarm();
+        assert!(
+            err.to_string().contains("torn state"),
+            "unexpected error: {err}"
+        );
+        assert!(injected.torn_tiers >= 1);
+
+        // A fresh session after disarm is unaffected.
+        let (mut kernel2, _) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        kernel2.name = "torn_tier_probe_recovered".into();
+        let fresh = CheckSession::new(BoundedChecker::new(), kernel2);
+        assert!(fresh.find_counterexample(&vcs).unwrap().is_none());
+    }
+
+    /// An injected stall inside tier capture slows the screen but does not
+    /// change its verdict, and the injection counter records the hit.
+    #[test]
+    fn tier_capture_stall_only_delays() {
+        use stng_intern::guard::fault::{self, FaultPlan};
+        let _serial = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let (mut kernel, vcs) = vcs_with(
+            fixtures::running_example_post(),
+            fixtures::running_example_invariants(),
+        );
+        kernel.name = "tier_stall_probe".into();
+        let session = CheckSession::new(BoundedChecker::new(), kernel);
+
+        fault::arm(FaultPlan {
+            tier_stall_kernels: vec!["tier_stall_probe".into()],
+            stall_ms: 5,
+            ..FaultPlan::default()
+        });
+        let verdict = session.find_counterexample(&vcs);
+        let injected = fault::injected();
+        fault::disarm();
+        assert!(verdict.unwrap().is_none());
+        assert!(injected.tier_stalls >= 1);
     }
 }

@@ -633,6 +633,57 @@ fn fm_infeasible(constraints: &[Affine]) -> bool {
     }
 }
 
+/// Verification hooks for the `stng-verify` Layer-1 model checker.
+///
+/// These expose the soundness-critical internals — gcd tightening, the
+/// tree-walking elimination oracle, the full compiled pipeline, and the
+/// learned-core store — on raw [`Affine`] rows, so the harness can
+/// enumerate small linear systems and compare every path against a
+/// brute-force integer-feasibility oracle without going through the
+/// `IrExpr` front door. Production code must keep using [`LinCtx`].
+pub mod model {
+    use super::*;
+
+    /// The integer gcd tightening applied to every canonical row
+    /// (`Σ ci·vi + c ≤ 0` with `g = gcd(ci)` becomes
+    /// `Σ (ci/g)·vi + ⌈c/g⌉ ≤ 0`).
+    pub fn tighten_row(c: Affine) -> Affine {
+        tighten(c)
+    }
+
+    /// Canonicalizes (tighten, sort, dedup) and runs the tree-walking
+    /// Fourier–Motzkin engine — the legacy oracle, no memo, no cores.
+    pub fn tree_infeasible(constraints: &[Affine]) -> bool {
+        fm_infeasible(&canonical(constraints))
+    }
+
+    /// Canonicalizes, interns, and runs the full compiled feasibility
+    /// pipeline exactly as production queries do: verdict memo, learned-core
+    /// subsumption, then dense elimination with core extraction.
+    pub fn compiled_infeasible(constraints: &[Affine]) -> bool {
+        let mut key: Vec<RowRef> = constraints.iter().map(intern_row).collect();
+        key.sort();
+        key.dedup();
+        fm_query(&key)
+    }
+
+    /// Snapshot of the learned-core store. Every member set was proven
+    /// UNSAT by the dense engine when it was learned; the model checker
+    /// re-verifies each against the tree oracle.
+    pub fn learned_cores() -> Vec<Vec<Affine>> {
+        CORES
+            .get()
+            .map(|lock| {
+                lock.read()
+                    .expect("core store poisoned")
+                    .iter()
+                    .map(|(core, _)| core.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,193 @@
+//! The canonical JSON report `stng-verify` emits.
+//!
+//! The report is hand-rolled JSON (like `stng-bench`'s `BENCH_N.json` — no
+//! serde in the workspace) and deliberately contains **no timing and no
+//! machine-dependent fields**: two runs with the same tier and seed must
+//! produce byte-identical reports, which is itself one of the properties CI
+//! pins (the kernel fuzzer's determinism guarantee). Wall-clock numbers go
+//! to stderr and to the obs metrics registry instead.
+
+/// One check (a Layer-1 enumeration stratum group, a Layer-2 differential
+/// oracle, or a Layer-3 fuzzer property sweep).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Stable check name (`fm.engine-agreement`, `diff.prover`, …).
+    pub name: String,
+    /// Cases driven — enumerated systems, states×VCs, kernels×properties.
+    /// Every case is counted; a check must never silently truncate.
+    pub cases: u64,
+    /// Cases where the implementation disagreed with its oracle. Anything
+    /// non-zero fails the whole run.
+    pub failures: u64,
+    /// Named sub-counts, in insertion order: per-stratum enumeration sizes,
+    /// outcome-class tallies, skip counts (with the reason in the name).
+    pub detail: Vec<(String, u64)>,
+    /// Human-readable descriptions of the first few failures.
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    pub fn new(name: impl Into<String>) -> CheckReport {
+        CheckReport {
+            name: name.into(),
+            ..CheckReport::default()
+        }
+    }
+
+    /// Records one named count.
+    pub fn count(&mut self, name: impl Into<String>, value: u64) {
+        self.detail.push((name.into(), value));
+    }
+
+    /// Records a failure, keeping the first few descriptions.
+    pub fn fail(&mut self, description: impl Into<String>) {
+        self.failures += 1;
+        if self.notes.len() < 8 {
+            self.notes.push(description.into());
+        }
+    }
+}
+
+/// One of the three layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerReport {
+    pub name: &'static str,
+    pub checks: Vec<CheckReport>,
+}
+
+impl LayerReport {
+    pub fn cases(&self) -> u64 {
+        self.checks.iter().map(|c| c.cases).sum()
+    }
+
+    pub fn failures(&self) -> u64 {
+        self.checks.iter().map(|c| c.failures).sum()
+    }
+}
+
+/// The whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// `quick` or `deep`.
+    pub tier: &'static str,
+    /// Seed driving the Layer-3 fuzzer (and any seeded sampling elsewhere).
+    pub seed: u64,
+    pub layers: Vec<LayerReport>,
+}
+
+impl Report {
+    pub fn passed(&self) -> bool {
+        self.layers.iter().all(|l| l.failures() == 0)
+    }
+
+    pub fn total_cases(&self) -> u64 {
+        self.layers.iter().map(|l| l.cases()).sum()
+    }
+
+    pub fn total_failures(&self) -> u64 {
+        self.layers.iter().map(|l| l.failures()).sum()
+    }
+
+    /// Canonical JSON rendering: construction order, no timing, no paths.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"tier\": {},\n", json_str(self.tier)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"cases\": {},\n", self.total_cases()));
+        out.push_str(&format!("  \"failures\": {},\n", self.total_failures()));
+        out.push_str(&format!(
+            "  \"passed\": {},\n",
+            if self.passed() { "true" } else { "false" }
+        ));
+        out.push_str("  \"layers\": [\n");
+        for (li, layer) in self.layers.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(layer.name)));
+            out.push_str(&format!("      \"cases\": {},\n", layer.cases()));
+            out.push_str(&format!("      \"failures\": {},\n", layer.failures()));
+            out.push_str("      \"checks\": [\n");
+            for (ci, check) in layer.checks.iter().enumerate() {
+                out.push_str("        {\n");
+                out.push_str(&format!("          \"name\": {},\n", json_str(&check.name)));
+                out.push_str(&format!("          \"cases\": {},\n", check.cases));
+                out.push_str(&format!("          \"failures\": {},\n", check.failures));
+                out.push_str("          \"detail\": {");
+                for (di, (name, value)) in check.detail.iter().enumerate() {
+                    if di > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{}: {}", json_str(name), value));
+                }
+                out.push_str("},\n");
+                out.push_str("          \"notes\": [");
+                for (ni, note) in check.notes.iter().enumerate() {
+                    if ni > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_str(note));
+                }
+                out.push_str("]\n");
+                out.push_str(if ci + 1 < layer.checks.len() {
+                    "        },\n"
+                } else {
+                    "        }\n"
+                });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if li + 1 < self.layers.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let mut check = CheckReport::new("fm.engine-agreement");
+        check.cases = 3;
+        check.count("stratum \"a\"", 2);
+        check.fail("row x ≤ 0\nbroke");
+        let report = Report {
+            tier: "quick",
+            seed: 7,
+            layers: vec![LayerReport {
+                name: "model-checking",
+                checks: vec![check],
+            }],
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"stratum \\\"a\\\"\": 2"));
+        assert!(a.contains("\\nbroke"));
+        assert!(a.contains("\"passed\": false"));
+    }
+}
